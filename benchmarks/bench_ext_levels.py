@@ -1,0 +1,36 @@
+"""Extension benchmarks: multi-group rounds, mixed fleets, capacity point.
+
+Complements the per-figure benches with the reproduction's own
+extension experiments, so regressions in the §VI-C path or the mixed
+3-in-1 path show up in the benchmark suite.
+"""
+
+import pytest
+
+from repro.experiments.capacity import discovery_time
+from repro.experiments.mixed_fleet import build_mixed_fleet
+from repro.experiments.multi_group import build as build_groups
+from repro.net.run import simulate_discovery, simulate_multi_group_discovery
+
+
+@pytest.mark.parametrize("n_groups", [1, 2, 4])
+def test_bench_multi_group_rounds(benchmark, n_groups):
+    subject, objects = build_groups(n_groups, kiosks_per_group=2)
+    merged, rounds = benchmark(simulate_multi_group_discovery, subject, objects)
+    assert len(rounds) == n_groups
+    benchmark.extra_info["total_simulated_s"] = sum(rounds)
+    benchmark.extra_info["per_group_s"] = sum(rounds) / n_groups
+
+
+def test_bench_mixed_fleet_round(benchmark):
+    subject, objects = build_mixed_fleet(5)
+    timeline = benchmark(simulate_discovery, subject, objects)
+    assert len(timeline.completion) == 15
+    benchmark.extra_info["total_simulated_s"] = timeline.total_time
+
+
+def test_bench_office_capacity_point(benchmark):
+    """The §II-C anchor: a 30-object office at Level 2."""
+    simulated = benchmark(discovery_time, 2, 30)
+    benchmark.extra_info["simulated_s"] = simulated
+    assert simulated < 1.3

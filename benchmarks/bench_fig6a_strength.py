@@ -1,0 +1,47 @@
+"""Fig. 6(a) — ECDSA/ECDH computation time vs security strength.
+
+Real local measurements of the four operations at each strength; the
+calibrated paper-hardware values ride along in extra_info.
+"""
+
+import pytest
+
+from repro.crypto.costmodel import NEXUS6
+from repro.crypto.ecdh import EphemeralECDH
+from repro.crypto.ecdsa import generate_signing_key
+
+STRENGTHS = (112, 128, 192, 256)
+
+
+@pytest.mark.parametrize("strength", STRENGTHS)
+def test_bench_ecdsa_sign(benchmark, strength):
+    key = generate_signing_key(strength)
+    benchmark(key.sign, b"fig6a message")
+    benchmark.extra_info["paper_ms"] = NEXUS6.op_cost_ms("ecdsa_sign", strength)
+    benchmark.extra_info["strength"] = strength
+
+
+@pytest.mark.parametrize("strength", STRENGTHS)
+def test_bench_ecdsa_verify(benchmark, strength):
+    key = generate_signing_key(strength)
+    sig = key.sign(b"fig6a message")
+    result = benchmark(key.public_key.verify, sig, b"fig6a message")
+    assert result
+    benchmark.extra_info["paper_ms"] = NEXUS6.op_cost_ms("ecdsa_verify", strength)
+    benchmark.extra_info["strength"] = strength
+
+
+@pytest.mark.parametrize("strength", STRENGTHS)
+def test_bench_ecdh_generate(benchmark, strength):
+    benchmark(EphemeralECDH, strength)
+    benchmark.extra_info["paper_ms"] = NEXUS6.op_cost_ms("ecdh_gen", strength)
+    benchmark.extra_info["strength"] = strength
+
+
+@pytest.mark.parametrize("strength", STRENGTHS)
+def test_bench_ecdh_derive(benchmark, strength):
+    peer = EphemeralECDH(strength)
+    mine = EphemeralECDH(strength)
+    benchmark(mine.derive_premaster, peer.kexm)
+    benchmark.extra_info["paper_ms"] = NEXUS6.op_cost_ms("ecdh_derive", strength)
+    benchmark.extra_info["strength"] = strength

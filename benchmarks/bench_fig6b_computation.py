@@ -1,0 +1,36 @@
+"""Fig. 6(b) — overall per-discovery computation, by level and side.
+
+Benchmarks real in-memory handshakes (measured wall time on this
+machine) and records the calibrated paper-hardware cost from the same
+run's op meter.
+"""
+
+import pytest
+
+from repro.crypto.costmodel import NEXUS6, RASPBERRY_PI3
+from repro.experiments.common import make_level_fleet
+from repro.experiments.fig6b import measure_level
+from repro.protocol.discovery import run_round
+from repro.protocol.object import ObjectEngine
+from repro.protocol.subject import SubjectEngine
+
+PAPER = {1: (5.1, 0.0), 2: (27.4, 78.2), 3: (27.4, 78.2)}
+
+
+@pytest.mark.parametrize("level", [1, 2, 3])
+def test_bench_full_discovery_round(benchmark, level):
+    """Wall time of one full in-memory discovery round at each level."""
+    subject_creds, object_creds, _ = make_level_fleet(1, level)
+    subject = SubjectEngine(subject_creds)
+    objects = {c.object_id: ObjectEngine(c) for c in object_creds}
+    run_round(subject, objects)  # warm chain caches
+
+    benchmark(run_round, subject, objects)
+
+    calibrated = measure_level(level)
+    benchmark.extra_info["calibrated_subject_ms"] = calibrated["subject_ms"]
+    benchmark.extra_info["calibrated_object_ms"] = calibrated["object_ms"]
+    benchmark.extra_info["paper_subject_ms"] = PAPER[level][0]
+    benchmark.extra_info["paper_object_ms"] = PAPER[level][1]
+    assert calibrated["subject_ms"] == pytest.approx(PAPER[level][0], abs=2.5)
+    assert calibrated["object_ms"] == pytest.approx(PAPER[level][1], abs=2.5)

@@ -1,0 +1,37 @@
+"""Fig. 6(d) — PBC pairing time vs Argus's extra HMAC.
+
+Benchmarks a full secret handshake and the single pairing, against the
+HMAC that replaces them in Argus Level 3. The paper-hardware anchors
+(2.2 s / 7.7 s per pairing vs <0.1 ms per HMAC) ride in extra_info.
+"""
+
+from repro.crypto.costmodel import NEXUS6, RASPBERRY_PI3
+from repro.crypto.pairing import PairingGroup
+from repro.crypto.primitives import hmac_sha256
+from repro.crypto.secret_handshake import HandshakeAuthority, run_handshake
+
+
+def test_bench_pairing(benchmark):
+    group = PairingGroup()
+    p, q = group.random_g1(), group.random_g1()
+    benchmark(group.pair, p, q)
+    benchmark.extra_info["paper_subject_ms"] = NEXUS6.pairing_ms
+    benchmark.extra_info["paper_object_ms"] = RASPBERRY_PI3.pairing_ms
+
+
+def test_bench_full_secret_handshake(benchmark):
+    group = PairingGroup()
+    auth = HandshakeAuthority(group)
+    a, b = auth.issue(b"subject"), auth.issue(b"kiosk")
+    ok = benchmark(run_handshake, group, a, b)
+    assert ok == (True, True)
+
+
+def test_bench_argus_hmac_alternative(benchmark):
+    """What Argus does instead of the pairing: one HMAC."""
+    key, transcript = b"k" * 32, b"t" * 100
+    benchmark(hmac_sha256, key, transcript)
+    benchmark.extra_info["paper_pi_ms"] = RASPBERRY_PI3.hmac_ms
+    benchmark.extra_info["ratio_vs_pairing_paper_hw"] = (
+        RASPBERRY_PI3.pairing_ms / RASPBERRY_PI3.hmac_ms
+    )

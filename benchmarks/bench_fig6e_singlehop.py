@@ -1,0 +1,47 @@
+"""Fig. 6(e) — single-hop discovery time vs number of objects.
+
+Benchmarks the simulator run itself (wall time) while recording the
+*simulated* discovery completion times — the figure's actual series —
+in extra_info, against the paper's anchors.
+"""
+
+import pytest
+
+from repro.net.run import simulate_discovery
+
+PAPER_AT_20 = {1: 0.25, 2: 0.63, 3: 0.63}
+
+
+@pytest.mark.parametrize("level,fixture", [
+    (1, "level1_fleet20"), (2, "level2_fleet20"), (3, "level3_fleet20"),
+])
+def test_bench_discover_20_objects(benchmark, level, fixture, request):
+    subject, objects, _ = request.getfixturevalue(fixture)
+
+    timeline = benchmark(simulate_discovery, subject, objects)
+
+    assert len(timeline.completion) == 20
+    benchmark.extra_info["simulated_total_s"] = timeline.total_time
+    benchmark.extra_info["paper_total_s"] = PAPER_AT_20[level]
+    benchmark.extra_info["completion_curve"] = [
+        round(t, 4) for t in timeline.completion_curve
+    ]
+    # shape: within 40% of the paper's anchor
+    assert timeline.total_time == pytest.approx(PAPER_AT_20[level], rel=0.4)
+
+
+def test_bench_levels_2_and_3_overlap(benchmark, level2_fleet20, level3_fleet20):
+    """The paper's indistinguishability claim in time: L2 and L3 curves
+    overlap."""
+    s2, o2, _ = level2_fleet20
+    s3, o3, _ = level3_fleet20
+
+    def both():
+        t2 = simulate_discovery(s2, o2).total_time
+        t3 = simulate_discovery(s3, o3).total_time
+        return t2, t3
+
+    t2, t3 = benchmark(both)
+    benchmark.extra_info["level2_s"] = t2
+    benchmark.extra_info["level3_s"] = t3
+    assert t3 == pytest.approx(t2, rel=0.02)

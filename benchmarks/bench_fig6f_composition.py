@@ -1,0 +1,20 @@
+"""Fig. 6(f) — computation vs transmission split for one object."""
+
+import pytest
+
+from repro.experiments.fig6f import simulated_composition
+
+PAPER_TXN_PERCENT = {1: 89.0, 2: 45.0, 3: 45.0}
+
+
+@pytest.mark.parametrize("level", [1, 2, 3])
+def test_bench_composition(benchmark, level):
+    comp = benchmark(simulated_composition, level)
+    txn_pct = comp["transmission_fraction"] * 100
+    benchmark.extra_info["total_s"] = comp["total_s"]
+    benchmark.extra_info["transmission_pct"] = txn_pct
+    benchmark.extra_info["paper_transmission_pct"] = PAPER_TXN_PERCENT[level]
+    if level == 1:
+        assert txn_pct > 80
+    else:
+        assert 35 < txn_pct < 70

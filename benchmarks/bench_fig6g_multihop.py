@@ -1,0 +1,25 @@
+"""Fig. 6(g) — multi-hop discovery: 20 objects over 1-4 hops."""
+
+import pytest
+
+from repro.net.run import simulate_discovery
+from repro.net.topology import paper_multihop
+
+PAPER = {1: 0.72, 2: 1.15, 3: 1.15}
+
+
+@pytest.mark.parametrize("level,fixture", [
+    (1, "level1_fleet20"), (2, "level2_fleet20"), (3, "level3_fleet20"),
+])
+def test_bench_multihop_discovery(benchmark, level, fixture, request):
+    subject, objects, _ = request.getfixturevalue(fixture)
+    graph = paper_multihop([c.object_id for c in objects], 4)
+
+    timeline = benchmark(simulate_discovery, subject, objects, graph=graph)
+
+    assert len(timeline.completion) == 20
+    benchmark.extra_info["simulated_total_s"] = timeline.total_time
+    benchmark.extra_info["paper_total_s"] = PAPER[level]
+    # shape: multihop strictly slower than the same fleet single-hop
+    single = simulate_discovery(subject, objects)
+    assert timeline.total_time > single.total_time

@@ -1,0 +1,32 @@
+"""Fig. 6(h) — per-object latency vs hop count."""
+
+import pytest
+
+from repro.net.run import simulate_discovery
+from repro.net.topology import paper_multihop
+
+PAPER = {
+    1: {1: 0.13, 2: 0.26, 3: 0.40, 4: 0.53},
+    2: {1: 0.32, 2: 0.52, 3: 0.72, 4: 0.92},
+}
+
+
+@pytest.mark.parametrize("level,fixture", [
+    (1, "level1_fleet20"), (2, "level2_fleet20"),
+])
+def test_bench_latency_by_hops(benchmark, level, fixture, request):
+    subject, objects, _ = request.getfixturevalue(fixture)
+    graph = paper_multihop([c.object_id for c in objects], 4)
+
+    def run():
+        timeline = simulate_discovery(subject, objects, graph=graph)
+        return timeline.mean_latency_by_hops()
+
+    by_hop = benchmark(run)
+    benchmark.extra_info["latency_by_hops"] = {h: round(v, 4) for h, v in by_hop.items()}
+    benchmark.extra_info["paper"] = PAPER[level]
+    # shape: strictly increasing with hop count, roughly linear
+    values = [by_hop[h] for h in (1, 2, 3, 4)]
+    assert values == sorted(values)
+    deltas = [b - a for a, b in zip(values, values[1:])]
+    assert max(deltas) < 1.5 * min(deltas)

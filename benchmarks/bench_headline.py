@@ -1,0 +1,53 @@
+"""§IX headline — Argus 105 ms vs ABE/PBC >= 10x (128-bit).
+
+Benchmarks the three schemes' critical paths on real code and records
+the calibrated paper-hardware ratios.
+"""
+
+import pytest
+
+from repro.analysis.timing_model import headline_computation_ms
+from repro.crypto.abe import CpAbe, policy_of_attributes
+from repro.crypto.costmodel import NEXUS6, RASPBERRY_PI3, abe_decrypt_ms
+from repro.crypto.pairing import PairingGroup
+from repro.crypto.secret_handshake import HandshakeAuthority, run_handshake
+from repro.experiments.common import make_level_fleet
+from repro.protocol.discovery import run_round
+from repro.protocol.object import ObjectEngine
+from repro.protocol.subject import SubjectEngine
+
+
+def test_bench_argus_level2_handshake(benchmark):
+    subject_creds, object_creds, _ = make_level_fleet(1, 2)
+    subject = SubjectEngine(subject_creds)
+    objects = {c.object_id: ObjectEngine(c) for c in object_creds}
+    run_round(subject, objects)
+    benchmark(run_round, subject, objects)
+    argus_ms = headline_computation_ms()
+    benchmark.extra_info["paper_hw_ms"] = argus_ms
+    assert argus_ms == pytest.approx(105.6, abs=1.0)
+
+
+def test_bench_abe_discovery_path(benchmark):
+    scheme = CpAbe()
+    pk, mk = scheme.setup()
+    sk = scheme.keygen(mk, {"dept:X", "pos:staff"})
+    ct = scheme.encrypt(
+        pk, scheme.group.random_gt(), policy_of_attributes(["dept:X", "pos:staff"])
+    )
+    benchmark(scheme.decrypt, pk, sk, ct)
+    abe_ms = abe_decrypt_ms(2)
+    benchmark.extra_info["paper_hw_ms"] = abe_ms
+    benchmark.extra_info["ratio_vs_argus"] = abe_ms / headline_computation_ms()
+    assert abe_ms / headline_computation_ms() >= 10
+
+
+def test_bench_pbc_discovery_path(benchmark):
+    group = PairingGroup()
+    auth = HandshakeAuthority(group)
+    a, b = auth.issue(b"s"), auth.issue(b"o")
+    benchmark(run_handshake, group, a, b)
+    pbc_ms = NEXUS6.pairing_ms + RASPBERRY_PI3.pairing_ms
+    benchmark.extra_info["paper_hw_ms"] = pbc_ms
+    benchmark.extra_info["ratio_vs_argus"] = pbc_ms / headline_computation_ms()
+    assert pbc_ms / headline_computation_ms() >= 10

@@ -1,0 +1,32 @@
+"""§IX-A — message overhead: byte accounting + serialization throughput."""
+
+import pytest
+
+from repro.analysis.overhead import exchange_totals
+from repro.experiments.msg_overhead import capture_exchange
+from repro.protocol.messages import parse_message
+
+
+def test_bench_nominal_accounting(benchmark):
+    totals = benchmark(exchange_totals)
+    assert totals == {"level1": 228, "level23": 2088}
+    benchmark.extra_info["paper"] = {"level1": 228, "level23": 2088}
+
+
+def test_bench_full_exchange_capture(benchmark):
+    """The full 4-way handshake, wall time, plus actual wire sizes."""
+    que1, res1, que2, res2 = benchmark(capture_exchange)
+    benchmark.extra_info["actual_bytes"] = {
+        "QUE1": len(que1.to_bytes()),
+        "RES1": len(res1.to_bytes()),
+        "QUE2": len(que2.to_bytes()),
+        "RES2": len(res2.to_bytes()),
+    }
+
+
+def test_bench_message_parse(benchmark):
+    """Wire-format parse throughput (objects parse every QUE2 they get)."""
+    _, _, que2, _ = capture_exchange()
+    raw = que2.to_bytes()
+    parsed = benchmark(parse_message, raw)
+    assert parsed == que2

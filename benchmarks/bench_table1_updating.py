@@ -1,0 +1,133 @@
+"""Table I — updating overhead: add/remove a subject across schemes.
+
+Benchmarks the *live* update operations (real credential pushes, real
+ABE re-encryption) and records the counted overheads against the paper's
+formulas.
+"""
+
+import pytest
+
+from repro.analysis.scalability import ScaleParams, speedups, table1 as closed_table1
+from repro.experiments import table1
+
+
+def test_bench_argus_add_subject(benchmark):
+    """Argus addition: one backend contact, no object touched."""
+    from repro.backend import Backend, ChurnEngine
+
+    backend = Backend()
+    backend.add_policy("p", "department=='X'", "building=='B'")
+    for i in range(20):
+        backend.register_object(
+            f"o{i}", {"building": "B", "type": "multimedia"}, level=2,
+            functions=("play",), variants=[("department=='X'", ("play",))],
+        )
+    churn = ChurnEngine(backend)
+    counter = {"n": 0}
+
+    def add():
+        counter["n"] += 1
+        _, report = churn.add_subject(f"user-{counter['n']}", {"department": "X"})
+        return report.overhead
+
+    overhead = benchmark(add)
+    assert overhead == 1
+    benchmark.extra_info["overhead"] = overhead
+    benchmark.extra_info["paper"] = "Argus add = 1 (Table I)"
+
+
+def test_bench_argus_remove_subject(benchmark):
+    """Argus removal: push revocation to the subject's N objects."""
+    from repro.backend import Backend, ChurnEngine
+
+    n = 20
+    backend = Backend()
+    backend.add_policy("p", "department=='X'", "building=='B'")
+    for i in range(n):
+        backend.register_object(
+            f"o{i}", {"building": "B", "type": "multimedia"}, level=2,
+            functions=("play",), variants=[("department=='X'", ("play",))],
+        )
+    churn = ChurnEngine(backend)
+    counter = {"n": 0}
+
+    def setup():
+        counter["n"] += 1
+        sid = f"user-{counter['n']}"
+        backend.register_subject(sid, {"department": "X"})
+        return (sid,), {}
+
+    def remove(sid):
+        return churn.remove_subject(sid).overhead
+
+    overhead = benchmark.pedantic(remove, setup=setup, rounds=10)
+    assert overhead == n
+    benchmark.extra_info["overhead"] = overhead
+    benchmark.extra_info["paper"] = "Argus remove = N (Table I)"
+
+
+def test_bench_abe_remove_subject(benchmark):
+    """ABE removal: re-encrypt every affected ciphertext + re-key peers."""
+    from repro.attributes.model import AttributeSet
+    from repro.baselines.abe_discovery import AbeSystem
+    from repro.crypto.ecdsa import generate_signing_key
+    from repro.pki.profile import Profile, sign_profile
+
+    admin = generate_signing_key()
+    n, alpha = 10, 4
+    counter = {"n": 0}
+
+    def setup():
+        system = AbeSystem()
+        for i in range(alpha):
+            system.add_subject(f"peer-{i}", {"dept:X"})
+        for i in range(n):
+            prof = sign_profile(Profile(f"o{i}", AttributeSet(type="m")), admin)
+            system.deploy_variant(f"o{i}", prof, ["dept:X"])
+        counter["n"] += 1
+        return (system,), {}
+
+    def remove(system):
+        return system.remove_subject("peer-0").overhead
+
+    overhead = benchmark.pedantic(remove, setup=setup, rounds=5)
+    assert overhead == n + alpha - 1
+    benchmark.extra_info["overhead"] = overhead
+    benchmark.extra_info["paper"] = "ABE remove ~ xi_o*N + xi_s*(alpha-1) (Table I)"
+
+
+def test_bench_id_acl_add_subject(benchmark):
+    from repro.attributes.model import AttributeSet
+    from repro.baselines.id_acl import AclObject, IdAclSystem
+    from repro.crypto.ecdsa import generate_signing_key
+    from repro.pki.profile import Profile, sign_profile
+
+    admin = generate_signing_key()
+    n = 20
+    system = IdAclSystem()
+    for i in range(n):
+        prof = sign_profile(Profile(f"o{i}", AttributeSet(type="m")), admin)
+        system.add_object(AclObject(f"o{i}", prof))
+    all_objects = set(system.objects)
+    counter = {"n": 0}
+
+    def add():
+        counter["n"] += 1
+        return system.add_subject(f"user-{counter['n']}", all_objects).overhead
+
+    overhead = benchmark(add)
+    assert overhead == n
+    benchmark.extra_info["overhead"] = overhead
+    benchmark.extra_info["paper"] = "ID-ACL add = N (Table I)"
+
+
+def test_table1_summary(benchmark):
+    """The closed-form Table I itself, at the paper's scale regime."""
+    params = ScaleParams(n=1000, alpha=9000)
+
+    result = benchmark(lambda: closed_table1(params))
+    ratios = speedups(params)
+    benchmark.extra_info["table"] = {k: list(v) for k, v in result.items()}
+    benchmark.extra_info["speedups"] = ratios
+    assert ratios["add_vs_id_acl"] == 1000
+    assert ratios["remove_vs_abe"] >= 9.9

@@ -1,0 +1,27 @@
+"""Shared benchmark fixtures.
+
+Every benchmark regenerates one table/figure of the paper and stashes
+the paper-vs-measured numbers in ``benchmark.extra_info`` so the JSON
+output doubles as the EXPERIMENTS.md data source.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import make_level_fleet
+
+
+@pytest.fixture(scope="session")
+def level1_fleet20():
+    return make_level_fleet(20, 1)
+
+
+@pytest.fixture(scope="session")
+def level2_fleet20():
+    return make_level_fleet(20, 2)
+
+
+@pytest.fixture(scope="session")
+def level3_fleet20():
+    return make_level_fleet(20, 3)

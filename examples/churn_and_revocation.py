@@ -1,0 +1,38 @@
+#!/usr/bin/env python3
+"""Table I live: updating overhead of Argus vs ID-ACL vs ABE.
+
+Builds the same department on all three systems, adds and revokes a
+subject on each, and prints the counted fan-out next to the paper's
+formulas — including ABE's attribute-level over-reach.
+
+Run:  python examples/churn_and_revocation.py
+"""
+
+from repro.analysis.scalability import ScaleParams, speedups, table1
+from repro.experiments.table1 import simulate
+
+
+def main() -> None:
+    print("closed-form Table I at the paper's §VIII regime "
+          "(N=1000, alpha=9000):")
+    params = ScaleParams(n=1000, alpha=9000)
+    for scheme, (add, remove) in table1(params).items():
+        print(f"  {scheme:14s} add={add:8.0f}   remove={remove:8.0f}")
+    ratios = speedups(params)
+    print(f"  Argus speedups: add {ratios['add_vs_id_acl']:.0f}x vs ID-ACL, "
+          f"remove {ratios['remove_vs_abe']:.1f}x vs ABE\n")
+
+    print("live systems (really pushing updates), N=40 objects, alpha=10:")
+    sim = simulate(n_objects=40, alpha=10)
+    print(f"  {'scheme':14s} {'add':>6} {'remove':>8}")
+    print(f"  {'ID-based ACL':14s} {sim.id_acl_add:>6} {sim.id_acl_remove:>8}")
+    print(f"  {'ABE':14s} {1:>6} {sim.abe_remove:>8}   "
+          f"(= N re-encryptions + {sim.abe_remove - sim.n} re-keys)")
+    print(f"  {'Argus':14s} {1:>6} {sim.argus_remove:>8}")
+    print("\nthe ABE remove column exceeds N because revoking one subject's")
+    print("attribute forces re-keying every *other* holder of that attribute")
+    print("— the xi_s(alpha-1) term of §VIII.")
+
+
+if __name__ == "__main__":
+    main()

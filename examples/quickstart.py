@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Quickstart: bootstrap a backend and discover services at all 3 levels.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Backend, discover
+
+
+def main() -> None:
+    # --- 1. The backend (the admin's server hierarchy) ---------------------
+    backend = Backend()
+
+    # A secret group connecting a sensitive subject attribute to the
+    # objects that covertly serve it (§IV-A "Secret Groups & Fellows").
+    backend.add_sensitive_policy("sensitive:needs-support", "sensitive:serves-support")
+
+    # --- 2. Register subjects (users) --------------------------------------
+    manager = backend.register_subject("alice", {"position": "manager", "department": "X"})
+    student = backend.register_subject(
+        "sam", {"position": "student", "department": "CS"},
+        sensitive_attributes=("sensitive:needs-support",),
+    )
+    visitor = backend.register_subject("eve", {"position": "visitor"})
+
+    # --- 3. Register objects (IoT devices) at the three levels -------------
+    thermometer = backend.register_object(
+        "thermo-aisle-3", {"type": "thermometer"}, level=1,
+        functions=("read_temperature",),
+    )
+    multimedia = backend.register_object(
+        "media-office-12", {"type": "multimedia", "room": "office-12"}, level=2,
+        functions=("play",),
+        variants=[
+            ("position=='manager'", ("play", "cast", "admin")),
+            ("department=='CS'", ("play",)),
+        ],
+    )
+    kiosk = backend.register_object(
+        "kiosk-library", {"type": "magazine kiosk"}, level=3,
+        functions=("dispense_magazine",),
+        variants=[("true", ("dispense_magazine",))],
+        covert_functions={"sensitive:serves-support": ("dispense_support_flyer",)},
+    )
+    fleet = [thermometer, multimedia, kiosk]
+
+    # --- 4. Discover -------------------------------------------------------
+    for user in (manager, student, visitor):
+        result = discover(user, fleet)
+        print(f"\n{user.subject_id} discovers:")
+        for service in sorted(result.services, key=lambda s: s.object_id):
+            print(
+                f"  {service.object_id:18s} level={service.level_seen} "
+                f"functions={', '.join(service.functions)}"
+            )
+    print(
+        "\nNote how the kiosk shows its covert flyer only to sam, poses as a\n"
+        "plain Level 2 magazine machine to everyone else, and the office\n"
+        "multimedia device is entirely invisible to the visitor."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Proximity in action: a user walks past three rooms, directory in hand.
+
+Argus is proximity-based: what's discoverable is what's *near*. This
+example models a corridor walk — at each position a different set of
+objects is in radio range — and shows the subject device's
+ServiceDirectory reconciling as she moves: services appear, go stale,
+and are evicted, all with real protocol rounds.
+
+Run:  python examples/walking_the_corridor.py
+"""
+
+from repro import Backend
+from repro.protocol import ServiceDirectory
+
+
+def main() -> None:
+    backend = Backend()
+    backend.add_policy("staff", "position=='staff'", "true", ("use",))
+    user = backend.register_subject("walker", {"position": "staff"})
+
+    rooms = {}
+    for room in ("lobby", "lab", "lounge"):
+        rooms[room] = [
+            backend.register_object(
+                f"{room}-light", {"type": "office light", "room": room},
+                level=1, functions=("on", "off"),
+            ),
+            backend.register_object(
+                f"{room}-media", {"type": "multimedia", "room": room},
+                level=2, functions=("play",),
+                variants=[("position=='staff'", ("play",))],
+            ),
+        ]
+
+    # Radio range ≈ the current room plus the one she's leaving.
+    walk = [
+        ("at the lobby",            rooms["lobby"]),
+        ("lobby -> lab doorway",    rooms["lobby"] + rooms["lab"]),
+        ("inside the lab",          rooms["lab"]),
+        ("lab -> lounge doorway",   rooms["lab"] + rooms["lounge"]),
+        ("in the lounge",           rooms["lounge"]),
+    ]
+
+    directory = ServiceDirectory(user, max_age=1)
+    for position, in_range in walk:
+        delta = directory.refresh(in_range)
+        visible = sorted(s.object_id for s in directory.services())
+        stale = sorted(directory.stale())
+        print(f"\n{position}:")
+        print(f"  in range : {sorted(o.object_id for o in in_range)}")
+        if delta["added"]:
+            print(f"  appeared : {sorted(delta['added'])}")
+        if delta["removed"]:
+            print(f"  evicted  : {sorted(delta['removed'])}")
+        if stale:
+            print(f"  stale    : {stale} (kept one more round)")
+        print(f"  directory: {visible}")
+
+    print("\nthe directory tracks proximity: each room's services appear as "
+          "she arrives,\nlinger one stale round, and are evicted once she's "
+          "clearly moved on.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,28 @@
+"""Post-discovery access: the command channel discovery exists to gate.
+
+§II-B defines policies with rights (``{'open'; 'close'}``) and requires
+visibility scoping to be congruent with access control. This package
+closes the loop: the PROF variant served during Argus discovery IS the
+subject's rights set, and commands ride the discovery session key.
+"""
+
+from repro.access.command import AccessError, CommandClient, CommandHandler, invoke
+from repro.access.messages import (
+    STATUS_DENIED,
+    STATUS_ERROR,
+    STATUS_OK,
+    Command,
+    Response,
+)
+
+__all__ = [
+    "AccessError",
+    "Command",
+    "CommandClient",
+    "CommandHandler",
+    "Response",
+    "STATUS_DENIED",
+    "STATUS_ERROR",
+    "STATUS_OK",
+    "invoke",
+]

@@ -1,0 +1,155 @@
+"""Command client/handler: issuing and enforcing service invocations.
+
+The visibility-scoping contract (§II-B: "subjects and their devices
+should only 'see' the services they are authorized to access") extends
+naturally to enforcement: the PROF variant the object served during
+discovery *is* the subject's rights set, so the object grants exactly
+the functions it disclosed — no second policy lookup, no TOCTOU gap
+between what was visible and what is invocable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.access.messages import (
+    STATUS_DENIED,
+    STATUS_ERROR,
+    STATUS_OK,
+    Command,
+    Response,
+    command_mac,
+    response_mac,
+)
+from repro.crypto import aead
+from repro.crypto.primitives import constant_time_equal
+from repro.protocol.errors import AuthenticationError, FreshnessError, SessionError
+from repro.protocol.object import ObjectEngine
+from repro.protocol.subject import SubjectEngine
+
+#: A service function implementation: bytes in, bytes out.
+FunctionImpl = Callable[[bytes], bytes]
+
+
+class AccessError(Exception):
+    """Raised on the client for authenticated denials / failures."""
+
+
+class CommandClient:
+    """Subject-side invocation over a discovered session."""
+
+    def __init__(self, engine: SubjectEngine) -> None:
+        self.engine = engine
+
+    def can_invoke(self, object_id: str, function: str) -> bool:
+        session = self.engine.established.get(object_id)
+        return session is not None and function in session.functions
+
+    def build_command(self, object_id: str, function: str, args: bytes = b"") -> Command:
+        """Build an authenticated CMD for *function* on *object_id*.
+
+        Raises :class:`SessionError` if the object was never discovered —
+        you cannot command what you cannot see.
+        """
+        session = self.engine.established.get(object_id)
+        if session is None:
+            raise SessionError(f"no established session with {object_id!r}")
+        session.last_seq += 1
+        seq = session.last_seq
+        ciphertext = aead.encrypt(session.key, args)
+        mac = command_mac(session.key, seq, function, ciphertext)
+        return Command(seq, function, ciphertext, mac)
+
+    def parse_response(self, object_id: str, response: Response) -> bytes:
+        """Verify and decrypt the object's reply; raise on denial/error."""
+        session = self.engine.established.get(object_id)
+        if session is None:
+            raise SessionError(f"no established session with {object_id!r}")
+        expected = response_mac(session.key, response.seq, response.status, response.ciphertext)
+        if not constant_time_equal(expected, response.mac):
+            raise AuthenticationError(f"bad response MAC from {object_id!r}")
+        plaintext = aead.decrypt(session.key, response.ciphertext)
+        if response.status == STATUS_DENIED:
+            raise AccessError(f"{object_id!r} denied: {plaintext.decode(errors='replace')}")
+        if response.status == STATUS_ERROR:
+            raise AccessError(f"{object_id!r} errored: {plaintext.decode(errors='replace')}")
+        return plaintext
+
+
+@dataclass
+class CommandHandler:
+    """Object-side enforcement: only disclosed functions execute."""
+
+    engine: ObjectEngine
+    implementations: dict[str, FunctionImpl] = field(default_factory=dict)
+    errors: list[Exception] = field(default_factory=list)
+
+    def register(self, function: str, impl: FunctionImpl) -> None:
+        self.implementations[function] = impl
+
+    def handle(self, command: Command, subject_id: str) -> Response | None:
+        """Process a CMD; None means silence (unauthenticated traffic).
+
+        ``subject_id`` may be a transport-level peer id; it is resolved
+        to the authenticated identity established during discovery.
+        """
+        subject_id = self.engine.peer_identity.get(subject_id, subject_id)
+        session = self.engine.established.get(subject_id)
+        if session is None:
+            self.errors.append(SessionError(f"CMD from undiscovered {subject_id!r}"))
+            return None
+
+        expected = command_mac(session.key, command.seq, command.function, command.ciphertext)
+        if not constant_time_equal(expected, command.mac):
+            self.errors.append(AuthenticationError(f"bad CMD MAC from {subject_id!r}"))
+            return None
+
+        if command.seq <= session.last_seq:
+            self.errors.append(FreshnessError(
+                f"replayed CMD seq {command.seq} <= {session.last_seq} from {subject_id!r}"
+            ))
+            return None
+        session.last_seq = command.seq
+
+        try:
+            args = aead.decrypt(session.key, command.ciphertext)
+        except aead.AeadError as exc:
+            self.errors.append(AuthenticationError(str(exc)))
+            return None
+
+        # Rights = exactly what the served PROF variant disclosed.
+        if command.function not in session.functions:
+            return self._respond(session.key, command.seq, STATUS_DENIED,
+                                 b"function not granted by your variant")
+        impl = self.implementations.get(command.function)
+        if impl is None:
+            return self._respond(session.key, command.seq, STATUS_ERROR,
+                                 b"function not implemented")
+        try:
+            result = impl(args)
+        except Exception as exc:  # noqa: BLE001 - device fault isolation
+            return self._respond(session.key, command.seq, STATUS_ERROR,
+                                 f"device fault: {exc}".encode())
+        return self._respond(session.key, command.seq, STATUS_OK, result)
+
+    @staticmethod
+    def _respond(key: bytes, seq: int, status: int, payload: bytes) -> Response:
+        ciphertext = aead.encrypt(key, payload)
+        return Response(seq, status, ciphertext,
+                        response_mac(key, seq, status, ciphertext))
+
+
+def invoke(
+    client: CommandClient,
+    handler: CommandHandler,
+    object_id: str,
+    function: str,
+    args: bytes = b"",
+) -> bytes:
+    """In-memory end-to-end invocation (tests/examples convenience)."""
+    command = client.build_command(object_id, function, args)
+    response = handler.handle(command, client.engine.creds.subject_id)
+    if response is None:
+        raise AccessError(f"{object_id!r} stayed silent")
+    return client.parse_response(object_id, response)

@@ -1,0 +1,131 @@
+"""Command-channel wire messages (post-discovery access).
+
+After Argus discovery, subject and object share an authenticated session
+key and the subject knows exactly which functions her served PROF
+variant grants (§II-B rights). The command channel rides that key:
+
+    CMD := type(1) || seq(8) || len(fn)(2) || fn || len(ct)(4) || ct || MAC(32)
+    RSP := type(1) || seq(8) || status(1)   || len(ct)(4) || ct || MAC(32)
+
+* ``seq`` is strictly increasing per session (anti-replay).
+* ``ct`` is the AEAD-encrypted argument/result payload.
+* ``MAC = HMAC(session_key, label || seq || fn/status || ct)`` with
+  distinct labels per direction.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.crypto.primitives import MAC_LEN, hmac_sha256
+from repro.protocol.errors import MessageFormatError
+
+TYPE_CMD = 0x10
+TYPE_RSP = 0x11
+
+STATUS_OK = 0
+STATUS_DENIED = 1
+STATUS_ERROR = 2
+
+_CMD_LABEL = b"argus command"
+_RSP_LABEL = b"argus response"
+
+
+def command_mac(session_key: bytes, seq: int, function: str, ciphertext: bytes) -> bytes:
+    return hmac_sha256(
+        session_key,
+        _CMD_LABEL + seq.to_bytes(8, "big") + function.encode() + ciphertext,
+    )
+
+
+def response_mac(session_key: bytes, seq: int, status: int, ciphertext: bytes) -> bytes:
+    return hmac_sha256(
+        session_key,
+        _RSP_LABEL + seq.to_bytes(8, "big") + bytes([status]) + ciphertext,
+    )
+
+
+@dataclass(frozen=True)
+class Command:
+    """An authenticated, encrypted service invocation."""
+
+    seq: int
+    function: str
+    ciphertext: bytes
+    mac: bytes
+
+    def __post_init__(self) -> None:
+        if len(self.mac) != MAC_LEN:
+            raise MessageFormatError(f"command MAC must be {MAC_LEN} bytes")
+        if self.seq < 1:
+            raise MessageFormatError("sequence numbers start at 1")
+
+    def to_bytes(self) -> bytes:
+        fn = self.function.encode()
+        return (
+            bytes([TYPE_CMD])
+            + struct.pack(">Q", self.seq)
+            + struct.pack(">H", len(fn)) + fn
+            + struct.pack(">I", len(self.ciphertext)) + self.ciphertext
+            + self.mac
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Command":
+        try:
+            if data[0] != TYPE_CMD:
+                raise MessageFormatError("not a CMD")
+            (seq,) = struct.unpack_from(">Q", data, 1)
+            (fn_len,) = struct.unpack_from(">H", data, 9)
+            offset = 11
+            function = data[offset : offset + fn_len].decode()
+            offset += fn_len
+            (ct_len,) = struct.unpack_from(">I", data, offset)
+            offset += 4
+            ciphertext = data[offset : offset + ct_len]
+            offset += ct_len
+            mac = data[offset:]
+        except (IndexError, struct.error, UnicodeDecodeError) as exc:
+            raise MessageFormatError(f"malformed CMD: {exc}") from exc
+        return cls(seq, function, ciphertext, mac)
+
+
+@dataclass(frozen=True)
+class Response:
+    """The object's authenticated reply."""
+
+    seq: int
+    status: int
+    ciphertext: bytes
+    mac: bytes
+
+    def __post_init__(self) -> None:
+        if len(self.mac) != MAC_LEN:
+            raise MessageFormatError(f"response MAC must be {MAC_LEN} bytes")
+        if self.status not in (STATUS_OK, STATUS_DENIED, STATUS_ERROR):
+            raise MessageFormatError(f"unknown status {self.status}")
+
+    def to_bytes(self) -> bytes:
+        return (
+            bytes([TYPE_RSP])
+            + struct.pack(">Q", self.seq)
+            + bytes([self.status])
+            + struct.pack(">I", len(self.ciphertext)) + self.ciphertext
+            + self.mac
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Response":
+        try:
+            if data[0] != TYPE_RSP:
+                raise MessageFormatError("not a RSP")
+            (seq,) = struct.unpack_from(">Q", data, 1)
+            status = data[9]
+            (ct_len,) = struct.unpack_from(">I", data, 10)
+            offset = 14
+            ciphertext = data[offset : offset + ct_len]
+            mac = data[offset + ct_len:]
+        except (IndexError, struct.error) as exc:
+            raise MessageFormatError(f"malformed RSP: {exc}") from exc
+        return cls(seq, status, ciphertext, mac)

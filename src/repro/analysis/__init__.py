@@ -1,0 +1,26 @@
+"""Analysis: closed-form scalability (Table I), message-overhead
+accounting (§IX-A), and the analytic discovery-time model."""
+
+from repro.analysis.scalability import ScaleParams, speedups, table1
+from repro.analysis.overhead import exchange_totals, paper_accounting
+from repro.analysis.timing_model import (
+    TimeBreakdown,
+    headline_computation_ms,
+    predict_single_object,
+)
+from repro.analysis.visibility import AuditReport, VisibilityMatrix, audit, compute_matrix
+
+__all__ = [
+    "AuditReport",
+    "ScaleParams",
+    "TimeBreakdown",
+    "VisibilityMatrix",
+    "audit",
+    "compute_matrix",
+    "exchange_totals",
+    "headline_computation_ms",
+    "paper_accounting",
+    "predict_single_object",
+    "speedups",
+    "table1",
+]

@@ -1,0 +1,119 @@
+"""Updating-overhead analysis — Table I and §VIII's claims.
+
+Two complementary views:
+
+* **closed-form** — the paper's formulas as functions of (N, alpha,
+  xi_o, xi_s): Table I rows for add/remove a subject under ID-ACL, ABE
+  and Argus, and the derived speedup ratios ("up to 1000x", "up to
+  10x").
+* **simulated** — drive the three *real* systems
+  (:mod:`repro.backend.updates`, :mod:`repro.baselines`) over a synthetic
+  enterprise and count the updates that actually happened; the
+  scalability benchmark asserts the two views agree.
+
+The sweep helpers are vectorized with numpy since Table I benchmarks
+sweep N and alpha over orders of magnitude.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ScaleParams:
+    """§II-C quantities a Table I row is evaluated at."""
+
+    n: int            # objects one subject can access (N: 10^2–10^3)
+    alpha: int        # subjects in the revoked subject's category
+    xi_o: float = 1.0  # ABE over-reach factor on objects (>= 1)
+    xi_s: float = 1.0  # ABE over-reach factor on subjects (>= 1)
+
+    def __post_init__(self) -> None:
+        if self.n < 0 or self.alpha < 1:
+            raise ValueError("need n >= 0 and alpha >= 1")
+        if self.xi_o < 1 or self.xi_s < 1:
+            raise ValueError("xi factors are >= 1 by definition (§VIII)")
+
+
+# -- closed-form Table I ---------------------------------------------------------
+
+
+def id_acl_add(p: ScaleParams) -> float:
+    """ID-ACL: a newcomer's ID must reach all N of her objects."""
+    return float(p.n)
+
+
+def id_acl_remove(p: ScaleParams) -> float:
+    return float(p.n)
+
+
+def abe_add(p: ScaleParams) -> float:
+    """ABE: the newcomer just fetches her keys."""
+    return 1.0
+
+
+def abe_remove(p: ScaleParams) -> float:
+    """ABE: xi_o * N re-encryptions + xi_s * (alpha - 1) re-keys ≈ 10N."""
+    return p.xi_o * p.n + p.xi_s * (p.alpha - 1)
+
+
+def argus_add(p: ScaleParams) -> float:
+    """Argus: the newcomer just fetches her attribute profile."""
+    return 1.0
+
+
+def argus_remove(p: ScaleParams) -> float:
+    """Argus: push the revoked ID to her N objects."""
+    return float(p.n)
+
+
+def level3_remove(gamma: int) -> int:
+    """Argus Level 3: rekey the remaining fellows (gamma - 1)."""
+    if gamma < 1:
+        raise ValueError("a group has at least one member")
+    return gamma - 1
+
+
+TABLE1_ROWS = {
+    "ID-based ACL": (id_acl_add, id_acl_remove),
+    "ABE": (abe_add, abe_remove),
+    "Argus": (argus_add, argus_remove),
+}
+
+
+def table1(p: ScaleParams) -> dict[str, tuple[float, float]]:
+    """Table I at one parameter point: scheme -> (add, remove)."""
+    return {name: (add(p), rmv(p)) for name, (add, rmv) in TABLE1_ROWS.items()}
+
+
+def speedups(p: ScaleParams) -> dict[str, float]:
+    """The §VIII headline ratios at one parameter point."""
+    return {
+        "add_vs_id_acl": id_acl_add(p) / argus_add(p),
+        "remove_vs_abe": abe_remove(p) / argus_remove(p),
+    }
+
+
+# -- vectorized sweeps ---------------------------------------------------------------
+
+
+def sweep_add_overhead(n_values: np.ndarray) -> dict[str, np.ndarray]:
+    """Add-a-subject overhead vs N for all three schemes."""
+    n = np.asarray(n_values, dtype=float)
+    ones = np.ones_like(n)
+    return {"ID-based ACL": n, "ABE": ones, "Argus": ones.copy()}
+
+
+def sweep_remove_overhead(
+    n_values: np.ndarray, alpha: int, xi_o: float = 1.0, xi_s: float = 1.0
+) -> dict[str, np.ndarray]:
+    """Remove-a-subject overhead vs N for all three schemes."""
+    n = np.asarray(n_values, dtype=float)
+    return {
+        "ID-based ACL": n,
+        "ABE": xi_o * n + xi_s * (alpha - 1),
+        "Argus": n.copy(),
+    }

@@ -1,0 +1,98 @@
+"""Closed-form discovery-time predictions (sanity-check for the simulator).
+
+Fig. 6(f) decomposes a discovery into computation + transmission; this
+module predicts both from the cost tables and link model, giving an
+analytic cross-check the simulator tests compare against (they must
+agree within pipeline effects).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.costmodel import NEXUS6, RASPBERRY_PI3, DeviceProfile
+from repro.net.radio import DEFAULT_WIFI, LinkModel
+from repro.protocol import messages
+
+
+@dataclass(frozen=True)
+class TimeBreakdown:
+    """Seconds of computation vs transmission for one discovery."""
+
+    computation_s: float
+    transmission_s: float
+
+    @property
+    def total_s(self) -> float:
+        return self.computation_s + self.transmission_s
+
+    @property
+    def transmission_fraction(self) -> float:
+        return self.transmission_s / self.total_s if self.total_s else 0.0
+
+
+def level1_computation_ms(
+    subject: DeviceProfile = NEXUS6, strength: int = 128
+) -> float:
+    """Level 1: the subject verifies one PROF signature (5.1 ms)."""
+    return subject.op_cost_ms("ecdsa_verify", strength)
+
+
+def level23_computation_ms(
+    profile: DeviceProfile, strength: int = 128
+) -> float:
+    """Level 2/3 per side: 1 sign + 3 verifies + 2 ECDH (§IX-B)."""
+    return (
+        profile.op_cost_ms("ecdsa_sign", strength)
+        + 3 * profile.op_cost_ms("ecdsa_verify", strength)
+        + profile.op_cost_ms("ecdh_gen", strength)
+        + profile.op_cost_ms("ecdh_derive", strength)
+    )
+
+
+def _message_time(size: int, hops: int, link: LinkModel) -> float:
+    return hops * (link.access_delay_s + link.occupancy(size))
+
+
+def predict_single_object(
+    level: int,
+    hops: int = 1,
+    link: LinkModel = DEFAULT_WIFI,
+    subject: DeviceProfile = NEXUS6,
+    obj: DeviceProfile = RASPBERRY_PI3,
+    strength: int = 128,
+) -> TimeBreakdown:
+    """Predicted discovery time of one object at a given hop distance.
+
+    This is the Fig. 6(h) model: computation is hop-independent,
+    transmission grows linearly with hops.
+    """
+    if level == 1:
+        comp = (level1_computation_ms(subject, strength) + subject.per_message_ms
+                + obj.per_message_ms) / 1000.0
+        txn = _message_time(messages.Que1.nominal_size(), hops, link) + _message_time(
+            messages.Res1Level1.nominal_size(), hops, link
+        )
+        return TimeBreakdown(comp, txn)
+    if level in (2, 3):
+        comp = (
+            level23_computation_ms(subject, strength)
+            + level23_computation_ms(obj, strength)
+            + 2 * subject.per_message_ms
+            + 2 * obj.per_message_ms
+        ) / 1000.0
+        txn = (
+            _message_time(messages.Que1.nominal_size(), hops, link)
+            + _message_time(messages.Res1.nominal_size(), hops, link)
+            + _message_time(messages.Que2.nominal_size(), hops, link)
+            + _message_time(messages.Res2.nominal_size(), hops, link)
+        )
+        return TimeBreakdown(comp, txn)
+    raise ValueError(f"level must be 1, 2 or 3, got {level}")
+
+
+def headline_computation_ms(strength: int = 128) -> float:
+    """The §IX claim: 'Argus needs only 105 ms' (subject + object)."""
+    return level23_computation_ms(NEXUS6, strength) + level23_computation_ms(
+        RASPBERRY_PI3, strength
+    )

@@ -1,0 +1,155 @@
+"""Static visibility audit: who can see what, before any packet flies.
+
+§II-B requires visibility scoping to be *congruent* with access control.
+This module computes, from the backend database alone, the full
+subject × object visibility relation, and audits it for the mistakes an
+enterprise admin actually makes:
+
+* **over-exposure** — objects visible to more than a threshold fraction
+  of subjects (a "safe" that everyone can see);
+* **orphaned objects** — Level 2/3 objects no registered subject can
+  see (dead policies);
+* **orphaned policies** — policies matching no subjects or no objects;
+* **unreachable covert services** — secret groups with object members
+  but no subject members (or vice versa).
+
+The computation is vectorized with numpy over the predicate match
+matrices, since enterprise databases are 10^4 × 10^3-scale (§II-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.backend.database import BackendDatabase
+from repro.backend.groups import GroupManager
+
+
+@dataclass
+class VisibilityMatrix:
+    """Dense boolean subject × object visibility relation."""
+
+    subject_ids: list[str]
+    object_ids: list[str]
+    visible: np.ndarray  # bool, shape (n_subjects, n_objects)
+
+    def can_see(self, subject_id: str, object_id: str) -> bool:
+        i = self.subject_ids.index(subject_id)
+        j = self.object_ids.index(object_id)
+        return bool(self.visible[i, j])
+
+    def objects_visible_to(self, subject_id: str) -> list[str]:
+        i = self.subject_ids.index(subject_id)
+        return [oid for j, oid in enumerate(self.object_ids) if self.visible[i, j]]
+
+    def audience_of(self, object_id: str) -> list[str]:
+        j = self.object_ids.index(object_id)
+        return [sid for i, sid in enumerate(self.subject_ids) if self.visible[i, j]]
+
+    @property
+    def exposure(self) -> np.ndarray:
+        """Per-object fraction of subjects that can see it."""
+        if not self.subject_ids:
+            return np.zeros(len(self.object_ids))
+        return self.visible.mean(axis=0)
+
+    @property
+    def mean_n(self) -> float:
+        """Average N (objects per subject) — the §II-C quantity."""
+        if not self.subject_ids:
+            return 0.0
+        return float(self.visible.sum(axis=1).mean())
+
+
+def compute_matrix(db: BackendDatabase) -> VisibilityMatrix:
+    """Evaluate every policy's predicates over every subject/object.
+
+    A Level 1 object is visible to everyone; a Level 2/3 object is
+    visible to a subject iff some policy matches both.
+    """
+    subject_ids = sorted(db.subjects)
+    object_ids = sorted(db.objects)
+    n_s, n_o = len(subject_ids), len(object_ids)
+    visible = np.zeros((n_s, n_o), dtype=bool)
+
+    levels = np.array([db.objects[oid].level for oid in object_ids])
+    visible[:, levels == 1] = True
+
+    subject_attrs = [db.subjects[sid].attributes for sid in subject_ids]
+    object_attrs = [db.objects[oid].attributes for oid in object_ids]
+    for policy in db.policies.values():
+        s_mask = np.fromiter(
+            (policy.subject_pred.evaluate(a) for a in subject_attrs),
+            dtype=bool, count=n_s,
+        )
+        o_mask = np.fromiter(
+            (policy.object_pred.evaluate(a) for a in object_attrs),
+            dtype=bool, count=n_o,
+        )
+        o_mask &= levels != 1  # Level 1 is already universally visible
+        visible |= np.outer(s_mask, o_mask)
+    return VisibilityMatrix(subject_ids, object_ids, visible)
+
+
+@dataclass
+class AuditReport:
+    over_exposed: list[tuple[str, float]] = field(default_factory=list)
+    orphaned_objects: list[str] = field(default_factory=list)
+    orphaned_policies: list[str] = field(default_factory=list)
+    half_empty_groups: list[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not (
+            self.over_exposed or self.orphaned_objects
+            or self.orphaned_policies or self.half_empty_groups
+        )
+
+    def render(self) -> str:
+        lines = ["visibility audit", "================"]
+        if self.clean:
+            lines.append("no findings — scoping is congruent and live.")
+            return "\n".join(lines)
+        for object_id, fraction in self.over_exposed:
+            lines.append(f"OVER-EXPOSED   {object_id}: visible to {fraction:.0%} of subjects")
+        for object_id in self.orphaned_objects:
+            lines.append(f"ORPHANED OBJ   {object_id}: no subject can discover it")
+        for policy_id in self.orphaned_policies:
+            lines.append(f"ORPHANED POL   {policy_id}: matches no subjects or no objects")
+        for group_id in self.half_empty_groups:
+            lines.append(f"HALF GROUP     {group_id}: members on only one side")
+        return "\n".join(lines)
+
+
+def audit(
+    db: BackendDatabase,
+    groups: GroupManager | None = None,
+    exposure_threshold: float = 0.9,
+) -> AuditReport:
+    """Run every check; thresholds tuned for Level 2/3 objects."""
+    matrix = compute_matrix(db)
+    report = AuditReport()
+
+    levels = {oid: db.objects[oid].level for oid in matrix.object_ids}
+    exposure = matrix.exposure
+    for j, object_id in enumerate(matrix.object_ids):
+        if levels[object_id] == 1:
+            continue
+        if exposure[j] >= exposure_threshold:
+            report.over_exposed.append((object_id, float(exposure[j])))
+        if exposure[j] == 0.0:
+            report.orphaned_objects.append(object_id)
+
+    for policy in db.policies.values():
+        if not db.subjects_matching(policy.subject_pred) or not db.objects_matching(
+            policy.object_pred
+        ):
+            report.orphaned_policies.append(policy.policy_id)
+
+    if groups is not None:
+        for group in groups.groups.values():
+            if bool(group.subject_members) != bool(group.object_members):
+                report.half_empty_groups.append(group.group_id)
+    return report

@@ -1,0 +1,45 @@
+"""The attack harness: every §VII case as executable code.
+
+* :mod:`repro.attacks.channel` — recording/tampering in-memory channel.
+* :mod:`repro.attacks.eavesdropper` — passive Cases 1/3/5/7.
+* :mod:`repro.attacks.impostor` — active Cases 2/4/6/8 (including the
+  Case 8 "elimination trick" insider probe).
+* :mod:`repro.attacks.replay` — freshness attacks.
+* :mod:`repro.attacks.distinguisher` — structural v2.0-vs-v3.0
+  distinguishers (the §VI-B motivation).
+* :mod:`repro.attacks.timing` — Case 9 timing side channel.
+* :mod:`repro.attacks.compromise` — §VII-D blast-radius scenarios.
+"""
+
+from repro.attacks.channel import CapturedExchange, run_exchange
+from repro.attacks.distinguisher import (
+    classify_subject,
+    res2_length_spread,
+    subject_advantage,
+)
+from repro.attacks.eavesdropper import Eavesdropper
+from repro.attacks.impostor import (
+    EliminationProbe,
+    ObjectImpostor,
+    SubjectImpostor,
+    forge_subject_credentials,
+)
+from repro.attacks.replay import ReplayResult, replay_attack
+from repro.attacks.timing import TimingObservations, collect_observations
+
+__all__ = [
+    "CapturedExchange",
+    "Eavesdropper",
+    "EliminationProbe",
+    "ObjectImpostor",
+    "ReplayResult",
+    "SubjectImpostor",
+    "TimingObservations",
+    "classify_subject",
+    "collect_observations",
+    "forge_subject_credentials",
+    "replay_attack",
+    "res2_length_spread",
+    "run_exchange",
+    "subject_advantage",
+]

@@ -1,0 +1,85 @@
+"""Attack-harness plumbing: a recording, tamperable in-memory channel.
+
+Runs the Argus exchange between real engines while (a) recording every
+message exactly as an eavesdropper would see it, and (b) letting an
+active attacker replace any message in flight. Every §VII case is a test
+built on this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.protocol.messages import Que1, Que2, Res1, Res1Level1, Res2
+from repro.protocol.object import ObjectEngine
+from repro.protocol.subject import SubjectEngine
+
+#: A tamper hook: (message_name, message) -> replacement message (or the
+#: original, to pass it through unchanged).
+Tamper = Callable[[str, object], object]
+
+
+@dataclass
+class CapturedExchange:
+    """Everything visible on the air during one discovery handshake."""
+
+    que1: Que1 | None = None
+    res1: Res1 | Res1Level1 | None = None
+    que2: Que2 | None = None
+    res2: Res2 | None = None
+    #: What the subject concluded (DiscoveredService or None).
+    outcome: object = None
+    notes: list[str] = field(default_factory=list)
+
+    def wire_bytes(self) -> dict[str, bytes]:
+        """The raw captured frames (an eavesdropper's transcript)."""
+        out = {}
+        for name in ("que1", "res1", "que2", "res2"):
+            message = getattr(self, name)
+            if message is not None:
+                out[name] = message.to_bytes()
+        return out
+
+
+def run_exchange(
+    subject: SubjectEngine,
+    obj: ObjectEngine,
+    tamper: Tamper | None = None,
+    group_id: str | None = None,
+) -> CapturedExchange:
+    """One full discovery exchange through the recording channel."""
+    passthrough: Tamper = tamper or (lambda _name, message: message)
+    capture = CapturedExchange()
+    peer_s = subject.creds.subject_id
+    peer_o = obj.creds.object_id
+
+    que1 = passthrough("que1", subject.start_round(group_id))
+    capture.que1 = que1
+    res1 = obj.handle_que1(que1, peer_s)
+    if res1 is None:
+        capture.notes.append("object stayed silent after QUE1")
+        return capture
+    res1 = passthrough("res1", res1)
+    capture.res1 = res1
+
+    if isinstance(res1, Res1Level1):
+        capture.outcome = subject.handle_res1_level1(res1, peer_o)
+        return capture
+
+    que2 = subject.handle_res1(res1, peer_o)
+    if que2 is None:
+        capture.notes.append("subject aborted after RES1")
+        return capture
+    que2 = passthrough("que2", que2)
+    capture.que2 = que2
+
+    res2 = obj.handle_que2(que2, peer_s)
+    if res2 is None:
+        capture.notes.append("object stayed silent after QUE2")
+        return capture
+    res2 = passthrough("res2", res2)
+    capture.res2 = res2
+
+    capture.outcome = subject.handle_res2(res2, peer_o)
+    return capture

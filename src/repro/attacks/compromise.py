@@ -1,0 +1,92 @@
+"""Key-compromise consequence analysis (§VII-D).
+
+"If a session key is compromised, only that session's content will be
+exposed; if a private key is compromised, only that entity will be
+impersonated. If a private key and a group key are both compromised,
+attackers may find out members in that one secret group only, by
+interacting with them one by one."
+
+These scenario runners hand the attacker progressively more key material
+and report exactly what each tier unlocked; the tests assert the blast
+radius is bounded as claimed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.attacks.channel import run_exchange
+from repro.attacks.eavesdropper import Eavesdropper
+from repro.backend.registration import Backend, SubjectCredentials
+from repro.protocol.object import ObjectEngine
+from repro.protocol.subject import SubjectEngine
+from repro.protocol.versions import Version
+
+
+@dataclass
+class CompromiseFindings:
+    """What the attacker managed with a given key tier."""
+
+    decrypted_sessions: list[str] = field(default_factory=list)
+    impersonated: list[str] = field(default_factory=list)
+    identified_fellows: list[str] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+
+def probe_fellows_with_stolen_keys(
+    backend: Backend,
+    stolen_creds: SubjectCredentials,
+    stolen_group_id: str,
+    object_engines: dict[str, ObjectEngine],
+) -> CompromiseFindings:
+    """Private key + one group key compromised: enumerate that group.
+
+    The attacker interacts with every object, doing honest Level 3
+    discovery with the stolen key. Objects answering with MAC_{O,3} are
+    revealed as fellows of the *stolen* group — and only those; other
+    secret groups stay dark.
+    """
+    findings = CompromiseFindings()
+    for object_id, engine in object_engines.items():
+        attacker = SubjectEngine(stolen_creds, Version.V3_0)
+        capture = run_exchange(attacker, engine, group_id=stolen_group_id)
+        if capture.outcome is not None and capture.outcome.level_seen == 3:
+            findings.identified_fellows.append(object_id)
+    findings.notes.append(
+        f"probed {len(object_engines)} objects one by one; "
+        f"{len(findings.identified_fellows)} fellows of {stolen_group_id!r} exposed"
+    )
+    return findings
+
+
+def session_key_blast_radius(
+    subject: SubjectEngine,
+    objects: dict[str, ObjectEngine],
+    leak_object_id: str,
+) -> CompromiseFindings:
+    """Session key of ONE session leaked: only that session's PROF opens.
+
+    Runs one exchange per object; leaks the session key of the exchange
+    with *leak_object_id* (simulated by handing the eavesdropper the true
+    K2 of that session); asserts the same key opens nothing else.
+    """
+    findings = CompromiseFindings()
+    captures = {}
+    k2: bytes | None = None
+    for object_id, engine in objects.items():
+        captures[object_id] = run_exchange(subject, engine)
+        if object_id == leak_object_id:
+            # White-box leak: grab that session's K2 before the next
+            # round's start_round() clears the session table.
+            session = subject._sessions.get(object_id)
+            if session is not None:
+                k2 = session.keys.k2
+    if k2 is None:
+        findings.notes.append("leak target session failed; nothing to leak")
+        return findings
+
+    for object_id, capture in captures.items():
+        profile = Eavesdropper.try_decrypt_res2(capture, k2)
+        if profile is not None:
+            findings.decrypted_sessions.append(object_id)
+    return findings

@@ -1,0 +1,72 @@
+"""Structural distinguishers (§VI-B, §VII Case 7/8).
+
+A passive attacker who cannot break any crypto can still look at message
+*shapes*: does QUE2 carry the optional MAC_{S,3}? Do RES2 ciphertexts
+from one object vary in length? These are exactly the leaks v2.0 has and
+v3.0 closes, so the distinguisher quantifies the difference: its
+advantage over random guessing should be large against v2.0 traffic and
+zero against v3.0 traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.attacks.channel import CapturedExchange
+
+
+@dataclass
+class DistinguisherVerdict:
+    """The attacker's guess about one exchange."""
+
+    subject_seeking_level3: bool | None  # None = cannot tell
+    evidence: str
+
+
+def classify_subject(capture: CapturedExchange) -> DistinguisherVerdict:
+    """Guess whether the subject is performing Level 3 discovery.
+
+    The only structural signal is MAC_{S,3}'s presence. Under v3.0 it is
+    always present (cover-up keys), so the verdict degenerates to "yes
+    for everyone" — zero advantage.
+    """
+    if capture.que2 is None:
+        return DistinguisherVerdict(None, "no QUE2 captured")
+    if capture.que2.mac_s3 is not None:
+        return DistinguisherVerdict(True, "QUE2 carries MAC_S3")
+    return DistinguisherVerdict(False, "QUE2 lacks MAC_S3")
+
+
+def subject_advantage(
+    level3_captures: list[CapturedExchange],
+    level2_captures: list[CapturedExchange],
+) -> float:
+    """Distinguishing advantage over random guessing in [0, 1].
+
+    1.0 = the structural feature separates the populations perfectly
+    (v2.0); 0.0 = the feature carries no information (v3.0).
+    """
+    if not level3_captures or not level2_captures:
+        raise ValueError("need captures from both populations")
+    p3 = sum(
+        1 for c in level3_captures if classify_subject(c).subject_seeking_level3
+    ) / len(level3_captures)
+    p2 = sum(
+        1 for c in level2_captures if classify_subject(c).subject_seeking_level3
+    ) / len(level2_captures)
+    return abs(p3 - p2)
+
+
+def res2_length_spread(captures: list[CapturedExchange]) -> int:
+    """Max - min RES2 ciphertext length across captures from one object.
+
+    A Level 3 object serving differently-sized variants leaks level via
+    length unless v3.0's constant-padding is active; spread must be 0
+    under v3.0.
+    """
+    lengths = [
+        len(c.res2.ciphertext) for c in captures if c.res2 is not None
+    ]
+    if not lengths:
+        raise ValueError("no RES2s captured")
+    return max(lengths) - min(lengths)

@@ -1,0 +1,104 @@
+"""Passive attacks (§VII Cases 1, 3, 5, 7).
+
+The eavesdropper sees every byte on the air and may hold *some* keys
+(external attacker: none; internal: her own private key; compromised:
+session or group keys). Each method returns what the attack yields, so
+tests assert exactly the §VII claims: nothing without the required keys,
+and with them, only the bounded §VII-D blast radius.
+"""
+
+from __future__ import annotations
+
+from repro.attacks.channel import CapturedExchange
+from repro.crypto import aead, kdf
+from repro.crypto.primitives import constant_time_equal
+from repro.pki.profile import Profile, ProfileError
+
+
+class Eavesdropper:
+    """A passive observer of captured exchanges."""
+
+    def __init__(self) -> None:
+        self.captures: list[CapturedExchange] = []
+
+    def observe(self, capture: CapturedExchange) -> None:
+        self.captures.append(capture)
+
+    # -- Case 1/3: service information secrecy -----------------------------------
+
+    @staticmethod
+    def try_decrypt_res2(capture: CapturedExchange, session_key: bytes) -> Profile | None:
+        """Attempt to read PROF_O from RES2 with a guessed session key.
+
+        Succeeds only with the true K2/K3 — which is what "compromising
+        the session key exposes only that session" (§VII-D) means.
+        """
+        if capture.res2 is None:
+            return None
+        try:
+            plaintext = aead.decrypt(session_key, capture.res2.ciphertext)
+        except aead.AeadError:
+            return None
+        if len(plaintext) < 4:
+            return None
+        length = int.from_bytes(plaintext[:4], "big")
+        if 4 + length > len(plaintext):
+            return None
+        try:
+            return Profile.from_bytes(plaintext[4 : 4 + length])
+        except ProfileError:
+            return None
+
+    # -- Case 5: sensitive attribute secrecy -----------------------------------------
+
+    @staticmethod
+    def test_group_membership(
+        capture: CapturedExchange, k2_guess: bytes, group_key_guess: bytes
+    ) -> bool:
+        """Check whether MAC_{S,3} was generated under a guessed group key.
+
+        Per §VII Case 5 this requires BOTH K2 and the group key; with
+        either missing the check cannot distinguish a member from a
+        cover-up key user. The attacker cannot recompute the transcript
+        hash input either — we model the strongest passive attacker by
+        letting her reconstruct it from captured frames.
+        """
+        if capture.que2 is None or capture.que2.mac_s3 is None or capture.res1 is None:
+            return False
+        if capture.que1 is None:
+            return False
+        r_s = capture.que1.r_s
+        r_o = getattr(capture.res1, "r_o", None)
+        if r_o is None:
+            return False
+        k3_guess = kdf.derive_k3(k2_guess, group_key_guess, r_s, r_o)
+        transcript = (
+            capture.que1.to_bytes()
+            + capture.res1.to_bytes()
+            + capture.que2.signed_portion()
+            + capture.que2.signature
+        )
+        expected = kdf.subject_finished(k3_guess, transcript)
+        return constant_time_equal(expected, capture.que2.mac_s3)
+
+    # -- Case 7: indistinguishability -------------------------------------------------
+
+    @staticmethod
+    def que2_structure(capture: CapturedExchange) -> dict[str, object]:
+        """Structural features of QUE2 a passive attacker can extract."""
+        if capture.que2 is None:
+            return {}
+        return {
+            "has_mac_s3": capture.que2.mac_s3 is not None,
+            "length": len(capture.que2.to_bytes()),
+        }
+
+    @staticmethod
+    def res2_structure(capture: CapturedExchange) -> dict[str, object]:
+        """Structural features of RES2 a passive attacker can extract."""
+        if capture.res2 is None:
+            return {}
+        return {
+            "ciphertext_length": len(capture.res2.ciphertext),
+            "total_length": len(capture.res2.to_bytes()),
+        }

@@ -1,0 +1,140 @@
+"""Active impersonation attacks (§VII Cases 2, 4, 6, 8).
+
+* :class:`SubjectImpostor` — no registered private key: fabricates a
+  self-signed certificate chain and tries the full handshake. Must fail
+  at the object's chain verification.
+* :class:`ObjectImpostor` — tries to serve a *fake* PROF to a subject,
+  either with a bogus chain (fails at the subject) or with a stolen
+  valid chain but no matching private key (fails at the RES1 signature).
+* :class:`EliminationProbe` — the Case 8 internal attacker: she holds a
+  *valid* subject credential but no group key, and tries the
+  "elimination trick": verify RES2's MAC as MAC_{O,2}; if it is not,
+  conclude the object is Level 3. Argus's double-faced role means she
+  always receives a genuine MAC_{O,2} — the probe must classify every
+  object as Level 2.
+"""
+
+from __future__ import annotations
+
+from repro.attacks.channel import CapturedExchange, run_exchange
+from repro.backend.registration import Backend, SubjectCredentials
+from repro.crypto.ecdsa import generate_signing_key
+from repro.pki.certificate import CertificateChain, issue_certificate
+from repro.pki.profile import Profile, sign_profile
+from repro.protocol.object import ObjectEngine
+from repro.protocol.subject import SubjectEngine
+from repro.protocol.versions import Version
+
+
+def forge_subject_credentials(
+    subject_id: str = "mallory",
+    strength: int = 128,
+    trust_root=None,
+) -> SubjectCredentials:
+    """Credentials NOT issued by the backend: self-signed everything.
+
+    The impostor controls her own fake root, so all internal signatures
+    check out — only verification against the *real* admin key fails.
+    Pass ``trust_root`` (the real admin public key — it is public) so she
+    can process genuine RES1s and push her forged QUE2 all the way to the
+    object's verifier, which is the §VII Case 2 path.
+    """
+    fake_root = generate_signing_key(strength)
+    key = generate_signing_key(strength)
+    cert = issue_certificate("admin-root", fake_root, subject_id, key.public_key, 1)
+    from repro.attributes.model import AttributeSet
+
+    profile = sign_profile(
+        Profile(subject_id, AttributeSet(position="manager", department="X")),
+        fake_root,
+    )
+    return SubjectCredentials(
+        subject_id=subject_id,
+        strength=strength,
+        signing_key=key,
+        cert_chain=CertificateChain((cert,)),
+        profile=profile,
+        group_keys={},
+        coverup_key=b"\x42" * 32,
+        admin_public=trust_root if trust_root is not None else fake_root.public_key,
+    )
+
+
+class SubjectImpostor:
+    """Case 2/4: interact with a real object using forged credentials.
+
+    Pass the real admin public key as *trust_root* so the attack reaches
+    the object's verifier instead of failing on the attacker's own side.
+    """
+
+    def __init__(self, strength: int = 128, trust_root=None) -> None:
+        self.creds = forge_subject_credentials(strength=strength, trust_root=trust_root)
+
+    def attack(self, target: ObjectEngine, version: Version = Version.V3_0) -> CapturedExchange:
+        engine = SubjectEngine(self.creds, version)
+        return run_exchange(engine, target)
+
+
+class ObjectImpostor:
+    """Case 2: serve fake service information to a real subject."""
+
+    def __init__(self, backend_like_id: str = "obj-fake", strength: int = 128) -> None:
+        fake_root = generate_signing_key(strength)
+        key = generate_signing_key(strength)
+        cert = issue_certificate("admin-root", fake_root, backend_like_id, key.public_key, 1)
+        from repro.attributes.model import AttributeSet
+        from repro.backend.registration import ObjectCredentials, ObjectVariant
+        from repro.attributes.predicate import TRUE
+
+        profile = sign_profile(
+            Profile(backend_like_id, AttributeSet(type="door lock"), ("open",)),
+            fake_root,
+        )
+        self.creds = ObjectCredentials(
+            object_id=backend_like_id,
+            level=2,
+            strength=strength,
+            signing_key=key,
+            cert_chain=CertificateChain((cert,)),
+            public_profile=profile,
+            level2_variants=[ObjectVariant(TRUE, profile)],
+            admin_public=fake_root.public_key,
+            root_id="admin-root",
+        )
+
+    def attack(self, victim: SubjectEngine) -> CapturedExchange:
+        engine = ObjectEngine(self.creds, victim.version)
+        return run_exchange(victim, engine)
+
+
+class EliminationProbe:
+    """Case 8: a registered-but-rogue subject probing for Level 3 objects."""
+
+    def __init__(
+        self,
+        backend: Backend,
+        probe_id: str = "insider-probe",
+        attributes: dict | None = None,
+    ) -> None:
+        #: A perfectly valid registration — but with no sensitive attribute,
+        #: so she holds only a cover-up key. Pick ``attributes`` that match
+        #: the target's public variants, else the object stays silent and
+        #: the probe learns even less.
+        self.creds = backend.register_subject(
+            probe_id, attributes or {"position": "staff", "department": "X"}
+        )
+
+    def classify(self, target: ObjectEngine) -> int | None:
+        """Return the level she can *prove* the object is, or None.
+
+        She runs an honest handshake with her cover-up key and checks
+        which of her keys verifies MAC_O: K2 -> "Level 2", K3 -> "Level 3
+        fellow" (impossible: cover-up keys have no fellows). If neither
+        verified she'd have distinguishing signal — the test asserts that
+        never happens against a v3.0 object.
+        """
+        engine = SubjectEngine(self.creds, Version.V3_0)
+        capture = run_exchange(engine, target)
+        if capture.outcome is None:
+            return None
+        return capture.outcome.level_seen  # type: ignore[attr-defined]

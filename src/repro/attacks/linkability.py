@@ -1,0 +1,89 @@
+"""Linkability analysis — the §XI *non-goal*, made executable.
+
+The paper is explicit that Argus does NOT target unlinkability: "an
+eavesdropper should be unable to determine that the two messages she
+sniffed are from/to the same entity … Argus does not target
+unlinkability, because we believe a person's location history within an
+enterprise/campus scope is less sensitive."
+
+This module demonstrates exactly that boundary: QUE2 carries the
+subject's certificate chain and PROF in the clear, so a passive
+eavesdropper can (a) link all of one subject's sessions together and
+(b) read her identity and non-sensitive attributes. What she still
+*cannot* do — the line the paper does draw — is learn sensitive
+attributes or which services were returned (covered by the Case 1–7
+tests). Deployments needing unlinkability would need an encrypted
+phase-2 wrapper (e.g. an ECDH-first variant), which the paper leaves
+as out of scope.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.attacks.channel import CapturedExchange
+from repro.pki.certificate import CertificateChain, CertificateError
+from repro.pki.profile import Profile, ProfileError
+
+
+@dataclass
+class LinkedIdentity:
+    """Everything a passive observer can pin on one subject."""
+
+    subject_id: str
+    attributes: dict = field(default_factory=dict)
+    session_count: int = 0
+    objects_contacted: set = field(default_factory=set)
+
+
+def link_sessions(
+    captures: list[tuple[CapturedExchange, str]],
+) -> dict[str, LinkedIdentity]:
+    """Group captured exchanges by the identity visible in QUE2.
+
+    ``captures`` pairs each exchange with the object id the observer saw
+    it addressed to. Returns the tracking dossier per subject — the
+    §XI location-history leak.
+    """
+    dossiers: dict[str, LinkedIdentity] = {}
+    for capture, object_id in captures:
+        if capture.que2 is None:
+            continue
+        try:
+            chain = CertificateChain.from_bytes(capture.que2.cert_chain_bytes)
+        except CertificateError:
+            continue
+        subject_id = chain.leaf.subject_id
+        dossier = dossiers.setdefault(subject_id, LinkedIdentity(subject_id))
+        dossier.session_count += 1
+        dossier.objects_contacted.add(object_id)
+        try:
+            profile = Profile.from_bytes(capture.que2.profile_bytes)
+            dossier.attributes = dict(profile.attributes)
+        except ProfileError:
+            pass
+    return dossiers
+
+
+def linkability_rate(captures: list[tuple[CapturedExchange, str]]) -> float:
+    """Fraction of phase-2 exchanges attributable to a specific subject.
+
+    For Argus this is ~1.0 (every QUE2 names its sender); an unlinkable
+    protocol would push it toward 0.
+    """
+    with_que2 = [c for c, _ in captures if c.que2 is not None]
+    if not with_que2:
+        return 0.0
+    linked = sum(d.session_count for d in link_sessions(captures).values())
+    return linked / len(with_que2)
+
+
+def sensitive_exposure(dossiers: dict[str, LinkedIdentity]) -> dict[str, list[str]]:
+    """Sensitive attributes visible in the dossiers (must be none).
+
+    The boundary the paper *does* defend: linkable ≠ sensitive-exposed.
+    """
+    return {
+        subject_id: [k for k in dossier.attributes if k.startswith("sensitive:")]
+        for subject_id, dossier in dossiers.items()
+    }

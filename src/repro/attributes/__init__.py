@@ -1,0 +1,40 @@
+"""Attribute model and predicate language.
+
+Enterprise policies in Argus are "frequently defined on categories using
+attribute predicates, not just individual identities" (§II-B). This
+package provides:
+
+* :mod:`repro.attributes.model` — typed attribute sets with a hard
+  separation between non-sensitive attributes (safe to put in a signed
+  PROF and disclose publicly) and sensitive attributes (never leave the
+  backend except as secret-group memberships).
+* :mod:`repro.attributes.predicate` — the predicate language used in
+  policies, e.g. ``position=='manager' && department=='X'``: a lexer,
+  recursive-descent parser, evaluator, and conversion to the flat
+  attribute lists the ABE baseline needs.
+"""
+
+from repro.attributes.model import AttributeSet, SENSITIVE_PREFIX
+from repro.attributes.predicate import (
+    And,
+    Comparison,
+    Not,
+    Or,
+    Predicate,
+    PredicateError,
+    TRUE,
+    parse_predicate,
+)
+
+__all__ = [
+    "And",
+    "AttributeSet",
+    "Comparison",
+    "Not",
+    "Or",
+    "Predicate",
+    "PredicateError",
+    "SENSITIVE_PREFIX",
+    "TRUE",
+    "parse_predicate",
+]

@@ -1,0 +1,149 @@
+"""Typed attribute sets for subjects and objects.
+
+§II-B defines two kinds of attributes:
+
+* **non-sensitive** — safe to include in signed credentials (PROF) and
+  propagate publicly: a position, a department, a device's make/model.
+* **sensitive** — need-to-know only: financial or medical status. These
+  *never* appear in a PROF; the backend turns them into secret-group
+  memberships (§IV-A) and they are only ever proven indirectly, via
+  possession of a group key.
+
+We enforce the separation syntactically: a sensitive attribute name must
+carry the ``sensitive:`` prefix, and :class:`AttributeSet` refuses to
+store one. Code that handles sensitive attributes (the backend's group
+assignment) works with plain strings and never builds an AttributeSet
+from them, so a sensitive value cannot accidentally flow into a PROF.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Mapping
+from typing import Union
+
+#: Names carrying this prefix denote sensitive attributes (backend-only).
+SENSITIVE_PREFIX = "sensitive:"
+
+AttrValue = Union[str, int, float, bool]
+_ALLOWED_TYPES = (str, int, float, bool)
+
+
+class AttributeSet(Mapping[str, AttrValue]):
+    """An immutable mapping of *non-sensitive* attribute names to values.
+
+    Hashable and order-insensitive, so it can key caches and be compared
+    structurally. Serialization is canonical (sorted keys) so signatures
+    over profiles are deterministic.
+    """
+
+    __slots__ = ("_attrs", "_hash")
+
+    def __init__(self, attrs: Mapping[str, AttrValue] | None = None, **kwargs: AttrValue):
+        merged: dict[str, AttrValue] = dict(attrs or {})
+        merged.update(kwargs)
+        for name, value in merged.items():
+            if not isinstance(name, str) or not name:
+                raise ValueError(f"attribute name must be a non-empty string: {name!r}")
+            if name.startswith(SENSITIVE_PREFIX):
+                raise ValueError(
+                    f"sensitive attribute {name!r} cannot enter an AttributeSet; "
+                    "sensitive attributes live only in the backend database"
+                )
+            if not isinstance(value, _ALLOWED_TYPES):
+                raise TypeError(
+                    f"attribute {name!r} has unsupported type {type(value).__name__}"
+                )
+        self._attrs: dict[str, AttrValue] = merged
+        self._hash: int | None = None
+
+    # -- Mapping protocol ------------------------------------------------------
+
+    def __getitem__(self, key: str) -> AttrValue:
+        return self._attrs[key]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._attrs)
+
+    def __len__(self) -> int:
+        return len(self._attrs)
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(frozenset(self._attrs.items()))
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, AttributeSet):
+            return self._attrs == other._attrs
+        if isinstance(other, Mapping):
+            return self._attrs == dict(other)
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v!r}" for k, v in sorted(self._attrs.items()))
+        return f"AttributeSet({inner})"
+
+    # -- operations ------------------------------------------------------------
+
+    def updated(self, **changes: AttrValue) -> "AttributeSet":
+        """A copy with *changes* applied (functional update)."""
+        merged = dict(self._attrs)
+        merged.update(changes)
+        return AttributeSet(merged)
+
+    def without(self, *names: str) -> "AttributeSet":
+        """A copy with the given attribute names removed."""
+        return AttributeSet({k: v for k, v in self._attrs.items() if k not in names})
+
+    def flatten(self) -> list[str]:
+        """Flat ``name:value`` strings — the encoding ABE baselines key on."""
+        return sorted(f"{k}:{v}" for k, v in self._attrs.items())
+
+    # -- canonical serialization -------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Canonical byte encoding: sorted ``name=value`` lines with a type tag."""
+        lines = []
+        for name in sorted(self._attrs):
+            value = self._attrs[name]
+            # bool before int: bool is an int subclass.
+            if isinstance(value, bool):
+                tag, text = "b", "1" if value else "0"
+            elif isinstance(value, int):
+                tag, text = "i", str(value)
+            elif isinstance(value, float):
+                tag, text = "f", repr(value)
+            else:
+                tag, text = "s", value
+            if "\n" in name or (isinstance(value, str) and "\n" in value):
+                raise ValueError("attribute names/values cannot contain newlines")
+            lines.append(f"{name}\x1f{tag}\x1f{text}")
+        return "\n".join(lines).encode()
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "AttributeSet":
+        """Inverse of :meth:`to_bytes`."""
+        if not data:
+            return cls()
+        attrs: dict[str, AttrValue] = {}
+        for line in data.decode().split("\n"):
+            try:
+                name, tag, text = line.split("\x1f")
+            except ValueError as exc:
+                raise ValueError(f"malformed attribute line {line!r}") from exc
+            if tag == "b":
+                attrs[name] = text == "1"
+            elif tag == "i":
+                attrs[name] = int(text)
+            elif tag == "f":
+                attrs[name] = float(text)
+            elif tag == "s":
+                attrs[name] = text
+            else:
+                raise ValueError(f"unknown type tag {tag!r}")
+        return cls(attrs)
+
+
+def is_sensitive_name(name: str) -> bool:
+    """True if *name* denotes a sensitive attribute (``sensitive:`` prefix)."""
+    return name.startswith(SENSITIVE_PREFIX)

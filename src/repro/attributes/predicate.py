@@ -1,0 +1,382 @@
+"""The policy predicate language.
+
+Policies in the paper look like::
+
+    position=='manager' && department=='X'
+    type=='door lock' && room_type=='conference'
+
+We support the boolean connectives ``&&``, ``||``, ``!``, parentheses,
+and comparisons ``== != < <= > >= in`` over string/number/bool literals
+(``in`` tests membership in a bracketed list). The grammar::
+
+    expr        := or_expr
+    or_expr     := and_expr ( '||' and_expr )*
+    and_expr    := unary ( '&&' unary )*
+    unary       := '!' unary | primary
+    primary     := '(' expr ')' | 'true' | 'false' | comparison
+    comparison  := IDENT op literal
+    literal     := STRING | NUMBER | 'true' | 'false' | '[' literal, ... ']'
+
+Predicates are immutable AST nodes with structural equality, so the
+backend database can deduplicate them, and they serialize back to
+canonical source via ``str()`` (``parse_predicate(str(p)) == p``).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Mapping, Union
+
+from repro.attributes.model import AttrValue
+
+Literal = Union[str, int, float, bool, tuple]
+
+
+class PredicateError(Exception):
+    """Raised on parse errors or evaluation over malformed predicates."""
+
+
+# --------------------------------------------------------------------------
+# AST
+# --------------------------------------------------------------------------
+
+
+class Predicate:
+    """Base class for predicate AST nodes."""
+
+    def evaluate(self, attrs: Mapping[str, AttrValue]) -> bool:
+        raise NotImplementedError
+
+    def attribute_names(self) -> set[str]:
+        """Every attribute name this predicate mentions."""
+        raise NotImplementedError
+
+    def to_abe_attributes(self) -> list[str]:
+        """Flatten to a ``name:value`` list for the ABE baseline.
+
+        Only conjunctions of equality tests are expressible as BSW07
+        AND-policies over flat attributes (which is the form the paper's
+        baseline uses); anything else raises :class:`PredicateError`.
+        """
+        raise PredicateError(f"predicate {self} is not an AND-of-equalities")
+
+    def __and__(self, other: "Predicate") -> "Predicate":
+        return And(self, other)
+
+    def __or__(self, other: "Predicate") -> "Predicate":
+        return Or(self, other)
+
+    def __invert__(self) -> "Predicate":
+        return Not(self)
+
+
+@dataclass(frozen=True)
+class Comparison(Predicate):
+    name: str
+    op: str
+    value: Literal
+
+    _OPS = {"==", "!=", "<", "<=", ">", ">=", "in"}
+
+    def __post_init__(self) -> None:
+        if self.op not in self._OPS:
+            raise PredicateError(f"unknown operator {self.op!r}")
+        if self.op == "in" and not isinstance(self.value, tuple):
+            raise PredicateError("'in' requires a list literal")
+
+    def evaluate(self, attrs: Mapping[str, AttrValue]) -> bool:
+        if self.name not in attrs:
+            return False
+        actual = attrs[self.name]
+        try:
+            if self.op == "==":
+                return actual == self.value
+            if self.op == "!=":
+                return actual != self.value
+            if self.op == "in":
+                return actual in self.value  # type: ignore[operator]
+            if not isinstance(actual, (int, float)) or isinstance(actual, bool):
+                return False
+            if not isinstance(self.value, (int, float)) or isinstance(self.value, bool):
+                return False
+            if self.op == "<":
+                return actual < self.value
+            if self.op == "<=":
+                return actual <= self.value
+            if self.op == ">":
+                return actual > self.value
+            return actual >= self.value
+        except TypeError:
+            return False
+
+    def attribute_names(self) -> set[str]:
+        return {self.name}
+
+    def to_abe_attributes(self) -> list[str]:
+        if self.op != "==":
+            raise PredicateError(f"ABE baseline cannot express operator {self.op!r}")
+        return [f"{self.name}:{self.value}"]
+
+    def __str__(self) -> str:
+        return f"{self.name}{self.op if self.op != 'in' else ' in '}{_fmt(self.value)}"
+
+
+@dataclass(frozen=True)
+class And(Predicate):
+    left: Predicate
+    right: Predicate
+
+    def evaluate(self, attrs: Mapping[str, AttrValue]) -> bool:
+        return self.left.evaluate(attrs) and self.right.evaluate(attrs)
+
+    def attribute_names(self) -> set[str]:
+        return self.left.attribute_names() | self.right.attribute_names()
+
+    def to_abe_attributes(self) -> list[str]:
+        return sorted(set(self.left.to_abe_attributes() + self.right.to_abe_attributes()))
+
+    def __str__(self) -> str:
+        return f"({self.left} && {self.right})"
+
+
+@dataclass(frozen=True)
+class Or(Predicate):
+    left: Predicate
+    right: Predicate
+
+    def evaluate(self, attrs: Mapping[str, AttrValue]) -> bool:
+        return self.left.evaluate(attrs) or self.right.evaluate(attrs)
+
+    def attribute_names(self) -> set[str]:
+        return self.left.attribute_names() | self.right.attribute_names()
+
+    def __str__(self) -> str:
+        return f"({self.left} || {self.right})"
+
+
+@dataclass(frozen=True)
+class Not(Predicate):
+    inner: Predicate
+
+    def evaluate(self, attrs: Mapping[str, AttrValue]) -> bool:
+        return not self.inner.evaluate(attrs)
+
+    def attribute_names(self) -> set[str]:
+        return self.inner.attribute_names()
+
+    def __str__(self) -> str:
+        return f"!({self.inner})"
+
+
+@dataclass(frozen=True)
+class _Const(Predicate):
+    value: bool
+
+    def evaluate(self, attrs: Mapping[str, AttrValue]) -> bool:
+        return self.value
+
+    def attribute_names(self) -> set[str]:
+        return set()
+
+    def to_abe_attributes(self) -> list[str]:
+        if self.value:
+            return []
+        raise PredicateError("'false' is not expressible as an ABE policy")
+
+    def __str__(self) -> str:
+        return "true" if self.value else "false"
+
+
+#: The always-true predicate ("everyone matches" — a Level 1-ish policy).
+TRUE = _Const(True)
+FALSE = _Const(False)
+
+
+def _fmt(value: Literal) -> str:
+    if isinstance(value, tuple):
+        return "[" + ", ".join(_fmt(v) for v in value) + "]"
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, str):
+        return "'" + value.replace("\\", "\\\\").replace("'", "\\'") + "'"
+    return repr(value)
+
+
+# --------------------------------------------------------------------------
+# Lexer
+# --------------------------------------------------------------------------
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<and>&&)
+  | (?P<or>\|\|)
+  | (?P<not>!(?!=))
+  | (?P<op>==|!=|<=|>=|<|>)
+  | (?P<lparen>\()
+  | (?P<rparen>\))
+  | (?P<lbracket>\[)
+  | (?P<rbracket>\])
+  | (?P<comma>,)
+  | (?P<number>-?\d+\.\d+|-?\d+)
+  | (?P<string>'(?:\\.|[^'\\])*'|"(?:\\.|[^"\\])*")
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_.:-]*)
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"true", "false", "in"}
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str
+    text: str
+    pos: int
+
+
+def _tokenize(source: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    pos = 0
+    while pos < len(source):
+        match = _TOKEN_RE.match(source, pos)
+        if match is None:
+            raise PredicateError(f"unexpected character {source[pos]!r} at {pos}")
+        kind = match.lastgroup or ""
+        text = match.group()
+        if kind == "ident" and text in _KEYWORDS:
+            kind = text
+        if kind != "ws":
+            tokens.append(_Token(kind, text, pos))
+        pos = match.end()
+    tokens.append(_Token("eof", "", len(source)))
+    return tokens
+
+
+# --------------------------------------------------------------------------
+# Parser
+# --------------------------------------------------------------------------
+
+
+class _Parser:
+    def __init__(self, tokens: list[_Token]) -> None:
+        self.tokens = tokens
+        self.index = 0
+
+    @property
+    def current(self) -> _Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> _Token:
+        token = self.current
+        self.index += 1
+        return token
+
+    def expect(self, kind: str) -> _Token:
+        if self.current.kind != kind:
+            raise PredicateError(
+                f"expected {kind} at position {self.current.pos}, "
+                f"got {self.current.kind} ({self.current.text!r})"
+            )
+        return self.advance()
+
+    def parse(self) -> Predicate:
+        node = self.or_expr()
+        self.expect("eof")
+        return node
+
+    def or_expr(self) -> Predicate:
+        node = self.and_expr()
+        while self.current.kind == "or":
+            self.advance()
+            node = Or(node, self.and_expr())
+        return node
+
+    def and_expr(self) -> Predicate:
+        node = self.unary()
+        while self.current.kind == "and":
+            self.advance()
+            node = And(node, self.unary())
+        return node
+
+    def unary(self) -> Predicate:
+        if self.current.kind == "not":
+            self.advance()
+            return Not(self.unary())
+        return self.primary()
+
+    def primary(self) -> Predicate:
+        token = self.current
+        if token.kind == "lparen":
+            self.advance()
+            node = self.or_expr()
+            self.expect("rparen")
+            return node
+        if token.kind == "true":
+            self.advance()
+            return TRUE
+        if token.kind == "false":
+            self.advance()
+            return FALSE
+        if token.kind == "ident":
+            return self.comparison()
+        raise PredicateError(
+            f"expected a comparison or '(' at position {token.pos}, "
+            f"got {token.kind} ({token.text!r})"
+        )
+
+    def comparison(self) -> Predicate:
+        name = self.expect("ident").text
+        token = self.current
+        if token.kind == "op":
+            op = self.advance().text
+            return Comparison(name, op, self.literal())
+        if token.kind == "in":
+            self.advance()
+            value = self.literal()
+            if not isinstance(value, tuple):
+                raise PredicateError(f"'in' needs a list at position {token.pos}")
+            return Comparison(name, "in", value)
+        raise PredicateError(
+            f"expected a comparison operator after {name!r} at position {token.pos}"
+        )
+
+    def literal(self) -> Literal:
+        token = self.current
+        if token.kind == "string":
+            self.advance()
+            body = token.text[1:-1]
+            return re.sub(r"\\(.)", r"\1", body)
+        if token.kind == "number":
+            self.advance()
+            return float(token.text) if "." in token.text else int(token.text)
+        if token.kind == "true":
+            self.advance()
+            return True
+        if token.kind == "false":
+            self.advance()
+            return False
+        if token.kind == "lbracket":
+            self.advance()
+            items: list[Literal] = []
+            if self.current.kind != "rbracket":
+                items.append(self.literal())
+                while self.current.kind == "comma":
+                    self.advance()
+                    items.append(self.literal())
+            self.expect("rbracket")
+            return tuple(items)
+        raise PredicateError(
+            f"expected a literal at position {token.pos}, got {token.kind}"
+        )
+
+
+def parse_predicate(source: str) -> Predicate:
+    """Parse policy-predicate *source* into an AST.
+
+    >>> p = parse_predicate("position=='manager' && department=='X'")
+    >>> p.evaluate({"position": "manager", "department": "X"})
+    True
+    """
+    return _Parser(_tokenize(source)).parse()

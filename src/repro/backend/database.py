@@ -1,0 +1,153 @@
+"""The backend's authoritative database of subjects, objects and policies.
+
+§II-A/§II-B: the backend "stores and manages access control policies
+about what services a subject can access on an object", with policies
+"frequently defined on categories using attribute predicates". This
+module is the pure data layer: records, the policy table, and the
+category queries everything else (registration, updates, scalability
+analysis) is built on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.attributes.model import AttributeSet
+from repro.attributes.predicate import Predicate
+
+
+class DatabaseError(Exception):
+    """Raised on inconsistent database operations."""
+
+
+@dataclass
+class SubjectRecord:
+    """A registered subject (user)."""
+
+    subject_id: str
+    attributes: AttributeSet
+    #: Sensitive attribute names (``sensitive:`` prefixed); backend-only.
+    sensitive_attributes: frozenset[str] = frozenset()
+    revoked: bool = False
+
+
+@dataclass
+class ObjectRecord:
+    """A registered object (IoT device)."""
+
+    object_id: str
+    attributes: AttributeSet
+    level: int = 1
+    functions: tuple[str, ...] = ()
+    sensitive_attributes: frozenset[str] = frozenset()
+    revoked: bool = False
+
+    def __post_init__(self) -> None:
+        if self.level not in (1, 2, 3):
+            raise DatabaseError(f"object level must be 1, 2 or 3, got {self.level}")
+
+
+@dataclass(frozen=True)
+class Policy:
+    """An access-control / visibility-scoping rule (§II-B).
+
+    E.g. ``[subject: position=='manager'; object: type=='door lock' &&
+    room_type=='conference'; rights: open, close]``.
+    """
+
+    policy_id: str
+    subject_pred: Predicate
+    object_pred: Predicate
+    rights: tuple[str, ...] = ()
+
+
+class BackendDatabase:
+    """In-memory store with the category queries the paper's analysis uses."""
+
+    def __init__(self) -> None:
+        self.subjects: dict[str, SubjectRecord] = {}
+        self.objects: dict[str, ObjectRecord] = {}
+        self.policies: dict[str, Policy] = {}
+
+    # -- mutation ---------------------------------------------------------------
+
+    def add_subject(self, record: SubjectRecord) -> None:
+        if record.subject_id in self.subjects:
+            raise DatabaseError(f"subject {record.subject_id!r} already registered")
+        self.subjects[record.subject_id] = record
+
+    def add_object(self, record: ObjectRecord) -> None:
+        if record.object_id in self.objects:
+            raise DatabaseError(f"object {record.object_id!r} already registered")
+        self.objects[record.object_id] = record
+
+    def add_policy(self, policy: Policy) -> None:
+        if policy.policy_id in self.policies:
+            raise DatabaseError(f"policy {policy.policy_id!r} already exists")
+        self.policies[policy.policy_id] = policy
+
+    def remove_subject(self, subject_id: str) -> SubjectRecord:
+        try:
+            return self.subjects.pop(subject_id)
+        except KeyError:
+            raise DatabaseError(f"unknown subject {subject_id!r}") from None
+
+    def remove_object(self, object_id: str) -> ObjectRecord:
+        try:
+            return self.objects.pop(object_id)
+        except KeyError:
+            raise DatabaseError(f"unknown object {object_id!r}") from None
+
+    def remove_policy(self, policy_id: str) -> Policy:
+        try:
+            return self.policies.pop(policy_id)
+        except KeyError:
+            raise DatabaseError(f"unknown policy {policy_id!r}") from None
+
+    # -- category queries (§II-C's alpha, beta, N) --------------------------------
+
+    def subjects_matching(self, pred: Predicate) -> list[SubjectRecord]:
+        """The subject category of *pred* — its size is the paper's alpha."""
+        return [s for s in self.subjects.values() if pred.evaluate(s.attributes)]
+
+    def objects_matching(self, pred: Predicate) -> list[ObjectRecord]:
+        """The object category of *pred* — its size is the paper's beta."""
+        return [o for o in self.objects.values() if pred.evaluate(o.attributes)]
+
+    def policies_for_subject(self, subject: SubjectRecord) -> list[Policy]:
+        return [
+            p for p in self.policies.values()
+            if p.subject_pred.evaluate(subject.attributes)
+        ]
+
+    def policies_for_object(self, obj: ObjectRecord) -> list[Policy]:
+        return [
+            p for p in self.policies.values()
+            if p.object_pred.evaluate(obj.attributes)
+        ]
+
+    def objects_accessible_by(self, subject_id: str) -> list[ObjectRecord]:
+        """All objects the subject may access — its size is the paper's N.
+
+        This is exactly the set the backend must notify when the subject
+        is revoked (§VIII: overhead N for Argus and ID-ACL).
+        """
+        subject = self.subjects.get(subject_id)
+        if subject is None:
+            raise DatabaseError(f"unknown subject {subject_id!r}")
+        accessible: dict[str, ObjectRecord] = {}
+        for policy in self.policies_for_subject(subject):
+            for obj in self.objects_matching(policy.object_pred):
+                accessible[obj.object_id] = obj
+        return list(accessible.values())
+
+    def subjects_with_access_to(self, object_id: str) -> list[SubjectRecord]:
+        """All subjects that may access *object_id*."""
+        obj = self.objects.get(object_id)
+        if obj is None:
+            raise DatabaseError(f"unknown object {object_id!r}")
+        allowed: dict[str, SubjectRecord] = {}
+        for policy in self.policies_for_object(obj):
+            for subject in self.subjects_matching(policy.subject_pred):
+                allowed[subject.subject_id] = subject
+        return list(allowed.values())

@@ -1,0 +1,164 @@
+"""Secret groups, group keys, and cover-up keys.
+
+§IV-A: "If a policy allows subjects with certain sensitive attributes to
+discover objects with certain sensitive attributes, then they belong to
+one secret group" whose fellows share a symmetric group key ``K_grp``.
+Crucially for indistinguishability (§VI-B), *every* subject — including
+those with no sensitive attribute at all — receives at least one key: a
+**cover-up key**, a unique random value nobody else holds, so that her
+Level 3 attempts look exactly like a real fellow's.
+
+Rekeying a group (e.g. after removing a member) touches the remaining
+``gamma - 1`` fellows — the paper's Level 3 updating overhead (§VIII).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.crypto.primitives import random_bytes
+
+#: Symmetric group keys are 256-bit (HMAC-SHA256 keys).
+GROUP_KEY_LEN = 32
+
+
+class GroupError(Exception):
+    """Raised on inconsistent group operations."""
+
+
+@dataclass
+class SecretGroup:
+    """One secret group: a key shared by its subject and object fellows.
+
+    ``subject_attribute``/``object_attribute`` record which sensitive
+    attributes this group connects; that mapping "is kept to the admin
+    only" (§VII Case 5) — it never leaves the backend.
+    """
+
+    group_id: str
+    subject_attribute: str
+    object_attribute: str
+    key: bytes = field(default_factory=lambda: random_bytes(GROUP_KEY_LEN))
+    subject_members: set[str] = field(default_factory=set)
+    object_members: set[str] = field(default_factory=set)
+    key_version: int = 1
+
+    @property
+    def size(self) -> int:
+        """The paper's gamma: total fellows in the group."""
+        return len(self.subject_members) + len(self.object_members)
+
+
+@dataclass(frozen=True)
+class RekeyReport:
+    """What a rekey cost: who must receive the new key."""
+
+    group_id: str
+    notified_subjects: frozenset[str]
+    notified_objects: frozenset[str]
+
+    @property
+    def overhead(self) -> int:
+        """Updating overhead (number of notified entities): gamma - 1."""
+        return len(self.notified_subjects) + len(self.notified_objects)
+
+
+class GroupManager:
+    """The backend component owning all secret groups and cover-up keys."""
+
+    def __init__(self) -> None:
+        self.groups: dict[str, SecretGroup] = {}
+        self._coverup_keys: dict[str, bytes] = {}
+        self._counter = 0
+
+    # -- group lifecycle -----------------------------------------------------------
+
+    def create_group(self, subject_attribute: str, object_attribute: str) -> SecretGroup:
+        self._counter += 1
+        group = SecretGroup(
+            group_id=f"grp-{self._counter:04d}",
+            subject_attribute=subject_attribute,
+            object_attribute=object_attribute,
+        )
+        self.groups[group.group_id] = group
+        return group
+
+    def group_for_attributes(
+        self, subject_attribute: str, object_attribute: str
+    ) -> SecretGroup | None:
+        for group in self.groups.values():
+            if (
+                group.subject_attribute == subject_attribute
+                and group.object_attribute == object_attribute
+            ):
+                return group
+        return None
+
+    def enroll_subject(self, group_id: str, subject_id: str) -> bytes:
+        group = self._get(group_id)
+        group.subject_members.add(subject_id)
+        return group.key
+
+    def enroll_object(self, group_id: str, object_id: str) -> bytes:
+        group = self._get(group_id)
+        group.object_members.add(object_id)
+        return group.key
+
+    def groups_of_subject(self, subject_id: str) -> list[SecretGroup]:
+        return [g for g in self.groups.values() if subject_id in g.subject_members]
+
+    def groups_of_object(self, object_id: str) -> list[SecretGroup]:
+        return [g for g in self.groups.values() if object_id in g.object_members]
+
+    # -- cover-up keys ---------------------------------------------------------------
+
+    def coverup_key(self, subject_id: str) -> bytes:
+        """The subject's unique cover-up key (created on first request).
+
+        "A cover-up key is a unique random number and there is no second
+        entity owning it" (§VI-B) — so handshakes with it always fail,
+        while its MACs are indistinguishable from a real fellow's.
+        """
+        key = self._coverup_keys.get(subject_id)
+        if key is None:
+            key = random_bytes(GROUP_KEY_LEN)
+            self._coverup_keys[subject_id] = key
+        return key
+
+    # -- revocation / rekey -------------------------------------------------------------
+
+    def remove_member(self, group_id: str, member_id: str) -> RekeyReport:
+        """Remove a fellow and rekey; the §VIII Level 3 worst case.
+
+        Returns the rekey report: every *remaining* fellow must be
+        notified with the new key — overhead gamma - 1.
+        """
+        group = self._get(group_id)
+        in_subjects = member_id in group.subject_members
+        in_objects = member_id in group.object_members
+        if not (in_subjects or in_objects):
+            raise GroupError(f"{member_id!r} is not a member of {group_id!r}")
+        group.subject_members.discard(member_id)
+        group.object_members.discard(member_id)
+        group.key = random_bytes(GROUP_KEY_LEN)
+        group.key_version += 1
+        return RekeyReport(
+            group_id=group_id,
+            notified_subjects=frozenset(group.subject_members),
+            notified_objects=frozenset(group.object_members),
+        )
+
+    def remove_everywhere(self, member_id: str) -> list[RekeyReport]:
+        """Remove a member from every group it belongs to."""
+        reports = []
+        for group in list(self.groups.values()):
+            if member_id in group.subject_members or member_id in group.object_members:
+                reports.append(self.remove_member(group.group_id, member_id))
+        self._coverup_keys.pop(member_id, None)
+        return reports
+
+    def _get(self, group_id: str) -> SecretGroup:
+        try:
+            return self.groups[group_id]
+        except KeyError:
+            raise GroupError(f"unknown group {group_id!r}") from None

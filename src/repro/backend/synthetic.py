@@ -1,0 +1,278 @@
+"""Synthetic enterprise generator (the paper's §II-C scales).
+
+The paper does not ship data; its scale parameters are explicit —
+subjects 10^4–10^5, ~30 objects per office / ~2K per building, a subject
+accesses N ≈ 10^2–10^3 objects, subject categories of alpha members,
+object categories of beta, secret groups of gamma ≈ 10^0–10^2 fellows.
+This generator produces enterprises with controllable alpha/beta/N/gamma
+so the scalability experiments sweep exactly the quantities Table I is
+parameterized by.
+
+Two modes:
+
+* ``populate(backend_db)`` — records only, no key material; fast enough
+  for 10^4-subject sweeps.
+* ``provision(backend)`` — full registration through the
+  :class:`~repro.backend.registration.Backend` facade (real keys, certs,
+  PROFs, group keys); used by integration tests and examples at moderate
+  scale.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.attributes.model import AttributeSet
+from repro.backend.database import BackendDatabase, ObjectRecord, SubjectRecord
+from repro.backend.registration import Backend
+
+#: Object types and their natural secrecy level (§IV-A's examples).
+OBJECT_TYPES: dict[str, int] = {
+    "thermometer": 1,
+    "corridor light": 1,
+    "office light": 1,
+    "printer": 2,
+    "multimedia": 2,
+    "door lock": 2,
+    "hvac": 2,
+    "safe": 2,
+    "camera": 2,
+    "vending machine": 3,
+    "magazine kiosk": 3,
+}
+
+POSITIONS = ("staff", "staff", "staff", "engineer", "engineer", "manager", "student")
+
+SENSITIVE_SUBJECT_ATTRS = (
+    "sensitive:learning-disability",
+    "sensitive:mobility-impaired",
+    "sensitive:financial-hardship",
+    "sensitive:counseling",
+)
+
+
+@dataclass(frozen=True)
+class SyntheticConfig:
+    """Knobs for the generator; defaults give a small campus."""
+
+    n_subjects: int = 200
+    n_departments: int = 4
+    n_buildings: int = 2
+    rooms_per_building: int = 10
+    objects_per_room: int = 3
+    #: Secret groups to create and their target fellow count (gamma).
+    n_secret_groups: int = 2
+    gamma: int = 6
+    seed: int = 2020
+
+    def __post_init__(self) -> None:
+        if min(self.n_subjects, self.n_departments, self.n_buildings,
+               self.rooms_per_building, self.objects_per_room) < 1:
+            raise ValueError("all population counts must be >= 1")
+        if self.n_secret_groups > len(SENSITIVE_SUBJECT_ATTRS):
+            raise ValueError(
+                f"at most {len(SENSITIVE_SUBJECT_ATTRS)} secret groups supported"
+            )
+
+
+@dataclass
+class Enterprise:
+    """A generated enterprise: parameters plus the generated populations."""
+
+    config: SyntheticConfig
+    subject_specs: list[dict] = field(default_factory=list)
+    object_specs: list[dict] = field(default_factory=list)
+    policy_specs: list[dict] = field(default_factory=list)
+    group_specs: list[dict] = field(default_factory=list)
+
+
+def generate(config: SyntheticConfig) -> Enterprise:
+    """Generate the population specs (no backend interaction)."""
+    rng = random.Random(config.seed)
+    ent = Enterprise(config)
+    departments = [f"dept-{i}" for i in range(config.n_departments)]
+    buildings = [f"bldg-{chr(ord('A') + i)}" for i in range(config.n_buildings)]
+
+    # Secret groups pair a sensitive subject attribute with an object one.
+    for i in range(config.n_secret_groups):
+        subject_attr = SENSITIVE_SUBJECT_ATTRS[i]
+        ent.group_specs.append(
+            {
+                "subject_attribute": subject_attr,
+                "object_attribute": subject_attr.replace("sensitive:", "sensitive:serves-"),
+            }
+        )
+
+    for i in range(config.n_subjects):
+        spec = {
+            "subject_id": f"user-{i:05d}",
+            "attributes": {
+                "department": rng.choice(departments),
+                "position": rng.choice(POSITIONS),
+                "building": rng.choice(buildings),
+            },
+            "sensitive_attributes": (),
+        }
+        ent.subject_specs.append(spec)
+
+    # Spread gamma sensitive subjects per group across the population.
+    for group in ent.group_specs:
+        n_sensitive_subjects = max(1, config.gamma - 1)
+        chosen = rng.sample(range(config.n_subjects), k=min(n_sensitive_subjects, config.n_subjects))
+        for idx in chosen:
+            spec = ent.subject_specs[idx]
+            spec["sensitive_attributes"] = tuple(
+                set(spec["sensitive_attributes"]) | {group["subject_attribute"]}
+            )
+
+    object_types = list(OBJECT_TYPES)
+    counter = 0
+    covert_hosts: list[dict] = []
+    for building in buildings:
+        for room_index in range(config.rooms_per_building):
+            room = f"{building}-room-{room_index:03d}"
+            for _ in range(config.objects_per_room):
+                obj_type = rng.choice(object_types)
+                level = OBJECT_TYPES[obj_type]
+                spec = {
+                    "object_id": f"obj-{counter:05d}",
+                    "attributes": {
+                        "type": obj_type,
+                        "building": building,
+                        "room": room,
+                    },
+                    "level": level,
+                    "functions": _functions_for(obj_type),
+                }
+                counter += 1
+                ent.object_specs.append(spec)
+                if level == 3:
+                    covert_hosts.append(spec)
+
+    # Downgrade Level 3 specs that cannot be served by any secret group.
+    for spec in ent.object_specs:
+        if spec["level"] == 3 and not ent.group_specs:
+            spec["level"] = 2
+
+    # Assign each secret group at least one covert object (kiosk-style).
+    for group in ent.group_specs:
+        hosts = [h for h in covert_hosts if h["level"] == 3]
+        if not hosts:
+            break
+        for host in rng.sample(hosts, k=min(2, len(hosts))):
+            host.setdefault("covert_for", set()).add(group["object_attribute"])
+
+    # Level 3 specs that did not get a group assignment fall back to Level 2.
+    for spec in ent.object_specs:
+        if spec["level"] == 3 and not spec.get("covert_for"):
+            spec["level"] = 2
+
+    # Policies: building staff see their building's Level 2 devices;
+    # managers additionally see door locks everywhere.
+    for building in buildings:
+        ent.policy_specs.append(
+            {
+                "policy_id": f"building-access-{building}",
+                "subject_pred": f"building=='{building}'",
+                "object_pred": f"building=='{building}'",
+                "rights": ("discover", "use"),
+            }
+        )
+    ent.policy_specs.append(
+        {
+            "policy_id": "managers-door-locks",
+            "subject_pred": "position=='manager'",
+            "object_pred": "type=='door lock'",
+            "rights": ("open", "close"),
+        }
+    )
+    return ent
+
+
+def _functions_for(obj_type: str) -> tuple[str, ...]:
+    table = {
+        "thermometer": ("read_temperature",),
+        "corridor light": ("on", "off"),
+        "office light": ("on", "off", "dim"),
+        "printer": ("print", "scan"),
+        "multimedia": ("play", "cast", "volume"),
+        "door lock": ("open", "close"),
+        "hvac": ("set_temperature", "fan"),
+        "safe": ("unlock",),
+        "camera": ("stream", "pan"),
+        "vending machine": ("dispense",),
+        "magazine kiosk": ("dispense_magazine",),
+    }
+    return table.get(obj_type, ("use",))
+
+
+def populate(ent: Enterprise, db: BackendDatabase) -> None:
+    """Load records only (no crypto) into a bare database."""
+    for spec in ent.subject_specs:
+        db.add_subject(
+            SubjectRecord(
+                subject_id=spec["subject_id"],
+                attributes=AttributeSet(spec["attributes"]),
+                sensitive_attributes=frozenset(spec["sensitive_attributes"]),
+            )
+        )
+    for spec in ent.object_specs:
+        db.add_object(
+            ObjectRecord(
+                object_id=spec["object_id"],
+                attributes=AttributeSet(spec["attributes"]),
+                level=spec["level"],
+                functions=spec["functions"],
+            )
+        )
+    from repro.backend.database import Policy
+    from repro.attributes.predicate import parse_predicate
+
+    for spec in ent.policy_specs:
+        db.add_policy(
+            Policy(
+                policy_id=spec["policy_id"],
+                subject_pred=parse_predicate(spec["subject_pred"]),
+                object_pred=parse_predicate(spec["object_pred"]),
+                rights=spec["rights"],
+            )
+        )
+
+
+def provision(ent: Enterprise, backend: Backend) -> None:
+    """Fully register the enterprise through the backend (real crypto)."""
+    for group in ent.group_specs:
+        backend.add_sensitive_policy(group["subject_attribute"], group["object_attribute"])
+    for spec in ent.policy_specs:
+        backend.add_policy(
+            spec["policy_id"], spec["subject_pred"], spec["object_pred"], spec["rights"]
+        )
+    for spec in ent.subject_specs:
+        backend.register_subject(
+            spec["subject_id"],
+            AttributeSet(spec["attributes"]),
+            sensitive_attributes=tuple(spec["sensitive_attributes"]),
+        )
+    for spec in ent.object_specs:
+        level = spec["level"]
+        variants = None
+        covert = None
+        if level in (2, 3):
+            building = spec["attributes"]["building"]
+            variants = [
+                (f"building=='{building}'", spec["functions"]),
+                ("position=='manager'", spec["functions"] + ("admin",)),
+            ]
+        if level == 3:
+            covert = {
+                attr: ("dispense_support_flyer",) for attr in spec.get("covert_for", set())
+            }
+        backend.register_object(
+            spec["object_id"],
+            AttributeSet(spec["attributes"]),
+            level=level,
+            functions=spec["functions"],
+            variants=variants,
+            covert_functions=covert,
+        )

@@ -1,0 +1,214 @@
+"""The update plane: backend → ground-network push messages.
+
+§IV-A: "Changes on the backend may need to be immediately propagated to
+the ground network and effectuated on the affected subjects/objects."
+The :class:`~repro.backend.updates.ChurnEngine` mutates issued
+credentials directly (the in-process view); this module gives those
+pushes a real wire protocol so the propagation itself is authenticated
+and confidential:
+
+* **revocation push** (to objects): admin-signed, carries the revoked
+  subject id and a monotonically increasing update sequence number (so
+  replaying an old "revoke" after a re-add is rejected).
+* **group rekey push** (to fellows): the new group key travels under
+  ECIES to each fellow's public key, inside an admin-signed envelope.
+
+Devices apply updates through :class:`UpdateReceiver`, which enforces
+signature, freshness (sequence), and addressee checks.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from repro.backend.registration import Backend, ObjectCredentials, SubjectCredentials
+from repro.crypto import ecies
+from repro.crypto.ecdsa import SigningKey, VerifyingKey
+
+TYPE_REVOKE = 0x20
+TYPE_REKEY = 0x21
+
+
+class UpdateWireError(Exception):
+    pass
+
+
+@dataclass(frozen=True)
+class UpdateMessage:
+    """One push: type, global sequence, addressee, payload, signature."""
+
+    msg_type: int
+    sequence: int
+    addressee: str
+    payload: bytes
+    signature: bytes
+
+    def signed_bytes(self) -> bytes:
+        addr = self.addressee.encode()
+        return (
+            bytes([self.msg_type])
+            + struct.pack(">Q", self.sequence)
+            + struct.pack(">H", len(addr)) + addr
+            + struct.pack(">I", len(self.payload)) + self.payload
+        )
+
+    def to_bytes(self) -> bytes:
+        return self.signed_bytes() + self.signature
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "UpdateMessage":
+        try:
+            msg_type = data[0]
+            (sequence,) = struct.unpack_from(">Q", data, 1)
+            (addr_len,) = struct.unpack_from(">H", data, 9)
+            offset = 11
+            addressee = data[offset : offset + addr_len].decode()
+            offset += addr_len
+            (payload_len,) = struct.unpack_from(">I", data, offset)
+            offset += 4
+            payload = data[offset : offset + payload_len]
+            signature = data[offset + payload_len :]
+        except (IndexError, struct.error, UnicodeDecodeError) as exc:
+            raise UpdateWireError(f"malformed update: {exc}") from exc
+        if not signature:
+            raise UpdateWireError("update missing signature")
+        return cls(msg_type, sequence, addressee, payload, signature)
+
+
+class UpdatePublisher:
+    """Backend side: builds signed pushes with a global sequence."""
+
+    def __init__(self, admin_key: SigningKey) -> None:
+        self._admin_key = admin_key
+        self._sequence = 0
+
+    def _next(self) -> int:
+        self._sequence += 1
+        return self._sequence
+
+    def _sign(self, msg_type: int, addressee: str, payload: bytes) -> UpdateMessage:
+        draft = UpdateMessage(msg_type, self._next(), addressee, payload, b"\x00")
+        signature = self._admin_key.sign(draft.signed_bytes())
+        return UpdateMessage(draft.msg_type, draft.sequence, addressee, payload, signature)
+
+    def revoke_subject(self, object_id: str, subject_id: str) -> UpdateMessage:
+        """Tell *object_id* to reject *subject_id* from now on."""
+        return self._sign(TYPE_REVOKE, object_id, subject_id.encode())
+
+    def rekey_group(
+        self,
+        addressee_id: str,
+        addressee_public: VerifyingKey,
+        group_id: str,
+        new_key: bytes,
+        key_version: int,
+    ) -> UpdateMessage:
+        """Push a new group key, ECIES-wrapped to the fellow's key pair."""
+        inner = (
+            struct.pack(">H", len(group_id)) + group_id.encode()
+            + struct.pack(">I", key_version)
+            + new_key
+        )
+        payload = ecies.encrypt(addressee_public, inner)
+        return self._sign(TYPE_REKEY, addressee_id, payload)
+
+
+@dataclass
+class UpdateReceiver:
+    """Device side: verifies and applies pushes to local credentials."""
+
+    device_id: str
+    admin_public: VerifyingKey
+    #: One of the two, depending on what this device is.
+    object_creds: ObjectCredentials | None = None
+    subject_creds: SubjectCredentials | None = None
+    last_sequence: int = 0
+    errors: list[Exception] = field(default_factory=list)
+
+    def apply(self, message: UpdateMessage) -> bool:
+        """Validate and apply one push; False (and a recorded error) on
+        any rejection. Updates must arrive in increasing sequence order."""
+        if message.addressee != self.device_id:
+            self.errors.append(UpdateWireError(
+                f"misaddressed update for {message.addressee!r}"))
+            return False
+        if not self.admin_public.verify(message.signature, message.signed_bytes()):
+            self.errors.append(UpdateWireError("bad admin signature on update"))
+            return False
+        if message.sequence <= self.last_sequence:
+            self.errors.append(UpdateWireError(
+                f"stale update sequence {message.sequence} <= {self.last_sequence}"))
+            return False
+        self.last_sequence = message.sequence
+
+        if message.msg_type == TYPE_REVOKE:
+            return self._apply_revoke(message)
+        if message.msg_type == TYPE_REKEY:
+            return self._apply_rekey(message)
+        self.errors.append(UpdateWireError(f"unknown update type {message.msg_type}"))
+        return False
+
+    def _apply_revoke(self, message: UpdateMessage) -> bool:
+        if self.object_creds is None:
+            self.errors.append(UpdateWireError("revocation sent to a non-object"))
+            return False
+        self.object_creds.revoked_subjects.add(message.payload.decode())
+        return True
+
+    def _apply_rekey(self, message: UpdateMessage) -> bool:
+        key_holder = self.object_creds or self.subject_creds
+        if key_holder is None:
+            self.errors.append(UpdateWireError("rekey sent to keyless receiver"))
+            return False
+        private = key_holder.signing_key
+        try:
+            inner = ecies.decrypt(private, message.payload)
+            (gid_len,) = struct.unpack_from(">H", inner, 0)
+            group_id = inner[2 : 2 + gid_len].decode()
+            (version,) = struct.unpack_from(">I", inner, 2 + gid_len)
+            new_key = inner[6 + gid_len :]
+        except (ecies.EciesError, struct.error, UnicodeDecodeError) as exc:
+            self.errors.append(UpdateWireError(f"undecryptable rekey: {exc}"))
+            return False
+        if len(new_key) != 32:
+            self.errors.append(UpdateWireError("rekey payload has wrong key size"))
+            return False
+        if self.subject_creds is not None:
+            self.subject_creds.group_keys[group_id] = new_key
+        if self.object_creds is not None and group_id in self.object_creds.level3_variants:
+            _, prof = self.object_creds.level3_variants[group_id]
+            self.object_creds.level3_variants[group_id] = (new_key, prof)
+        return True
+
+
+def push_revocation(backend: Backend, subject_id: str) -> list[UpdateMessage]:
+    """Build the signed revocation pushes for every object the subject
+    could access — the wire form of §VIII's N-object update."""
+    publisher = UpdatePublisher(backend.root_key)
+    return [
+        publisher.revoke_subject(record.object_id, subject_id)
+        for record in backend.database.objects_accessible_by(subject_id)
+    ]
+
+
+def push_group_rekey(backend: Backend, group_id: str) -> list[UpdateMessage]:
+    """Build ECIES-wrapped rekey pushes for every current fellow."""
+    group = backend.groups.groups[group_id]
+    publisher = UpdatePublisher(backend.root_key)
+    messages = []
+    for subject_id in sorted(group.subject_members):
+        creds = backend.issued_subjects.get(subject_id)
+        if creds is not None:
+            messages.append(publisher.rekey_group(
+                subject_id, creds.signing_key.public_key,
+                group_id, group.key, group.key_version,
+            ))
+    for object_id in sorted(group.object_members):
+        creds_o = backend.issued_objects.get(object_id)
+        if creds_o is not None:
+            messages.append(publisher.rekey_group(
+                object_id, creds_o.signing_key.public_key,
+                group_id, group.key, group.key_version,
+            ))
+    return messages

@@ -1,0 +1,23 @@
+"""The paper's comparison baselines, fully implemented.
+
+* :mod:`repro.baselines.id_acl` — ID-enumerated ACLs (Table I row 1).
+* :mod:`repro.baselines.abe_discovery` — CP-ABE Level 2 discovery with
+  real (attribute-versioned) revocation (Table I row 2, Fig. 6(c)).
+* :mod:`repro.baselines.pbc_discovery` — pairing-based secret-handshake
+  covert discovery (Fig. 6(d)).
+"""
+
+from repro.baselines.abe_discovery import AbeSystem, AbeSystemError, AbeUpdateReport
+from repro.baselines.id_acl import AclObject, AclUpdateReport, IdAclSystem
+from repro.baselines.pbc_discovery import PbcSystem, PbcSystemError
+
+__all__ = [
+    "AbeSystem",
+    "AbeSystemError",
+    "AbeUpdateReport",
+    "AclObject",
+    "AclUpdateReport",
+    "IdAclSystem",
+    "PbcSystem",
+    "PbcSystemError",
+]

@@ -1,0 +1,122 @@
+"""Centralized directory-server discovery — the §X-A contrast class.
+
+The paper's opening argument: solutions built on central repositories
+(DNS-SD/SLP/secure discovery services [2][3][4]) "may encounter a single
+point of failure or long latency, and do not support proximity-based
+discovery", because "a centralized server does not know which devices
+are around the user device; accurate user location requires more
+complexity in localization capability."
+
+This baseline implements exactly that architecture so the argument can
+be *measured* rather than asserted:
+
+* a :class:`DirectoryServer` holds registrations keyed by reported
+  location; subjects query with their *believed* location;
+* localization error is a first-class parameter: with probability
+  ``localization_error`` the subject's believed location is a neighbor
+  of her true one, so she retrieves the wrong room's services;
+* the server can be marked down (single point of failure) — every query
+  fails, while Argus's P2P discovery keeps working;
+* query latency = 2 x WAN RTT vs Argus's LAN-scale messages.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.pki.profile import Profile
+
+
+class CentralizedError(Exception):
+    pass
+
+
+class ServerDownError(CentralizedError):
+    """The single point of failure, failing."""
+
+
+@dataclass
+class DirectoryRecord:
+    object_id: str
+    location: str
+    profile: Profile
+    #: who may see it (flat id set — central servers police by account)
+    allowed_subjects: set[str] = field(default_factory=set)
+    stale: bool = False  # device moved/decommissioned but record remains
+
+
+@dataclass
+class DirectoryServer:
+    """The central repository, with its failure modes exposed."""
+
+    wan_rtt_s: float = 0.08
+    available: bool = True
+    records: dict[str, DirectoryRecord] = field(default_factory=dict)
+    queries_served: int = 0
+
+    def register(self, record: DirectoryRecord) -> None:
+        self.records[record.object_id] = record
+
+    def decommission(self, object_id: str, remove: bool = True) -> None:
+        """Devices vanish; whether the record follows is operational
+        hygiene the architecture cannot enforce."""
+        if remove:
+            self.records.pop(object_id, None)
+        elif object_id in self.records:
+            self.records[object_id].stale = True
+
+    def query(self, subject_id: str, location: str) -> tuple[list[Profile], float]:
+        """Lookup by location; returns (profiles, latency_s)."""
+        if not self.available:
+            raise ServerDownError("directory server unreachable")
+        self.queries_served += 1
+        hits = [
+            r.profile for r in self.records.values()
+            if r.location == location and subject_id in r.allowed_subjects
+        ]
+        return hits, 2 * self.wan_rtt_s
+
+
+@dataclass
+class CentralizedClient:
+    """A subject using the central directory, with imperfect localization."""
+
+    subject_id: str
+    server: DirectoryServer
+    #: probability the believed location is wrong (a neighboring room)
+    localization_error: float = 0.0
+    rng: random.Random = field(default_factory=lambda: random.Random(0))
+
+    def discover(
+        self, true_location: str, neighbor_locations: list[str]
+    ) -> tuple[list[Profile], float]:
+        """One discovery attempt from *true_location*.
+
+        Returns (profiles, latency). Raises ServerDownError when the
+        single point of failure is down.
+        """
+        believed = true_location
+        if neighbor_locations and self.rng.random() < self.localization_error:
+            believed = self.rng.choice(neighbor_locations)
+        return self.server.query(self.subject_id, believed)
+
+
+def accuracy_experiment(
+    server: DirectoryServer,
+    client: CentralizedClient,
+    true_location: str,
+    neighbor_locations: list[str],
+    expected_ids: set[str],
+    trials: int = 100,
+) -> float:
+    """Fraction of trials retrieving exactly the services actually nearby."""
+    correct = 0
+    for _ in range(trials):
+        try:
+            profiles, _ = client.discover(true_location, neighbor_locations)
+        except ServerDownError:
+            continue
+        if {p.entity_id for p in profiles} == expected_ids:
+            correct += 1
+    return correct / trials

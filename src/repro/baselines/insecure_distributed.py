@@ -1,0 +1,104 @@
+"""Insecure distributed discovery — the UPnP / Bluetooth-SDP class (§X).
+
+"Distributed solutions like UPnP and Bluetooth SDP are
+infrastructure-less, and any service may announce itself or reply a
+query … Security is limitedly covered in existing work. Some
+authenticate neither users nor service information."
+
+This baseline is that world: plaintext queries, plaintext profiles, no
+authentication anywhere, plus SSDP-style unsolicited announcements. It
+exists so the attack harness can show every §VII attack *succeeding*
+against it — eavesdroppers read everything, impostors advertise fake
+services, and there is exactly one visibility level: everyone sees
+everything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class PlainAdvertisement:
+    """An unauthenticated service record, as it travels on the air."""
+
+    object_id: str
+    attributes: dict
+    functions: tuple[str, ...]
+
+    def to_bytes(self) -> bytes:
+        inner = ";".join(
+            [self.object_id]
+            + [f"{k}={v}" for k, v in sorted(self.attributes.items())]
+            + list(self.functions)
+        )
+        return inner.encode()
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "PlainAdvertisement":
+        parts = data.decode().split(";")
+        object_id = parts[0]
+        attributes = {}
+        functions = []
+        for part in parts[1:]:
+            if "=" in part:
+                key, value = part.split("=", 1)
+                attributes[key] = value
+            else:
+                functions.append(part)
+        return cls(object_id, attributes, tuple(functions))
+
+
+@dataclass
+class PlainService:
+    """A device in the insecure world: answers anyone, announces freely."""
+
+    advertisement: PlainAdvertisement
+
+    def answer_query(self, _query: bytes) -> PlainAdvertisement:
+        """No authentication, no scoping: everyone gets everything."""
+        return self.advertisement
+
+    def announce(self) -> PlainAdvertisement:
+        return self.advertisement
+
+
+@dataclass
+class PlainSubjectDevice:
+    """A client that trusts whatever it hears (as UPnP clients do)."""
+
+    known_services: dict[str, PlainAdvertisement] = field(default_factory=dict)
+    query_log: list[bytes] = field(default_factory=list)
+
+    def discover(self, services: list[PlainService]) -> list[PlainAdvertisement]:
+        query = b"M-SEARCH * ssdp:all"
+        self.query_log.append(query)
+        found = [service.answer_query(query) for service in services]
+        for advertisement in found:
+            self.known_services[advertisement.object_id] = advertisement
+        return found
+
+    def hear_announcement(self, advertisement: PlainAdvertisement) -> None:
+        """Announcements are accepted with zero verification."""
+        self.known_services[advertisement.object_id] = advertisement
+
+
+@dataclass
+class PassiveSniffer:
+    """An eavesdropper in the insecure world: hears = knows."""
+
+    captured: list[PlainAdvertisement] = field(default_factory=list)
+
+    def sniff(self, advertisement: PlainAdvertisement) -> None:
+        self.captured.append(advertisement)
+
+    def full_inventory(self) -> dict[str, tuple[str, ...]]:
+        """The complete behind-walls service map the attacker built —
+        exactly the §III 'service information secrecy' failure."""
+        return {a.object_id: a.functions for a in self.captured}
+
+
+def spoof_service(object_id: str, functions: tuple[str, ...]) -> PlainService:
+    """An attacker-controlled service: indistinguishable from real ones
+    because nothing is signed."""
+    return PlainService(PlainAdvertisement(object_id, {"type": "door lock"}, functions))

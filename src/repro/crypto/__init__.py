@@ -1,0 +1,55 @@
+"""Cryptographic substrate for the Argus reproduction.
+
+This package provides every primitive the Argus protocol (and its
+baselines) needs:
+
+* :mod:`repro.crypto.primitives` — hashing, HMAC, nonces, constant-time
+  comparison.
+* :mod:`repro.crypto.ecdsa` — ECDSA signing/verification at the four
+  security strengths the paper evaluates (112/128/192/256-bit).
+* :mod:`repro.crypto.ecdh` — ephemeral ECDH key exchange (the paper's
+  ``KEXM`` material) with forward secrecy.
+* :mod:`repro.crypto.kdf` — the HMAC-based key schedule producing the
+  Level 2 session key ``K2`` and the Level 3 key ``K3``.
+* :mod:`repro.crypto.aead` — AES-CBC + HMAC encrypt-then-MAC, matching
+  the paper's 16-byte-IV / 32-byte-MAC accounting (§IX-A).
+* :mod:`repro.crypto.pairing` — a *simulated* bilinear group used only by
+  the ABE / PBC baselines (see DESIGN.md §5 for the substitution note).
+* :mod:`repro.crypto.abe` — Ciphertext-Policy ABE (BSW07) over the
+  simulated pairing, used by the ABE baseline.
+* :mod:`repro.crypto.secret_handshake` — pairing-based secret handshake
+  (MASHaBLE-style), used by the PBC baseline.
+* :mod:`repro.crypto.costmodel` — per-operation timing tables calibrated
+  to the paper's hardware (Nexus 6 subject device, Raspberry Pi 3
+  objects), used by the network simulator's ``calibrated`` timing mode.
+"""
+
+from repro.crypto.primitives import (
+    constant_time_equal,
+    hkdf_like_prf,
+    hmac_sha256,
+    random_bytes,
+    sha256,
+)
+from repro.crypto.ecdsa import SigningKey, VerifyingKey, generate_signing_key
+from repro.crypto.ecdh import EphemeralECDH
+from repro.crypto.kdf import derive_k2, derive_k3, premaster_to_session
+from repro.crypto.aead import SymmetricCipher, decrypt, encrypt
+
+__all__ = [
+    "EphemeralECDH",
+    "SigningKey",
+    "SymmetricCipher",
+    "VerifyingKey",
+    "constant_time_equal",
+    "decrypt",
+    "derive_k2",
+    "derive_k3",
+    "encrypt",
+    "generate_signing_key",
+    "hkdf_like_prf",
+    "hmac_sha256",
+    "premaster_to_session",
+    "random_bytes",
+    "sha256",
+]

@@ -1,0 +1,70 @@
+"""Ephemeral ECDH key exchange — the paper's ``KEXM`` material.
+
+Argus fixes its key-exchange algorithm at *ephemeral* ECDH (§V), which
+gives the protocol forward secrecy (§VII Case 1: compromising a long-term
+ECDSA key never reveals past session keys, because each session's
+premaster secret derives from one-shot ECDH keys).
+
+The public value (``KEXM_X``) is serialized as the raw X || Y coordinates
+*without* the SEC1 0x04 prefix, so that at 128-bit strength it is exactly
+64 bytes, matching §IX-A ("KEXM_X … are 64 B").
+"""
+
+from __future__ import annotations
+
+from cryptography.hazmat.primitives.asymmetric import ec
+
+from repro.crypto import meter
+from repro.crypto.ecdsa import DEFAULT_STRENGTH, _curve_for, _scalar_len
+
+
+def kexm_length(strength: int = DEFAULT_STRENGTH) -> int:
+    """Length in bytes of a serialized KEXM at *strength* (64 at 128-bit)."""
+    return 2 * _scalar_len(_curve_for(strength))
+
+
+class EphemeralECDH:
+    """A one-shot ECDH key pair.
+
+    Usage mirrors the protocol: the object generates its pair when
+    building RES1, the subject generates hers when building QUE2, and
+    each side calls :meth:`derive_premaster` on the peer's ``KEXM`` bytes
+    to obtain the shared premaster secret ``preK`` (§V).
+    """
+
+    def __init__(self, strength: int = DEFAULT_STRENGTH) -> None:
+        self.strength = strength
+        self._curve = _curve_for(strength)
+        meter.record("ecdh_gen", strength)
+        self._private = ec.generate_private_key(self._curve)
+
+    @property
+    def kexm(self) -> bytes:
+        """The public key-exchange material, raw X || Y coordinates."""
+        numbers = self._private.public_key().public_numbers()
+        n = _scalar_len(self._curve)
+        return numbers.x.to_bytes(n, "big") + numbers.y.to_bytes(n, "big")
+
+    def derive_premaster(self, peer_kexm: bytes) -> bytes:
+        """Compute the ECDH shared secret from the peer's KEXM bytes.
+
+        Raises ValueError if *peer_kexm* is malformed or not a point on
+        the curve — a tampered KEXM must abort the handshake, not produce
+        a garbage key.
+        """
+        meter.record("ecdh_derive", self.strength)
+        n = _scalar_len(self._curve)
+        if len(peer_kexm) != 2 * n:
+            raise ValueError(
+                f"KEXM must be {2 * n} bytes at strength {self.strength}, "
+                f"got {len(peer_kexm)}"
+            )
+        # Re-attach the SEC1 uncompressed-point prefix stripped at send time.
+        point = b"\x04" + peer_kexm
+        try:
+            peer_public = ec.EllipticCurvePublicKey.from_encoded_point(
+                self._curve, point
+            )
+        except ValueError as exc:
+            raise ValueError(f"invalid KEXM point: {exc}") from exc
+        return self._private.exchange(ec.ECDH(), peer_public)

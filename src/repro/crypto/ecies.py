@@ -1,0 +1,64 @@
+"""ECIES-style public-key encryption (ephemeral ECDH + AEAD).
+
+The backend's update plane (:mod:`repro.backend.updatewire`) must push
+new group keys to fellows over the ground network confidentially; each
+recipient holds an EC key pair (the same one its certificate binds), so
+the natural mechanism is ECIES: a fresh ephemeral ECDH share per
+message, HKDF to a symmetric key, then the project's encrypt-then-MAC
+AEAD.
+
+Wire format::
+
+    ephemeral KEXM (2*w bytes, curve width w) || AEAD blob
+"""
+
+from __future__ import annotations
+
+from cryptography.hazmat.primitives.asymmetric import ec
+
+from repro.crypto import aead
+from repro.crypto.ecdh import EphemeralECDH, kexm_length
+from repro.crypto.ecdsa import SigningKey, VerifyingKey, _curve_for, _scalar_len
+from repro.crypto.primitives import hkdf_like_prf
+
+_LABEL = b"argus ecies"
+
+
+class EciesError(Exception):
+    """Raised when decryption fails (wrong key, tampering, malformed)."""
+
+
+def encrypt(recipient: VerifyingKey, plaintext: bytes) -> bytes:
+    """Encrypt *plaintext* to the holder of *recipient*'s private key."""
+    eph = EphemeralECDH(recipient.strength)
+    shared = _exchange(eph, recipient)
+    key = hkdf_like_prf(shared, _LABEL, eph.kexm, 32)
+    return eph.kexm + aead.encrypt(key, plaintext)
+
+
+def decrypt(private: SigningKey, blob: bytes) -> bytes:
+    """Decrypt a blob produced by :func:`encrypt` for *private*'s key."""
+    width = kexm_length(private.strength)
+    if len(blob) <= width:
+        raise EciesError("ciphertext too short")
+    kexm, body = blob[:width], blob[width:]
+    curve = _curve_for(private.strength)
+    try:
+        point = ec.EllipticCurvePublicKey.from_encoded_point(curve, b"\x04" + kexm)
+    except ValueError as exc:
+        raise EciesError(f"bad ephemeral point: {exc}") from exc
+    shared = private._key.exchange(ec.ECDH(), point)
+    key = hkdf_like_prf(shared, _LABEL, kexm, 32)
+    try:
+        return aead.decrypt(key, body)
+    except aead.AeadError as exc:
+        raise EciesError(str(exc)) from exc
+
+
+def _exchange(eph: EphemeralECDH, recipient: VerifyingKey) -> bytes:
+    """ECDH between the ephemeral private key and the recipient's public."""
+    n = _scalar_len(_curve_for(recipient.strength))
+    peer_point = recipient.to_bytes()
+    if peer_point[0] != 0x04 or len(peer_point) != 1 + 2 * n:
+        raise EciesError("unsupported recipient key encoding")
+    return eph.derive_premaster(peer_point[1:])

@@ -1,0 +1,59 @@
+"""The Argus key schedule: premaster secret → K2 → K3.
+
+Directly transcribes §V and §VI-A:
+
+* ``K2 = HMAC(preK, label_K || R_S || R_O)`` — the Level 2 session key,
+  derived from the ephemeral-ECDH premaster secret and both nonces.
+* ``K3 = HMAC(K2 || K_grp, label_K || R_S || R_O)`` — the Level 3 session
+  key, additionally keyed by the secret-group key, so only a fellow can
+  compute it.
+
+The "finished" MACs (``MAC_{S,i}``, ``MAC_{O,i}``) over the handshake
+transcript live here too, since they are part of the key schedule's
+contract: ``MAC_{X,i} = HMAC(K_i, label_X || Hash(*))`` where ``*`` is
+all content sent and received so far.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.primitives import hmac_sha256, sha256
+
+#: ASCII labels fixed by the paper (§V).
+LABEL_KEY = b"session key"
+LABEL_SUBJECT = b"subject finished"
+LABEL_OBJECT = b"object finished"
+
+
+def premaster_to_session(pre_k: bytes, r_s: bytes, r_o: bytes) -> bytes:
+    """Derive the Level 2 session key ``K2`` from the premaster secret."""
+    return hmac_sha256(pre_k, LABEL_KEY + r_s + r_o)
+
+
+# K2 derivation is the premaster-to-session map; expose the paper's name too.
+derive_k2 = premaster_to_session
+
+
+def derive_k3(k2: bytes, group_key: bytes, r_s: bytes, r_o: bytes) -> bytes:
+    """Derive the Level 3 session key ``K3 = HMAC(K2 || K_grp, ...)``.
+
+    A subject holding only a *cover-up key* (a unique random value no
+    object shares) still derives *a* K3 — it simply never verifies on any
+    object, which is exactly what makes the cover-up mechanism
+    indistinguishable from a real Level 3 attempt (§VI-B).
+    """
+    return hmac_sha256(k2 + group_key, LABEL_KEY + r_s + r_o)
+
+
+def finished_mac(session_key: bytes, label: bytes, transcript: bytes) -> bytes:
+    """``HMAC(K_i, label || Hash(*))`` over the handshake transcript."""
+    return hmac_sha256(session_key, label + sha256(transcript))
+
+
+def subject_finished(session_key: bytes, transcript: bytes) -> bytes:
+    """The subject's finished MAC (``MAC_{S,2}`` or ``MAC_{S,3}``)."""
+    return finished_mac(session_key, LABEL_SUBJECT, transcript)
+
+
+def object_finished(session_key: bytes, transcript: bytes) -> bytes:
+    """The object's finished MAC (``MAC_{O,2}`` or ``MAC_{O,3}``)."""
+    return finished_mac(session_key, LABEL_OBJECT, transcript)

@@ -1,0 +1,78 @@
+"""Operation metering: count cryptographic operations as they happen.
+
+The simulator's ``calibrated`` timing mode (DESIGN.md §4) needs to know
+how many expensive operations each protocol step performed so it can
+advance the simulated clock by the paper-hardware cost of those
+operations (:mod:`repro.crypto.costmodel`). Rather than having every
+engine predict its own op counts analytically — which would silently
+drift from the real code — the crypto wrappers *report* each operation
+to the active meter, and the simulator reads the totals.
+
+Metering is opt-in and context-local (safe under nested use); when no
+meter is active, :func:`record` is a cheap no-op.
+"""
+
+from __future__ import annotations
+
+import contextvars
+from collections import Counter
+from contextlib import contextmanager
+from typing import Iterator
+
+_active: contextvars.ContextVar["OpMeter | None"] = contextvars.ContextVar(
+    "active_op_meter", default=None
+)
+
+
+class OpMeter:
+    """A tally of crypto operations, keyed by ``(op, strength)``.
+
+    ``strength`` is 0 for strength-independent operations (HMAC, AES,
+    pairing-group ops).
+    """
+
+    def __init__(self) -> None:
+        self.counts: Counter[tuple[str, int]] = Counter()
+
+    def add(self, op: str, strength: int = 0, n: int = 1) -> None:
+        self.counts[(op, strength)] += n
+
+    def total(self, op: str) -> int:
+        """Total count of *op* across all strengths."""
+        return sum(n for (name, _), n in self.counts.items() if name == op)
+
+    def merge(self, other: "OpMeter") -> None:
+        self.counts.update(other.counts)
+
+    def snapshot(self) -> dict[tuple[str, int], int]:
+        return dict(self.counts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        items = ", ".join(f"{op}@{s}:{n}" for (op, s), n in sorted(self.counts.items()))
+        return f"OpMeter({items})"
+
+
+def record(op: str, strength: int = 0, n: int = 1) -> None:
+    """Report *n* occurrences of *op* to the active meter, if any."""
+    active = _active.get()
+    if active is not None:
+        active.add(op, strength, n)
+
+
+@contextmanager
+def metered() -> Iterator[OpMeter]:
+    """Activate a fresh meter for the duration of the block.
+
+    Nested ``metered()`` blocks each see only their own operations; the
+    inner block's counts are folded into the outer meter on exit so
+    outer totals stay complete.
+    """
+    inner = OpMeter()
+    outer = _active.get()
+    token = _active.set(inner)
+    try:
+        yield inner
+    finally:
+        _active.reset(token)
+        if outer is not None:
+            outer.merge(inner)

@@ -1,0 +1,175 @@
+"""A *simulated* bilinear pairing group for the ABE / PBC baselines.
+
+The paper's baselines use pairing-based cryptography: CP-ABE
+(Bethencourt–Sahai–Waters 2007) for Level 2 and a pairing-based secret
+handshake (MASHaBLE-style) for Level 3. No pairing library is available
+in this offline environment, so — per the substitution rule in DESIGN.md
+§5 — we implement a **transparent** bilinear group:
+
+* ``G1`` and ``GT`` are cyclic groups of prime order ``q``; an element is
+  represented by its discrete logarithm (exponent) with respect to the
+  generator. The simulator therefore *knows* every discrete log.
+* The pairing is computed directly on exponents:
+  ``e(g^a, g^b) = gT^(a*b mod q)`` — bilinearity, non-degeneracy and
+  the algebra of every pairing-based scheme hold *exactly*.
+
+What this preserves: the full structure of BSW07 (access trees, secret
+sharing, Lagrange interpolation in the exponent) and of the secret
+handshake (credential = H(id)^s, key agreement via one pairing per side),
+and therefore the operation *counts* the paper's cost comparison rests
+on. What it does not preserve: cryptographic hardness — discrete logs
+are trivially visible to anyone holding the element object. The Argus
+protocol itself never touches this module; only the baselines do, and
+only for functional + cost-model comparison.
+
+Operation costs are priced by :mod:`repro.crypto.costmodel` (a pairing on
+the paper's hardware costs seconds); this module additionally reports
+every group operation to the active :class:`repro.crypto.meter.OpMeter`
+so the simulator's calibrated clock advances by realistic amounts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.crypto import meter
+from repro.crypto.primitives import random_bytes
+
+#: A 256-bit prime group order (the order of curve P-256's base field
+#: group, a standard choice for 128-bit-security pairing payloads).
+DEFAULT_ORDER = 0xFFFFFFFF00000000FFFFFFFFFFFFFFFFBCE6FAADA7179E84F3B9CAC2FC632551
+
+
+class PairingGroup:
+    """A transparent symmetric bilinear group (G1 x G1 -> GT)."""
+
+    def __init__(self, order: int = DEFAULT_ORDER) -> None:
+        if order < 3:
+            raise ValueError("group order must be a prime >= 3")
+        self.order = order
+
+    # -- element constructors -------------------------------------------------
+
+    def g1(self, exponent: int = 1) -> "G1Element":
+        """Return ``g^exponent`` in G1."""
+        return G1Element(self, exponent % self.order)
+
+    def gt(self, exponent: int = 1) -> "GTElement":
+        """Return ``gT^exponent`` in GT (gT = e(g, g))."""
+        return GTElement(self, exponent % self.order)
+
+    def random_scalar(self) -> int:
+        """A uniformly random exponent in [1, order)."""
+        while True:
+            candidate = int.from_bytes(random_bytes(40), "big") % self.order
+            if candidate != 0:
+                return candidate
+
+    def random_g1(self) -> "G1Element":
+        return self.g1(self.random_scalar())
+
+    def random_gt(self) -> "GTElement":
+        return self.gt(self.random_scalar())
+
+    def hash_to_g1(self, data: bytes) -> "G1Element":
+        """Hash arbitrary bytes onto G1 (the schemes' ``H1``)."""
+        meter.record("hash_to_g1")
+        digest = hashlib.sha512(b"pairing-h1" + data).digest()
+        return self.g1(int.from_bytes(digest, "big") % self.order)
+
+    # -- the pairing -----------------------------------------------------------
+
+    def pair(self, p: "G1Element", q: "G1Element") -> "GTElement":
+        """Compute ``e(p, q)``; the scheme's single most expensive op."""
+        if p.group is not self or q.group is not self:
+            raise ValueError("pairing arguments must come from this group")
+        meter.record("pairing")
+        return self.gt(p.exponent * q.exponent % self.order)
+
+    def lagrange_coefficient(self, i: int, index_set: list[int], x: int = 0) -> int:
+        """Lagrange basis polynomial ``Δ_{i,S}(x)`` over Z_q.
+
+        Used by ABE decryption to recombine secret shares in the
+        exponent (BSW07 §4.2).
+        """
+        if i not in index_set:
+            raise ValueError(f"index {i} not in interpolation set {index_set}")
+        num, den = 1, 1
+        for j in index_set:
+            if j == i:
+                continue
+            num = num * ((x - j) % self.order) % self.order
+            den = den * ((i - j) % self.order) % self.order
+        return num * pow(den, -1, self.order) % self.order
+
+
+@dataclass(frozen=True)
+class G1Element:
+    """An element ``g^exponent`` of G1."""
+
+    group: PairingGroup
+    exponent: int
+
+    def __mul__(self, other: "G1Element") -> "G1Element":
+        self._check(other)
+        meter.record("g1_mul")
+        return G1Element(self.group, (self.exponent + other.exponent) % self.group.order)
+
+    def __pow__(self, scalar: int) -> "G1Element":
+        meter.record("g1_exp")
+        return G1Element(self.group, self.exponent * (scalar % self.group.order) % self.group.order)
+
+    def inverse(self) -> "G1Element":
+        return G1Element(self.group, (-self.exponent) % self.group.order)
+
+    def is_identity(self) -> bool:
+        return self.exponent == 0
+
+    def to_bytes(self) -> bytes:
+        """Canonical 32-byte encoding (the exponent; transparent group)."""
+        return self.exponent.to_bytes(32, "big")
+
+    def _check(self, other: "G1Element") -> None:
+        if self.group is not other.group:
+            raise ValueError("cannot combine elements from different groups")
+
+
+@dataclass(frozen=True)
+class GTElement:
+    """An element ``gT^exponent`` of the target group GT."""
+
+    group: PairingGroup
+    exponent: int
+
+    def __mul__(self, other: "GTElement") -> "GTElement":
+        self._check(other)
+        meter.record("gt_mul")
+        return GTElement(self.group, (self.exponent + other.exponent) % self.group.order)
+
+    def __truediv__(self, other: "GTElement") -> "GTElement":
+        self._check(other)
+        meter.record("gt_mul")
+        return GTElement(self.group, (self.exponent - other.exponent) % self.group.order)
+
+    def __pow__(self, scalar: int) -> "GTElement":
+        meter.record("gt_exp")
+        return GTElement(self.group, self.exponent * (scalar % self.group.order) % self.group.order)
+
+    def inverse(self) -> "GTElement":
+        return GTElement(self.group, (-self.exponent) % self.group.order)
+
+    def is_identity(self) -> bool:
+        return self.exponent == 0
+
+    def to_bytes(self) -> bytes:
+        """Canonical 32-byte encoding, used to derive symmetric keys."""
+        return self.exponent.to_bytes(32, "big")
+
+    def derive_key(self) -> bytes:
+        """Hash this GT element into a 32-byte symmetric key."""
+        return hashlib.sha256(b"gt-kdf" + self.to_bytes()).digest()
+
+    def _check(self, other: "GTElement") -> None:
+        if self.group is not other.group:
+            raise ValueError("cannot combine elements from different groups")

@@ -1,0 +1,10 @@
+"""Experiment runners — one module per table/figure of §VIII–IX.
+
+See DESIGN.md's per-experiment index for the mapping. Each module's
+``run()`` returns a renderable table with the same rows/series the paper
+reports; :mod:`repro.experiments.runner` regenerates everything.
+"""
+
+from repro.experiments.common import Table, make_level_fleet
+
+__all__ = ["Table", "make_level_fleet"]

@@ -1,0 +1,90 @@
+"""Shared helpers for the experiment runners.
+
+Every runner returns a :class:`Series` or :class:`Table` — plain data
+plus a ``render()`` that prints the same rows/series the paper reports —
+so benchmarks, EXPERIMENTS.md generation and the examples all share one
+formatting path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.backend.registration import Backend, ObjectCredentials, SubjectCredentials
+
+
+@dataclass
+class Table:
+    """A labeled table: rows x columns of numbers/strings."""
+
+    title: str
+    columns: list[str]
+    rows: list[list] = field(default_factory=list)
+    notes: str = ""
+
+    def add(self, *cells) -> None:
+        if len(cells) != len(self.columns):
+            raise ValueError(f"expected {len(self.columns)} cells, got {len(cells)}")
+        self.rows.append(list(cells))
+
+    def render(self) -> str:
+        def fmt(cell) -> str:
+            if isinstance(cell, float):
+                return f"{cell:.3f}" if abs(cell) < 1000 else f"{cell:.1f}"
+            return str(cell)
+
+        str_rows = [[fmt(c) for c in row] for row in self.rows]
+        widths = [
+            max(len(self.columns[i]), *(len(r[i]) for r in str_rows)) if str_rows
+            else len(self.columns[i])
+            for i in range(len(self.columns))
+        ]
+        lines = [self.title, "=" * len(self.title)]
+        lines.append("  ".join(c.ljust(w) for c, w in zip(self.columns, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in str_rows:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        if self.notes:
+            lines.append("")
+            lines.append(self.notes)
+        return "\n".join(lines)
+
+
+def make_level_fleet(
+    n: int, level: int, strength: int = 128
+) -> tuple[SubjectCredentials, list[ObjectCredentials], Backend]:
+    """A fresh backend with one subject and *n* same-level objects.
+
+    The standard workload of the Fig. 6 experiments: the subject is
+    authorized for every object; Level 3 objects share one secret group
+    with the subject.
+    """
+    backend = Backend(strength=strength)
+    if level == 3:
+        backend.add_sensitive_policy("sensitive:special", "sensitive:serves-special")
+    sensitive = ("sensitive:special",) if level == 3 else ()
+    subject = backend.register_subject(
+        "subject-0", {"position": "staff", "department": "X"}, sensitive
+    )
+    objects = []
+    for i in range(n):
+        if level == 1:
+            creds = backend.register_object(
+                f"obj-{i:03d}", {"type": "thermometer"}, level=1,
+                functions=("read_temperature",),
+            )
+        elif level == 2:
+            creds = backend.register_object(
+                f"obj-{i:03d}", {"type": "multimedia"}, level=2,
+                functions=("play",),
+                variants=[("position=='staff'", ("play", "cast"))],
+            )
+        else:
+            creds = backend.register_object(
+                f"obj-{i:03d}", {"type": "magazine kiosk"}, level=3,
+                functions=("dispense_magazine",),
+                variants=[("position=='staff'", ("dispense_magazine",))],
+                covert_functions={"sensitive:serves-special": ("dispense_support_flyer",)},
+            )
+        objects.append(creds)
+    return subject, objects, backend

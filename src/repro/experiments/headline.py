@@ -1,0 +1,32 @@
+"""The §IX headline — "Argus needs only 105 ms while ABE and PBC cost at
+least 10x as long" (128-bit security).
+
+Computes Argus's total per-discovery computation (subject + object,
+calibrated), the ABE decryption cost for representative policy sizes,
+and the PBC handshake cost (one pairing per side), then the ratios.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.timing_model import headline_computation_ms
+from repro.crypto.costmodel import NEXUS6, RASPBERRY_PI3, abe_decrypt_ms
+from repro.experiments.common import Table
+
+
+def run() -> Table:
+    argus_ms = headline_computation_ms()
+    table = Table(
+        "Headline computation cost at 128-bit (ms, paper hardware)",
+        ["scheme", "cost (ms)", "vs Argus"],
+    )
+    table.add("Argus (subject+object, L2/L3)", argus_ms, 1.0)
+    for n_attrs in (1, 2, 4):
+        abe = abe_decrypt_ms(n_attrs)
+        table.add(f"ABE decryption ({n_attrs} attrs)", abe, abe / argus_ms)
+    pbc = NEXUS6.pairing_ms + RASPBERRY_PI3.pairing_ms
+    table.add("PBC handshake (1 pairing/side)", pbc, pbc / argus_ms)
+    table.notes = (
+        "Paper: Argus 105 ms; ABE and PBC at least 10x. The >=10x holds from "
+        "a single-attribute ABE policy and for any PBC handshake."
+    )
+    return table

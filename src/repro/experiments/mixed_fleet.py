@@ -1,0 +1,66 @@
+"""The 3-in-1 claim measured: one round discovers all levels concurrently.
+
+The paper's core pitch is *concurrent* multi-level discovery — "Argus is
+a 3-in-1 algorithm" — yet Fig. 6 measures homogeneous fleets. This
+experiment runs a realistic *mixed* fleet (Level 1 + 2 + 3 together, one
+broadcast) and reports per-level completion inside the single round,
+confirming there is no serialization penalty for mixing: Level 1 answers
+arrive on the 2-way fast path while the 4-way handshakes proceed.
+"""
+
+from __future__ import annotations
+
+from repro.backend import Backend
+from repro.experiments.common import Table
+from repro.net.run import simulate_discovery
+
+
+def build_mixed_fleet(n_per_level: int = 7):
+    backend = Backend()
+    backend.add_sensitive_policy("sensitive:special", "sensitive:serves-special")
+    subject = backend.register_subject(
+        "mixed-user", {"position": "staff"}, ("sensitive:special",)
+    )
+    objects = []
+    for i in range(n_per_level):
+        objects.append(backend.register_object(
+            f"l1-{i}", {"type": "thermometer"}, level=1, functions=("read",),
+        ))
+        objects.append(backend.register_object(
+            f"l2-{i}", {"type": "multimedia"}, level=2, functions=("play",),
+            variants=[("position=='staff'", ("play",))],
+        ))
+        objects.append(backend.register_object(
+            f"l3-{i}", {"type": "kiosk"}, level=3, functions=("mag",),
+            variants=[("position=='staff'", ("mag",))],
+            covert_functions={"sensitive:serves-special": ("flyer",)},
+        ))
+    return subject, objects
+
+
+def measure(n_per_level: int = 7, seed: int = 0):
+    subject, objects = build_mixed_fleet(n_per_level)
+    timeline = simulate_discovery(subject, objects, seed=seed)
+    per_level: dict[int, list[float]] = {1: [], 2: [], 3: []}
+    for service in timeline.services:
+        # group by the object's true level (the id prefix), not level_seen
+        true_level = int(service.object_id[1])
+        per_level[true_level].append(timeline.completion[service.object_id])
+    return timeline, per_level
+
+
+def run(n_per_level: int = 7) -> Table:
+    timeline, per_level = measure(n_per_level)
+    table = Table(
+        f"3-in-1 concurrency: mixed fleet, {n_per_level} objects per level, one round",
+        ["level", "first found (s)", "last found (s)", "all discovered"],
+    )
+    for level in (1, 2, 3):
+        times = sorted(per_level[level])
+        table.add(level, times[0], times[-1], len(times) == n_per_level)
+    table.notes = (
+        f"total {timeline.total_time:.3f} s for {3 * n_per_level} objects; "
+        "Level 1 completes early (2-way), Levels 2/3 interleave on the same "
+        "channel — no per-level serialization."
+    )
+    return table

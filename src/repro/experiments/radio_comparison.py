@@ -1,0 +1,40 @@
+"""Extension: discovery time by radio technology (§II-A's interfaces).
+
+The paper's design "is above the network layer and orthogonal to
+radios"; this extension quantifies the consequence: on slower radios the
+Level 2/3 exchange's 2088 bytes dominate, so the Level 1 vs Level 2/3
+gap widens — exactly the transmission-share logic of Fig. 6(f) pushed
+across link technologies.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import Table, make_level_fleet
+from repro.net.radio import RADIO_PRESETS
+from repro.net.run import simulate_discovery
+
+
+def measure(radio: str, level: int, n: int = 10) -> float:
+    subject, objects, _ = make_level_fleet(n, level)
+    link = RADIO_PRESETS[radio]
+    timeline = simulate_discovery(subject, objects, link=link)
+    if len(timeline.completion) != n:
+        raise AssertionError(f"{radio}: only {len(timeline.completion)}/{n} found")
+    return timeline.total_time
+
+
+def run(n: int = 10) -> Table:
+    table = Table(
+        f"Extension: discovery time of {n} objects by radio technology (s)",
+        ["radio", "Level 1", "Level 2", "L2/L1 ratio"],
+    )
+    for radio in ("wifi", "ble", "zigbee"):
+        l1 = measure(radio, 1, n)
+        l2 = measure(radio, 2, n)
+        table.add(radio, l1, l2, l2 / l1)
+    table.notes = (
+        "The protocol is radio-agnostic (it completes everywhere); the "
+        "Level 2/3 byte volume (2088 B/object) makes slow radios pay "
+        "disproportionately — the Fig. 6(f) transmission share at work."
+    )
+    return table

@@ -1,0 +1,84 @@
+"""Run every experiment and emit the full paper-vs-measured report.
+
+``python -m repro.experiments.runner`` regenerates all of §IX; the same
+entry point produces the body of EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments import (
+    capacity,
+    concurrent_subjects,
+    mixed_fleet,
+    multi_group,
+    radio_comparison,
+    security_report,
+    timing_attack,
+    scalability_sweep,
+    version_overhead,
+    fig6a,
+    fig6b,
+    fig6c,
+    fig6d,
+    fig6e,
+    fig6f,
+    fig6g,
+    fig6h,
+    headline,
+    msg_overhead,
+    table1,
+)
+
+ALL = {
+    "table1": lambda: table1.run(),
+    "fig6a": lambda: fig6a.run().render(),
+    "fig6b": lambda: fig6b.run().render(),
+    "fig6c": lambda: fig6c.run().render(),
+    "fig6d": lambda: fig6d.run().render(),
+    "fig6e": lambda: fig6e.run().render(),
+    "fig6f": lambda: fig6f.run().render(),
+    "fig6g": lambda: fig6g.run().render(),
+    "fig6h": lambda: fig6h.run().render(),
+    "msg_overhead": lambda: msg_overhead.run().render(),
+    "headline": lambda: headline.run().render(),
+    # extension (not a paper figure): channel contention across subjects
+    "concurrent_subjects": lambda: concurrent_subjects.run().render(),
+    # §VIII parameter sweeps beyond the single Table I point
+    "scalability_sweep": lambda: scalability_sweep.run(),
+    # §VI "Overhead of Extensions": the version ladder's cost deltas
+    "version_overhead": lambda: version_overhead.run().render(),
+    # extension: §II-A's radio diversity quantified
+    "radio_comparison": lambda: radio_comparison.run().render(),
+    # the 3-in-1 concurrency claim on a mixed fleet
+    "mixed_fleet": lambda: mixed_fleet.run().render(),
+    # §VI-C: one round per secret group, cost per sensitive attribute
+    "multi_group": lambda: multi_group.run().render(),
+    # §VII Case 9 quantified: attack accuracy vs jitter
+    "timing_attack": lambda: timing_attack.run().render(),
+    # extension: max fleet size within a latency budget
+    "capacity": lambda: capacity.run().render(),
+    # §VII executed end to end as one scorecard
+    "security_report": lambda: security_report.run().render(),
+}
+
+
+def run_all(selected: list[str] | None = None) -> str:
+    names = selected or list(ALL)
+    sections = []
+    for name in names:
+        if name not in ALL:
+            raise KeyError(f"unknown experiment {name!r}; choose from {sorted(ALL)}")
+        sections.append(ALL[name]())
+    return "\n\n".join(sections)
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = argv if argv is not None else sys.argv[1:]
+    print(run_all(args or None))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,34 @@
+"""§VII Case 9 quantified: timing-attack accuracy vs network jitter.
+
+The paper's defence is an inequality — the 0.08 ms HMAC delta is "buried
+under much larger time fluctuations from OS, network, etc." — so the
+right reproduction is a curve: how accurate can the best threshold
+classifier get as jitter shrinks? At realistic jitter the attack is
+dead; only a physically implausible noise floor would revive it.
+"""
+
+from __future__ import annotations
+
+from repro.attacks.timing import collect_observations
+from repro.experiments.common import Table
+from repro.net.radio import LinkModel
+
+
+def run(jitters: tuple[float, ...] = (0.0, 0.02, 0.1, 0.25)) -> Table:
+    table = Table(
+        "Case 9: timing-attack classifier accuracy vs link jitter",
+        ["jitter fraction", "accuracy", "mean L3-L2 gap (ms)", "verdict"],
+    )
+    for jitter in jitters:
+        link = LinkModel(jitter_fraction=jitter)
+        obs = collect_observations(runs=6, n_objects=3, link=link)
+        accuracy = obs.classifier_accuracy()
+        verdict = "attack defeated" if accuracy < 0.7 else "attack viable"
+        table.add(jitter, accuracy, obs.mean_gap_ms(), verdict)
+    table.notes = (
+        "Deterministic links (jitter 0) expose the residual systematic "
+        "difference; any realistic wireless jitter (>= a few % of "
+        "occupancy, i.e. multiple ms) swamps the sub-0.1 ms HMAC signal — "
+        "the paper's Case 9 argument as a measured curve."
+    )
+    return table

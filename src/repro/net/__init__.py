@@ -1,0 +1,34 @@
+"""The ground-network substrate: discrete-event wireless simulation.
+
+Replaces the paper's Nexus 6 + 20 Raspberry Pi WiFi testbed (see
+DESIGN.md §5). The simulator drives the *same* sans-IO protocol engines
+as the in-memory path, with a calibrated link model and per-device
+crypto cost tables, so Fig. 6(e)–(h)'s discovery-time experiments can be
+regenerated on a laptop.
+"""
+
+from repro.net.node import GroundNetwork, SimNode, SizeMode, TimingMode, message_size
+from repro.net.radio import DEFAULT_WIFI, JITTERY_WIFI, LinkModel, Radio
+from repro.net.run import DiscoveryTimeline, simulate_discovery
+from repro.net.simulator import Simulator
+from repro.net.topology import SUBJECT, hop_distance, multihop, paper_multihop, star
+
+__all__ = [
+    "DEFAULT_WIFI",
+    "DiscoveryTimeline",
+    "GroundNetwork",
+    "JITTERY_WIFI",
+    "LinkModel",
+    "Radio",
+    "SUBJECT",
+    "SimNode",
+    "Simulator",
+    "SizeMode",
+    "TimingMode",
+    "hop_distance",
+    "message_size",
+    "multihop",
+    "paper_multihop",
+    "simulate_discovery",
+    "star",
+]

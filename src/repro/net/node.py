@@ -1,0 +1,310 @@
+"""Simulated nodes: protocol engines bound to radios and CPUs.
+
+A :class:`SimNode` owns a half-duplex :class:`~repro.net.radio.Radio`, a
+serial CPU, and (for subjects/objects) a sans-IO protocol engine. The
+:class:`GroundNetwork` routes messages over the topology graph, applying
+the link model per hop and contention at every radio.
+
+Two timing modes (DESIGN.md §4):
+
+* ``CALIBRATED`` — engine handlers run under an
+  :class:`~repro.crypto.meter.OpMeter`; the simulated CPU time is the
+  tally priced by the node's paper-hardware
+  :class:`~repro.crypto.costmodel.DeviceProfile`.
+* ``MEASURED`` — the handler's real wall-clock time on this machine is
+  used instead.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+import networkx as nx
+
+from repro.crypto.costmodel import DeviceProfile
+from repro.crypto.meter import metered
+from repro.net.radio import LinkModel, Radio
+from repro.net.simulator import Simulator
+from repro.protocol.messages import Que1, Que2, Res1, Res1Level1, Res2
+from repro.protocol.object import ObjectEngine
+from repro.protocol.subject import SubjectEngine
+
+
+class TimingMode(enum.Enum):
+    CALIBRATED = "calibrated"
+    MEASURED = "measured"
+
+
+class SizeMode(enum.Enum):
+    #: §IX-A nominal byte counts (reproduces the paper's accounting).
+    NOMINAL = "nominal"
+    #: Actual serialized lengths of our encodings.
+    ACTUAL = "actual"
+
+
+def message_size(message, mode: SizeMode) -> int:
+    """Bytes a message occupies on the air."""
+    if mode is SizeMode.ACTUAL:
+        return len(message.to_bytes())
+    from repro.access.messages import Command, Response
+
+    if isinstance(message, (Command, Response)):
+        return len(message.to_bytes())  # no §IX-A nominal: actual size
+    if isinstance(message, Que1):
+        return Que1.nominal_size()
+    if isinstance(message, Res1Level1):
+        return Res1Level1.nominal_size()
+    if isinstance(message, Res1):
+        return Res1.nominal_size()
+    if isinstance(message, Que2):
+        return Que2.nominal_size(with_mac3=message.mac_s3 is not None)
+    if isinstance(message, Res2):
+        return Res2.nominal_size()
+    raise TypeError(f"unknown message {type(message).__name__}")
+
+
+@dataclass
+class NodeStats:
+    """Per-node accounting for the experiment reports."""
+
+    compute_s: float = 0.0
+    messages_handled: int = 0
+
+
+class SimNode:
+    """A device in the ground network."""
+
+    def __init__(
+        self,
+        name: str,
+        role: str,
+        profile: DeviceProfile,
+        engine: SubjectEngine | ObjectEngine | None = None,
+    ) -> None:
+        self.name = name
+        self.role = role
+        self.profile = profile
+        self.engine = engine
+        self.radio = Radio(name)
+        self.cpu_busy_until = 0.0
+        self.stats = NodeStats()
+        #: Optional access-layer endpoints (post-discovery commands).
+        self.command_handler = None   # CommandHandler on objects
+        self.command_client = None    # CommandClient on subjects
+        #: Responses the subject's client accepted: (time, peer, payload).
+        self.command_results: list[tuple[float, str, bytes]] = []
+
+
+class GroundNetwork:
+    """Routes messages between SimNodes over a topology graph."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        graph: nx.Graph,
+        link: LinkModel,
+        timing: TimingMode = TimingMode.CALIBRATED,
+        sizes: SizeMode = SizeMode.NOMINAL,
+        seed: int = 0,
+    ) -> None:
+        self.sim = sim
+        self.graph = graph
+        self.link = link
+        self.timing = timing
+        self.sizes = sizes
+        self.rng = random.Random(seed)
+        self.nodes: dict[str, SimNode] = {}
+        self._path_cache: dict[tuple[str, str], list[str]] = {}
+        self._broadcast_seen: set = set()
+        #: Hook invoked as (time, src, dst, message) on every delivery.
+        self.on_delivery: Callable[[float, str, str, object], None] | None = None
+        #: Hook invoked as (completion_time, node_name, message) after a
+        #: node finishes *processing* a message (engine work included).
+        self.on_processed: Callable[[float, str, object], None] | None = None
+        #: Frames dropped by the lossy link model.
+        self.messages_lost: int = 0
+
+    def add_node(self, node: SimNode) -> None:
+        if node.name not in self.graph:
+            raise ValueError(f"{node.name!r} is not in the topology")
+        self.nodes[node.name] = node
+
+    # -- transport ---------------------------------------------------------------
+
+    def _hop(self, src: str, dst: str, message, on_delivered: Callable[[], None]) -> None:
+        """One hop: contend for both radios, then deliver (unless lost)."""
+        size = message_size(message, self.sizes)
+        occupancy = self.link.occupancy(size, self.rng)
+        tx, rx = self.nodes[src].radio, self.nodes[dst].radio
+        start = max(self.sim.now, tx.busy_until, rx.busy_until)
+        end = start + occupancy
+        tx.busy_until = end
+        rx.busy_until = end
+        tx.bytes_sent += size
+        tx.messages_sent += 1
+        if self.link.lost(self.rng):
+            self.messages_lost += 1
+            return  # airtime burned, frame gone
+        self.sim.at(end + self.link.access_delay_s, on_delivered)
+
+    def unicast(self, src: str, dst: str, message) -> None:
+        """Send along the subject-rooted shortest path, hop by hop."""
+        path = self._route(src, dst)
+
+        def run(index: int) -> None:
+            hop_src, hop_dst = path[index], path[index + 1]
+
+            def delivered() -> None:
+                node = self.nodes[hop_dst]
+                if hop_dst == dst:
+                    # peer id is the logical originator, not the last hop.
+                    self._deliver(src, dst, message)
+                elif node.role == "relay":
+                    delay = node.profile.per_message_ms / 1000.0
+                    start = max(self.sim.now, node.cpu_busy_until)
+                    node.cpu_busy_until = start + delay
+                    self.sim.at(node.cpu_busy_until, lambda: run(index + 1))
+                else:
+                    run(index + 1)
+
+            self._hop(hop_src, hop_dst, message, delivered)
+
+        run(0)
+
+    def broadcast(self, src: str, message) -> None:
+        """Wireless flood: one transmission reaches all neighbors; relays
+        rebroadcast once (network-layer duplicate suppression)."""
+        key = (type(message).__name__, message.to_bytes())
+        self._broadcast_seen.add(key)
+
+        def emit(origin: str) -> None:
+            size = message_size(message, self.sizes)
+            occupancy = self.link.occupancy(size, self.rng)
+            tx = self.nodes[origin].radio
+            start = max(self.sim.now, tx.busy_until)
+            end = start + occupancy
+            tx.busy_until = end
+            tx.bytes_sent += size
+            tx.messages_sent += 1
+            for neighbor in self.graph.neighbors(origin):
+                rx = self.nodes[neighbor].radio
+                rx.busy_until = max(rx.busy_until, end)
+                if self.link.lost(self.rng):
+                    self.messages_lost += 1
+                    continue
+                self.sim.at(
+                    end + self.link.access_delay_s,
+                    lambda n=neighbor: arrive(origin, n),
+                )
+
+        def arrive(origin: str, at_node: str) -> None:
+            node = self.nodes[at_node]
+            if node.role == "relay":
+                rebroadcast_key = (at_node,) + key
+                if rebroadcast_key in self._broadcast_seen:
+                    return
+                self._broadcast_seen.add(rebroadcast_key)
+                delay = node.profile.per_message_ms / 1000.0
+                start = max(self.sim.now, node.cpu_busy_until)
+                node.cpu_busy_until = start + delay
+                self.sim.at(node.cpu_busy_until, lambda: emit(at_node))
+            else:
+                # peer id is the broadcast's logical source (the subject).
+                self._deliver(src, at_node, message)
+
+        emit(src)
+
+    def _route(self, src: str, dst: str) -> list[str]:
+        key = (src, dst)
+        path = self._path_cache.get(key)
+        if path is None:
+            path = nx.shortest_path(self.graph, src, dst)
+            self._path_cache[key] = path
+            self._path_cache[(dst, src)] = list(reversed(path))
+        return list(path)
+
+    # -- processing -----------------------------------------------------------------
+
+    def _deliver(self, src: str, dst: str, message) -> None:
+        node = self.nodes[dst]
+        if self.on_delivery is not None:
+            self.on_delivery(self.sim.now, src, dst, message)
+        if node.engine is None:
+            return
+        start = max(self.sim.now, node.cpu_busy_until)
+        replies, compute_s = self._run_engine(node, message, src)
+        duration = compute_s + node.profile.per_message_ms / 1000.0
+        node.cpu_busy_until = start + duration
+        node.stats.compute_s += duration
+        node.stats.messages_handled += 1
+        if self.on_processed is not None:
+            hook = self.on_processed
+            self.sim.at(
+                node.cpu_busy_until,
+                lambda: hook(self.sim.now, node.name, message),
+            )
+        if replies:
+            self.sim.at(
+                node.cpu_busy_until,
+                lambda: [self.unicast(dst, to, reply) for reply, to in replies],
+            )
+
+    def _run_engine(self, node: SimNode, message, src: str):
+        """Dispatch a message into the node's engine; price the work."""
+        handler = self._handler(node, message)
+        if handler is None:
+            return [], 0.0
+        if self.timing is TimingMode.CALIBRATED:
+            with metered() as tally:
+                replies = handler(message, src)
+            compute_s = node.profile.meter_cost_ms(tally) / 1000.0
+        else:
+            t0 = time.perf_counter()
+            replies = handler(message, src)
+            compute_s = time.perf_counter() - t0
+        return replies, compute_s
+
+    def _handler(self, node: SimNode, message):
+        from repro.access.messages import Command, Response
+
+        engine = node.engine
+        if isinstance(engine, ObjectEngine):
+            if isinstance(message, Que1):
+                return lambda m, s: self._to_replies(engine.handle_que1(m, s), s)
+            if isinstance(message, Que2):
+                return lambda m, s: self._to_replies(engine.handle_que2(m, s), s)
+            if isinstance(message, Command) and node.command_handler is not None:
+                handler = node.command_handler
+                return lambda m, s: self._to_replies(handler.handle(m, s), s)
+            return None
+        if isinstance(engine, SubjectEngine):
+            if isinstance(message, Res1Level1):
+                return lambda m, s: (engine.handle_res1_level1(m, s), [])[1]
+            if isinstance(message, Res1):
+                return lambda m, s: self._to_replies(engine.handle_res1(m, s), s)
+            if isinstance(message, Res2):
+                return lambda m, s: (engine.handle_res2(m, s), [])[1]
+            if isinstance(message, Response) and node.command_client is not None:
+                client = node.command_client
+
+                def handle_response(m, s):
+                    try:
+                        payload = client.parse_response(s, m)
+                    except Exception as exc:  # recorded, never crashes the sim
+                        node.command_results.append((self.sim.now, s, b""))
+                        engine.errors.append(exc)
+                        return []
+                    node.command_results.append((self.sim.now, s, payload))
+                    return []
+
+                return handle_response
+            return None
+        return None
+
+    @staticmethod
+    def _to_replies(reply, peer: str):
+        return [(reply, peer)] if reply is not None else []

@@ -1,0 +1,51 @@
+"""A minimal discrete-event simulation core.
+
+Classic event-heap design: events are (time, sequence, callback) tuples;
+``schedule`` inserts, ``run`` pops in time order. The sequence number
+makes ordering deterministic for simultaneous events, which keeps every
+experiment reproducible run-to-run (a property the hypothesis tests
+rely on).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable
+
+
+class Simulator:
+    """The event loop; all times are seconds of simulated time."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._seq = 0
+        self._events_processed = 0
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        """Run *callback* ``delay`` seconds from the current time."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, self._seq, callback))
+
+    def at(self, time: float, callback: Callable[[], None]) -> None:
+        """Run *callback* at absolute simulated *time*."""
+        self.schedule(time - self.now, callback)
+
+    def run(self, until: float | None = None, max_events: int = 1_000_000) -> None:
+        """Process events until the heap drains (or *until*/event cap)."""
+        while self._heap:
+            if self._events_processed >= max_events:
+                raise RuntimeError(f"simulation exceeded {max_events} events")
+            time, _, callback = self._heap[0]
+            if until is not None and time > until:
+                break
+            heapq.heappop(self._heap)
+            self.now = time
+            self._events_processed += 1
+            callback()
+
+    @property
+    def pending(self) -> int:
+        return len(self._heap)

@@ -1,0 +1,122 @@
+"""Ground-network topologies for the discovery-time experiments.
+
+The paper's testbed: one subject and 20 Pi objects, either all one hop
+away (Fig. 6(e)) or split 5-per-hop across 1–4 hops behind bridging
+relays (Fig. 6(g)/(h)). Topologies are plain ``networkx`` graphs with
+node attributes ``role`` in {"subject", "object", "relay"}.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+SUBJECT = "S"
+
+
+def star(object_ids: list[str]) -> nx.Graph:
+    """All objects one hop from the subject (the Fig. 6(e) testbed)."""
+    graph = nx.Graph()
+    graph.add_node(SUBJECT, role="subject")
+    for object_id in object_ids:
+        graph.add_node(object_id, role="object")
+        graph.add_edge(SUBJECT, object_id)
+    return graph
+
+
+def multihop(groups: list[list[str]]) -> nx.Graph:
+    """Objects grouped by hop distance behind a relay chain.
+
+    ``groups[k]`` lists the objects (k+1) hops from the subject: group 0
+    attaches directly to the subject, group k>0 attaches to relay k,
+    with relays chained S - r1 - r2 - ... (the paper's 4-hop mixture is
+    ``multihop([g1, g2, g3, g4])`` with 5 objects per group).
+    """
+    graph = nx.Graph()
+    graph.add_node(SUBJECT, role="subject")
+    previous = SUBJECT
+    for hop, members in enumerate(groups, start=1):
+        if hop == 1:
+            anchor = SUBJECT
+        else:
+            relay = f"relay-{hop - 1}"
+            if relay not in graph:
+                graph.add_node(relay, role="relay")
+                graph.add_edge(previous, relay)
+            anchor = relay
+            previous = relay
+        for object_id in members:
+            graph.add_node(object_id, role="object")
+            graph.add_edge(anchor, object_id)
+    return graph
+
+
+def paper_multihop(object_ids: list[str], hops: int = 4) -> nx.Graph:
+    """Split *object_ids* into equal per-hop groups (Fig. 6(g))."""
+    if hops < 1:
+        raise ValueError("need at least one hop")
+    per_group = len(object_ids) // hops
+    if per_group == 0:
+        raise ValueError(f"{len(object_ids)} objects cannot fill {hops} hops")
+    groups = [object_ids[i * per_group : (i + 1) * per_group] for i in range(hops)]
+    # Leftovers join the last hop.
+    groups[-1].extend(object_ids[hops * per_group :])
+    return multihop(groups)
+
+
+def hop_distance(graph: nx.Graph, node: str, subject: str = SUBJECT) -> int:
+    """Hops from *subject* to *node*."""
+    return nx.shortest_path_length(graph, subject, node)
+
+
+def random_building(
+    object_ids: list[str],
+    n_relays: int = 3,
+    seed: int = 0,
+    max_backbone_degree: int = 3,
+) -> nx.Graph:
+    """A randomized building layout: a relay backbone tree rooted at the
+    subject, objects attached to random backbone nodes.
+
+    More irregular than the paper's clean per-hop rings — used by the
+    integration tests to check the discovery pipeline is topology-
+    agnostic (any connected layout works; hop counts just fall out of
+    the generated tree).
+    """
+    import random as _random
+
+    rng = _random.Random(seed)
+    graph = nx.Graph()
+    graph.add_node(SUBJECT, role="subject")
+    backbone = [SUBJECT]
+    for i in range(n_relays):
+        relay = f"relay-{i + 1}"
+        # attach to a random backbone node with spare degree
+        candidates = [
+            n for n in backbone
+            if graph.degree(n) < max_backbone_degree or n == SUBJECT
+        ]
+        parent = rng.choice(candidates)
+        graph.add_node(relay, role="relay")
+        graph.add_edge(parent, relay)
+        backbone.append(relay)
+    for object_id in object_ids:
+        graph.add_node(object_id, role="object")
+        graph.add_edge(rng.choice(backbone), object_id)
+    return graph
+
+
+def shared_floor(subject_ids: list[str], object_ids: list[str]) -> nx.Graph:
+    """Several subjects and objects in one collision domain.
+
+    Models a busy office floor: every subject hears every object (and
+    every other subject's traffic contends for the same medium). Used by
+    the concurrent-discovery extension experiment.
+    """
+    graph = nx.Graph()
+    for subject_id in subject_ids:
+        graph.add_node(subject_id, role="subject")
+    for object_id in object_ids:
+        graph.add_node(object_id, role="object")
+        for subject_id in subject_ids:
+            graph.add_edge(subject_id, object_id)
+    return graph

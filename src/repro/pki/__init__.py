@@ -1,0 +1,21 @@
+"""PKI: certificates (CERT), attribute profiles (PROF), chain of trust."""
+
+from repro.pki.certificate import (
+    Certificate,
+    CertificateChain,
+    CertificateError,
+    issue_certificate,
+)
+from repro.pki.chain import ChainVerifier
+from repro.pki.profile import Profile, ProfileError, sign_profile
+
+__all__ = [
+    "Certificate",
+    "CertificateChain",
+    "CertificateError",
+    "ChainVerifier",
+    "Profile",
+    "ProfileError",
+    "issue_certificate",
+    "sign_profile",
+]

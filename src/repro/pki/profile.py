@@ -1,0 +1,119 @@
+"""Attribute profiles (PROF) — the credential at the heart of discovery.
+
+§IV-A: "A subject PROF lists the subject's non-sensitive attributes and
+can be publicly disclosed; an object PROF lists provided functions (thus
+service information) besides the object's non-sensitive attributes."
+PROFs are signed by the admin, so integrity holds even for Level 1
+plaintext responses.
+
+A Level 2 object holds *m* variants ``{pred_i, PROF_{O,i}}`` keyed by a
+predicate over subject attributes; a Level 3 object holds variants keyed
+by a secret-group key. Those pairings live in
+:mod:`repro.backend.registration`; this module defines the PROF itself.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from repro.attributes.model import AttributeSet
+from repro.crypto.ecdsa import SigningKey, VerifyingKey
+
+#: Paper-nominal PROF wire size (§IX-A: "PROF_X averagely has 200 B").
+NOMINAL_PROF_WIRE = 200
+
+
+class ProfileError(Exception):
+    """Raised on malformed or unverifiable profiles."""
+
+
+@dataclass(frozen=True)
+class Profile:
+    """A signed attribute profile.
+
+    ``functions`` is empty for subjects; for objects it carries the
+    service information ("provided functions") — the thing visibility
+    scoping protects.
+    """
+
+    entity_id: str
+    attributes: AttributeSet
+    functions: tuple[str, ...] = field(default_factory=tuple)
+    variant: str = "default"
+    signature: bytes = b""
+
+    def body_bytes(self) -> bytes:
+        """Canonical unsigned encoding (what the admin signs)."""
+        eid = self.entity_id.encode()
+        var = self.variant.encode()
+        attrs = self.attributes.to_bytes()
+        funcs = "\n".join(self.functions).encode()
+        for name, blob in (("entity_id", eid), ("variant", var)):
+            if len(blob) > 0xFFFF:
+                raise ProfileError(f"{name} too long")
+        return b"".join(
+            [
+                struct.pack(">H", len(eid)), eid,
+                struct.pack(">H", len(var)), var,
+                struct.pack(">I", len(attrs)), attrs,
+                struct.pack(">I", len(funcs)), funcs,
+            ]
+        )
+
+    def to_bytes(self) -> bytes:
+        if not self.signature:
+            raise ProfileError("profile is unsigned; use sign_profile() first")
+        return self.body_bytes() + self.signature
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Profile":
+        try:
+            offset = 0
+            (eid_len,) = struct.unpack_from(">H", data, offset)
+            offset += 2
+            entity_id = data[offset : offset + eid_len].decode()
+            offset += eid_len
+            (var_len,) = struct.unpack_from(">H", data, offset)
+            offset += 2
+            variant = data[offset : offset + var_len].decode()
+            offset += var_len
+            (attrs_len,) = struct.unpack_from(">I", data, offset)
+            offset += 4
+            attributes = AttributeSet.from_bytes(data[offset : offset + attrs_len])
+            offset += attrs_len
+            (funcs_len,) = struct.unpack_from(">I", data, offset)
+            offset += 4
+            funcs_blob = data[offset : offset + funcs_len].decode()
+            offset += funcs_len
+            functions = tuple(funcs_blob.split("\n")) if funcs_blob else ()
+            signature = data[offset:]
+        except (struct.error, UnicodeDecodeError, ValueError) as exc:
+            raise ProfileError(f"malformed profile: {exc}") from exc
+        if not signature:
+            raise ProfileError("profile missing signature")
+        return cls(
+            entity_id=entity_id,
+            attributes=attributes,
+            functions=functions,
+            variant=variant,
+            signature=signature,
+        )
+
+    def verify(self, admin_key: VerifyingKey) -> bool:
+        """Check the admin's signature; the integrity guarantee of Level 1."""
+        if not self.signature:
+            return False
+        return admin_key.verify(self.signature, self.body_bytes())
+
+
+def sign_profile(profile: Profile, admin_key: SigningKey) -> Profile:
+    """Return a copy of *profile* signed by the admin."""
+    signature = admin_key.sign(profile.body_bytes())
+    return Profile(
+        entity_id=profile.entity_id,
+        attributes=profile.attributes,
+        functions=profile.functions,
+        variant=profile.variant,
+        signature=signature,
+    )

@@ -1,0 +1,47 @@
+"""The Argus protocol core: 3-in-1 multi-level service discovery.
+
+Sans-IO subject/object engines implementing the paper's Figs. 3–5
+(versions v1.0, v2.0, v3.0), the QUE1/RES1/QUE2/RES2 wire messages with
+§IX-A byte accounting, and in-memory orchestration.
+"""
+
+from repro.protocol.directory import DirectoryEntry, ServiceDirectory
+from repro.protocol.discovery import DiscoveryResult, discover, run_round
+from repro.protocol.errors import (
+    AuthenticationError,
+    FreshnessError,
+    MessageFormatError,
+    ProtocolError,
+    RevokedError,
+    SessionError,
+    VisibilityError,
+)
+from repro.protocol.messages import Que1, Que2, Res1, Res1Level1, Res2, parse_message
+from repro.protocol.object import ObjectEngine
+from repro.protocol.subject import DiscoveredService, SubjectEngine
+from repro.protocol.versions import Version
+
+__all__ = [
+    "AuthenticationError",
+    "DirectoryEntry",
+    "DiscoveredService",
+    "DiscoveryResult",
+    "ServiceDirectory",
+    "FreshnessError",
+    "MessageFormatError",
+    "ObjectEngine",
+    "ProtocolError",
+    "Que1",
+    "Que2",
+    "Res1",
+    "Res1Level1",
+    "Res2",
+    "RevokedError",
+    "SessionError",
+    "SubjectEngine",
+    "Version",
+    "VisibilityError",
+    "discover",
+    "parse_message",
+    "run_round",
+]

@@ -1,0 +1,104 @@
+"""The subject device's service directory: cached discoveries with TTL.
+
+A phone doesn't re-run the whole 4-way handshake every time the user
+opens the app; it caches what it discovered and refreshes. The directory
+also handles the revocation-side reality of §XI ("revocation cannot
+remove the knowledge from her head" — but a *fresh* round will show the
+service gone): entries carry the round they were seen in, staleness is
+explicit, and a refresh drops anything that no longer answers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.backend.registration import ObjectCredentials, SubjectCredentials
+from repro.protocol.discovery import discover
+from repro.protocol.subject import DiscoveredService
+from repro.protocol.versions import Version
+
+
+@dataclass
+class DirectoryEntry:
+    service: DiscoveredService
+    first_seen_round: int
+    last_seen_round: int
+
+    def age(self, current_round: int) -> int:
+        """Rounds since this entry was last confirmed."""
+        return current_round - self.last_seen_round
+
+
+@dataclass
+class ServiceDirectory:
+    """Round-based cache of everything this subject has discovered.
+
+    ``max_age`` is measured in refresh rounds: an entry unseen for more
+    than ``max_age`` rounds is evicted (the service moved, died, or we
+    were revoked — the subject can't tell, and shouldn't act on it).
+    """
+
+    creds: SubjectCredentials
+    version: Version = Version.V3_0
+    max_age: int = 2
+    round_counter: int = 0
+    entries: dict[str, DirectoryEntry] = field(default_factory=dict)
+
+    # -- queries -----------------------------------------------------------------
+
+    def services(self) -> list[DiscoveredService]:
+        return [entry.service for entry in self.entries.values()]
+
+    def lookup(self, object_id: str) -> DiscoveredService | None:
+        entry = self.entries.get(object_id)
+        return entry.service if entry else None
+
+    def find_by_function(self, function: str) -> list[DiscoveredService]:
+        """Every cached service offering *function* — the user-facing
+        query ("what around here can print?")."""
+        return [
+            entry.service for entry in self.entries.values()
+            if function in entry.service.functions
+        ]
+
+    def stale(self) -> list[str]:
+        """Object ids not confirmed in the most recent round."""
+        return [
+            object_id for object_id, entry in self.entries.items()
+            if entry.last_seen_round < self.round_counter
+        ]
+
+    # -- refresh -----------------------------------------------------------------
+
+    def refresh(self, object_creds: list[ObjectCredentials]) -> dict[str, list[str]]:
+        """Run a fresh discovery and reconcile the cache.
+
+        Returns the delta: ``{"added": [...], "updated": [...],
+        "removed": [...]}``. An object that stopped answering stays
+        cached (marked stale) until it misses ``max_age`` rounds.
+        """
+        self.round_counter += 1
+        result = discover(self.creds, object_creds, self.version)
+
+        added: list[str] = []
+        updated: list[str] = []
+        for service in result.services:
+            entry = self.entries.get(service.object_id)
+            if entry is None:
+                self.entries[service.object_id] = DirectoryEntry(
+                    service, self.round_counter, self.round_counter
+                )
+                added.append(service.object_id)
+            else:
+                if (entry.service.functions != service.functions
+                        or entry.service.level_seen != service.level_seen):
+                    updated.append(service.object_id)
+                entry.service = service
+                entry.last_seen_round = self.round_counter
+
+        removed: list[str] = []
+        for object_id, entry in list(self.entries.items()):
+            if entry.age(self.round_counter) > self.max_age:
+                del self.entries[object_id]
+                removed.append(object_id)
+        return {"added": added, "updated": updated, "removed": removed}

@@ -1,0 +1,36 @@
+"""Protocol error taxonomy.
+
+Engines raise (or record) these instead of generic exceptions so tests
+and the attack harness can assert *why* a handshake failed — e.g. an
+impostor must fail with :class:`AuthenticationError`, not a decode error.
+"""
+
+from __future__ import annotations
+
+
+class ProtocolError(Exception):
+    """Base class for every protocol failure."""
+
+
+class MessageFormatError(ProtocolError):
+    """A message could not be parsed or had ill-sized fields."""
+
+
+class AuthenticationError(ProtocolError):
+    """A certificate chain, signature, or finished-MAC failed to verify."""
+
+
+class FreshnessError(ProtocolError):
+    """A duplicate or replayed nonce/message was detected."""
+
+
+class RevokedError(ProtocolError):
+    """The peer's credentials were revoked by the backend."""
+
+
+class SessionError(ProtocolError):
+    """A message arrived for an unknown, closed, or mismatched session."""
+
+
+class VisibilityError(ProtocolError):
+    """No PROF variant is visible to this subject (engine drops silently)."""

@@ -1,0 +1,245 @@
+"""The object-side (IoT device) protocol engine — sans-IO.
+
+Implements the object's half of Figs. 3–5: answer QUE1 broadcasts
+(plaintext PROF at Level 1, authenticated RES1 at Level 2/3) and QUE2
+unicasts (attribute check, fellow check, variant selection, encrypted
+RES2). The engine consumes and produces message objects; it never talks
+to a network, so the same code runs under unit tests, the attack
+harness, and the discrete-event simulator.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.backend.registration import ObjectCredentials
+from repro.crypto import aead
+from repro.crypto.ecdh import EphemeralECDH
+from repro.crypto.primitives import constant_time_equal, fresh_nonce
+from repro.pki.chain import ChainVerifier
+from repro.pki.profile import Profile, ProfileError
+from repro.protocol.errors import (
+    AuthenticationError,
+    FreshnessError,
+    MessageFormatError,
+    RevokedError,
+    SessionError,
+    VisibilityError,
+)
+from repro.protocol.messages import Que1, Que2, Res1, Res1Level1, Res2
+from repro.protocol.session import EstablishedSession, SessionKeys, Transcript
+from repro.protocol.versions import Version
+
+#: Remember this many recent R_S nonces for duplicate detection.
+SEEN_NONCE_LIMIT = 1024
+#: Concurrent half-open sessions an object will hold.
+SESSION_LIMIT = 256
+
+
+@dataclass
+class _ObjectSession:
+    r_s: bytes
+    r_o: bytes
+    ecdh: EphemeralECDH
+    transcript: Transcript = field(default_factory=Transcript)
+    finished: bool = False
+
+
+class ObjectEngine:
+    """One object's protocol state machine."""
+
+    def __init__(
+        self,
+        creds: ObjectCredentials,
+        version: Version = Version.V3_0,
+        now: int = 1,
+    ) -> None:
+        if creds.admin_public is None:
+            raise ValueError("object credentials missing the admin public key")
+        self.creds = creds
+        self.version = version
+        self.now = now
+        self.verifier = ChainVerifier(creds.root_id, creds.admin_public)
+        self._seen_nonces: OrderedDict[bytes, None] = OrderedDict()
+        self._sessions: OrderedDict[str, _ObjectSession] = OrderedDict()
+        #: Completed handshakes, keyed by authenticated subject identity,
+        #: for the access layer.
+        self.established: dict[str, EstablishedSession] = {}
+        #: Network peer id -> authenticated subject identity (they differ
+        #: when the transport addresses nodes by something other than the
+        #: certificate identity, e.g. the simulator's node names).
+        self.peer_identity: dict[str, str] = {}
+        #: Protocol failures, recorded for tests/diagnostics (the engine
+        #: stays silent on the wire — §III service information secrecy).
+        self.errors: list[Exception] = []
+
+    # -- phase 1 ------------------------------------------------------------------
+
+    def handle_que1(self, que1: Que1, peer_id: str) -> Res1 | Res1Level1 | None:
+        """Answer a broadcast query; None means "stay silent"."""
+        if que1.r_s in self._seen_nonces:
+            self._record(FreshnessError(f"duplicate QUE1 nonce from {peer_id}"))
+            return None
+        self._remember_nonce(que1.r_s)
+
+        if self.creds.level == 1:
+            return Res1Level1(self.creds.public_profile.to_bytes())
+
+        session = _ObjectSession(r_s=que1.r_s, r_o=fresh_nonce(), ecdh=EphemeralECDH(self.creds.strength))
+        kexm = session.ecdh.kexm
+        signature = self.creds.signing_key.sign(que1.r_s + session.r_o + kexm)
+        res1 = Res1(
+            r_o=session.r_o,
+            cert_chain_bytes=self.creds.cert_chain.to_bytes(),
+            kexm=kexm,
+            signature=signature,
+        )
+        session.transcript.append(que1.to_bytes())
+        session.transcript.append(res1.to_bytes())
+        self._store_session(peer_id, session)
+        return res1
+
+    # -- phase 2 ------------------------------------------------------------------
+
+    def handle_que2(self, que2: Que2, peer_id: str) -> Res2 | None:
+        """Authenticate the subject and return the visible PROF variant.
+
+        Every failure path returns None (silence): an unauthorized or
+        unauthenticated subject must not learn whether this object had
+        anything to show her.
+        """
+        session = self._sessions.get(peer_id)
+        if session is None or session.finished:
+            self._record(SessionError(f"no open session for {peer_id}"))
+            return None
+        session.finished = True  # one QUE2 per handshake, replays rejected
+
+        # 1. Subject certificate chain -> authenticated subject identity.
+        leaf = self.verifier.verify_chain_bytes(que2.cert_chain_bytes, self.now)
+        if leaf is None:
+            self._record(AuthenticationError(f"bad subject chain from {peer_id}"))
+            return None
+        subject_id = leaf.subject_id
+        if subject_id in self.creds.revoked_subjects:
+            self._record(RevokedError(f"revoked subject {subject_id}"))
+            return None
+
+        # 2. Subject profile: admin-signed and bound to the same identity.
+        try:
+            profile = Profile.from_bytes(que2.profile_bytes)
+        except ProfileError as exc:
+            self._record(MessageFormatError(str(exc)))
+            return None
+        assert self.creds.admin_public is not None
+        if not profile.verify(self.creds.admin_public):
+            self._record(AuthenticationError(f"bad PROF_S signature from {peer_id}"))
+            return None
+        if profile.entity_id != subject_id:
+            self._record(AuthenticationError(
+                f"PROF_S identity {profile.entity_id!r} != CERT identity {subject_id!r}"
+            ))
+            return None
+
+        # 3. Signature over the whole transcript + QUE2's signed fields.
+        signed_bytes = session.transcript.snapshot() + que2.signed_portion()
+        if not leaf.public_key.verify(que2.signature, signed_bytes):
+            self._record(AuthenticationError(f"bad QUE2 signature from {peer_id}"))
+            return None
+
+        # 4. Key schedule: preK -> K2 (-> K3 candidates for our groups).
+        try:
+            pre_k = session.ecdh.derive_premaster(que2.kexm)
+        except ValueError as exc:
+            self._record(MessageFormatError(f"bad KEXM_S: {exc}"))
+            return None
+        group_keys = {gid: key for gid, (key, _) in self.creds.level3_variants.items()}
+        keys = SessionKeys.from_premaster(pre_k, session.r_s, session.r_o, group_keys)
+
+        mac_transcript = signed_bytes + que2.signature
+        expected_mac2 = keys.subject_mac(keys.k2, mac_transcript)
+        if not constant_time_equal(expected_mac2, que2.mac_s2):
+            self._record(AuthenticationError(f"bad MAC_S2 from {peer_id}"))
+            return None
+
+        # 5. Fellow check (Level 3 objects only; constant-work).
+        matched_group: str | None = None
+        if self.creds.level == 3 and que2.mac_s3 is not None:
+            matched_group = keys.verify_subject_mac3(que2.mac_s3, mac_transcript)
+
+        res2_transcript = mac_transcript + que2.mac_s2 + (que2.mac_s3 or b"")
+
+        # 6. Variant selection: the double-faced role (§VI-B).
+        if matched_group is not None:
+            _, covert_profile = self.creds.level3_variants[matched_group]
+            session_key = keys.k3[matched_group]
+            payload = covert_profile
+        else:
+            variant = self._match_level2_variant(profile)
+            if variant is None:
+                self._record(VisibilityError(f"no variant visible to {subject_id}"))
+                return None
+            session_key = keys.k2
+            payload = variant
+
+        plaintext = self._frame_payload(payload)
+        ciphertext = aead.encrypt(session_key, plaintext)
+        mac_o = keys.object_mac(session_key, res2_transcript)
+        res2 = Res2(ciphertext=ciphertext, mac_o=mac_o)
+        session.transcript.append(res2.to_bytes())
+        self.peer_identity[peer_id] = subject_id
+        self.established[subject_id] = EstablishedSession(
+            peer_id=subject_id,
+            key=session_key,
+            level=3 if matched_group is not None else 2,
+            functions=payload.functions,
+            group_id=matched_group,
+        )
+        return res2
+
+    # -- helpers ------------------------------------------------------------------
+
+    def _match_level2_variant(self, subject_profile: Profile) -> Profile | None:
+        """First variant whose predicate the subject's attributes satisfy."""
+        for variant in self.creds.level2_variants:
+            if variant.predicate.evaluate(subject_profile.attributes):
+                return variant.profile
+        return None
+
+    def _frame_payload(self, profile: Profile) -> bytes:
+        """Length-frame and (v3.0) pad the PROF variant to constant size.
+
+        "O appends minimum meaningless bytes to each of its PROF_O
+        variants before transmission to make them identically long"
+        (§VI-B) — otherwise ciphertext length leaks which variant (and
+        hence which level) was served.
+        """
+        body = profile.to_bytes()
+        framed = len(body).to_bytes(4, "big") + body
+        if self.version is not Version.V3_0:
+            return framed
+        target = self.padded_payload_length()
+        if len(framed) < target:
+            framed += b"\x00" * (target - len(framed))
+        return framed
+
+    def padded_payload_length(self) -> int:
+        """Constant plaintext size: the longest variant this object holds."""
+        sizes = [len(v.profile.to_bytes()) for v in self.creds.level2_variants]
+        sizes += [len(p.to_bytes()) for _, p in self.creds.level3_variants.values()]
+        if not sizes:
+            sizes = [len(self.creds.public_profile.to_bytes())]
+        return 4 + max(sizes)
+
+    def _remember_nonce(self, r_s: bytes) -> None:
+        self._seen_nonces[r_s] = None
+        while len(self._seen_nonces) > SEEN_NONCE_LIMIT:
+            self._seen_nonces.popitem(last=False)
+
+    def _store_session(self, peer_id: str, session: _ObjectSession) -> None:
+        self._sessions[peer_id] = session
+        while len(self._sessions) > SESSION_LIMIT:
+            self._sessions.popitem(last=False)
+
+    def _record(self, error: Exception) -> None:
+        self.errors.append(error)

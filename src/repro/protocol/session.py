@@ -1,0 +1,100 @@
+"""Handshake transcript and session-key state shared by both engines.
+
+The paper's ``*`` ("all the content sent and received so far") is made
+precise here as an append-only transcript of serialized message parts.
+Checkpoints:
+
+* after QUE1 and RES1 and QUE2's signed fields -> what ``SIG_S`` covers;
+* plus ``SIG_S``                               -> what ``MAC_{S,i}`` hash;
+* plus both subject MACs                       -> what ``MAC_{O,i}`` hash.
+
+Both sides append the *same* bytes in the same order, so any in-flight
+tampering desynchronizes the transcripts and every downstream signature
+and MAC fails — the integrity argument of §VII.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.crypto import kdf
+from repro.crypto.primitives import constant_time_equal
+
+
+@dataclass
+class Transcript:
+    """Append-only byte transcript with labeled checkpoints."""
+
+    parts: list[bytes] = field(default_factory=list)
+
+    def append(self, data: bytes) -> None:
+        self.parts.append(data)
+
+    def snapshot(self) -> bytes:
+        return b"".join(self.parts)
+
+
+@dataclass
+class EstablishedSession:
+    """A completed handshake's residue, kept for post-discovery access.
+
+    Discovery exists so the subject can then *use* the service (§II-B's
+    rights); both engines record the session key, the functions the
+    served PROF variant granted, and an anti-replay sequence counter for
+    the command channel (:mod:`repro.access`).
+    """
+
+    peer_id: str
+    key: bytes
+    level: int
+    functions: tuple[str, ...]
+    group_id: str | None = None
+    #: Highest command sequence number seen (receiver side) / used
+    #: (sender side); strictly increasing, so replays are rejected.
+    last_seq: int = 0
+
+
+@dataclass
+class SessionKeys:
+    """K2 (always) and the K3 candidates (one per group key tried)."""
+
+    k2: bytes
+    #: group id -> K3 derived from that group's key (object side may hold
+    #: several; subject side holds exactly one per discovery round).
+    k3: dict[str, bytes] = field(default_factory=dict)
+
+    @classmethod
+    def from_premaster(
+        cls,
+        pre_k: bytes,
+        r_s: bytes,
+        r_o: bytes,
+        group_keys: dict[str, bytes] | None = None,
+    ) -> "SessionKeys":
+        k2 = kdf.derive_k2(pre_k, r_s, r_o)
+        k3 = {
+            gid: kdf.derive_k3(k2, gkey, r_s, r_o)
+            for gid, gkey in (group_keys or {}).items()
+        }
+        return cls(k2=k2, k3=k3)
+
+    def subject_mac(self, key: bytes, transcript: bytes) -> bytes:
+        return kdf.subject_finished(key, transcript)
+
+    def object_mac(self, key: bytes, transcript: bytes) -> bytes:
+        return kdf.object_finished(key, transcript)
+
+    def verify_subject_mac3(self, mac_s3: bytes, transcript: bytes) -> str | None:
+        """Constant-work check of MAC_{S,3} against every K3 candidate.
+
+        Returns the matching group id, or None. Deliberately does *not*
+        early-exit: every candidate is checked so a fellow and a
+        non-fellow cost the same number of HMACs — part of the §VI-B
+        response-time equalization.
+        """
+        matched: str | None = None
+        for gid, k3 in sorted(self.k3.items()):
+            expected = kdf.subject_finished(k3, transcript)
+            if constant_time_equal(expected, mac_s3) and matched is None:
+                matched = gid
+        return matched

@@ -1,0 +1,222 @@
+"""The post-discovery command channel: rights enforcement + channel security."""
+
+import pytest
+
+from repro.access import (
+    STATUS_DENIED,
+    STATUS_OK,
+    AccessError,
+    Command,
+    CommandClient,
+    CommandHandler,
+    Response,
+    invoke,
+)
+from repro.access.messages import command_mac, response_mac
+from repro.attacks.channel import run_exchange
+from repro.protocol.errors import (
+    AuthenticationError,
+    FreshnessError,
+    MessageFormatError,
+    SessionError,
+)
+from repro.protocol.object import ObjectEngine
+from repro.protocol.subject import SubjectEngine
+
+
+@pytest.fixture
+def linked(staff, media):
+    """A completed discovery: client + handler over the shared session."""
+    subject = SubjectEngine(staff)
+    obj = ObjectEngine(media)
+    capture = run_exchange(subject, obj)
+    assert capture.outcome is not None
+    client = CommandClient(subject)
+    handler = CommandHandler(obj)
+    handler.register("play", lambda args: b"playing " + args)
+    handler.register("admin", lambda args: b"admin ok")
+    return subject, obj, client, handler
+
+
+class TestSessionEstablishment:
+    def test_both_sides_recorded_session(self, linked):
+        subject, obj, *_ = linked
+        assert "media-1" in subject.established
+        assert "staff-alice" in obj.established
+        assert subject.established["media-1"].key == obj.established["staff-alice"].key
+
+    def test_functions_match_served_variant(self, linked):
+        subject, obj, *_ = linked
+        # staff variant grants ("play",)
+        assert subject.established["media-1"].functions == ("play",)
+        assert obj.established["staff-alice"].functions == ("play",)
+
+    def test_level3_session_records_group(self, fellow, kiosk):
+        subject = SubjectEngine(fellow)
+        obj = ObjectEngine(kiosk)
+        run_exchange(subject, obj)
+        session = obj.established[fellow.subject_id]
+        assert session.level == 3
+        assert session.group_id is not None
+
+
+class TestInvocation:
+    def test_granted_function_executes(self, linked):
+        _, _, client, handler = linked
+        result = invoke(client, handler, "media-1", "play", b"jazz")
+        assert result == b"playing jazz"
+
+    def test_roundtrip_serialization(self, linked):
+        _, _, client, handler = linked
+        command = client.build_command("media-1", "play", b"x")
+        restored = Command.from_bytes(command.to_bytes())
+        assert restored == command
+        response = handler.handle(restored, "staff-alice")
+        assert Response.from_bytes(response.to_bytes()) == response
+
+    def test_ungranted_function_denied(self, linked):
+        """'admin' exists on the device but was NOT in the staff variant."""
+        _, _, client, handler = linked
+        with pytest.raises(AccessError, match="denied"):
+            invoke(client, handler, "media-1", "admin")
+
+    def test_unimplemented_function_errors(self, kiosk, fellow):
+        subject = SubjectEngine(fellow)
+        obj = ObjectEngine(kiosk)
+        run_exchange(subject, obj)
+        client, handler = CommandClient(subject), CommandHandler(obj)
+        with pytest.raises(AccessError, match="errored"):
+            invoke(client, handler, "kiosk-1", "dispense_support_flyer")
+
+    def test_device_fault_is_isolated(self, linked):
+        _, _, client, handler = linked
+        handler.register("play", lambda args: 1 / 0)
+        with pytest.raises(AccessError, match="device fault"):
+            invoke(client, handler, "media-1", "play")
+
+    def test_undiscovered_object_rejected_client_side(self, linked):
+        _, _, client, _ = linked
+        with pytest.raises(SessionError):
+            client.build_command("ghost-device", "play")
+
+    def test_args_encrypted_on_wire(self, linked):
+        _, _, client, _ = linked
+        command = client.build_command("media-1", "play", b"super secret args")
+        assert b"super secret args" not in command.to_bytes()
+
+    def test_can_invoke_reflects_rights(self, linked):
+        _, _, client, _ = linked
+        assert client.can_invoke("media-1", "play")
+        assert not client.can_invoke("media-1", "admin")
+        assert not client.can_invoke("ghost", "play")
+
+
+class TestChannelSecurity:
+    def test_replayed_command_rejected(self, linked):
+        _, _, client, handler = linked
+        command = client.build_command("media-1", "play", b"x")
+        assert handler.handle(command, "staff-alice") is not None
+        assert handler.handle(command, "staff-alice") is None
+        assert any(isinstance(e, FreshnessError) for e in handler.errors)
+
+    def test_out_of_order_old_seq_rejected(self, linked):
+        _, _, client, handler = linked
+        first = client.build_command("media-1", "play", b"1")
+        second = client.build_command("media-1", "play", b"2")
+        assert handler.handle(second, "staff-alice") is not None
+        assert handler.handle(first, "staff-alice") is None
+
+    def test_tampered_mac_rejected(self, linked):
+        _, _, client, handler = linked
+        command = client.build_command("media-1", "play")
+        forged = Command(command.seq, command.function, command.ciphertext, b"\x00" * 32)
+        assert handler.handle(forged, "staff-alice") is None
+        assert any(isinstance(e, AuthenticationError) for e in handler.errors)
+
+    def test_function_swap_rejected(self, linked):
+        """Changing the function name breaks the MAC: rights cannot be
+        escalated by renaming a signed command."""
+        _, _, client, handler = linked
+        command = client.build_command("media-1", "play")
+        swapped = Command(command.seq, "admin", command.ciphertext, command.mac)
+        assert handler.handle(swapped, "staff-alice") is None
+
+    def test_unknown_subject_silence(self, linked):
+        _, _, client, handler = linked
+        command = client.build_command("media-1", "play")
+        assert handler.handle(command, "stranger") is None
+
+    def test_response_mac_verified(self, linked):
+        _, _, client, handler = linked
+        command = client.build_command("media-1", "play")
+        response = handler.handle(command, "staff-alice")
+        forged = Response(response.seq, response.status, response.ciphertext, b"\x00" * 32)
+        with pytest.raises(AuthenticationError):
+            client.parse_response("media-1", forged)
+
+    def test_status_cannot_be_flipped(self, linked):
+        """Flipping DENIED -> OK invalidates the response MAC."""
+        _, _, client, handler = linked
+        denied_cmd = client.build_command("media-1", "admin")
+        response = handler.handle(denied_cmd, "staff-alice")
+        assert response.status == STATUS_DENIED
+        flipped = Response(response.seq, STATUS_OK, response.ciphertext, response.mac)
+        with pytest.raises(AuthenticationError):
+            client.parse_response("media-1", flipped)
+
+    def test_cross_session_command_rejected(self, backend, media):
+        """A command MAC'd under user A's session fails on user B's."""
+        a = backend.register_subject("cmd-a", {"position": "staff"})
+        b = backend.register_subject("cmd-b", {"position": "staff"})
+        obj = ObjectEngine(media)
+        sa, sb = SubjectEngine(a), SubjectEngine(b)
+        run_exchange(sa, obj)
+        run_exchange(sb, obj)
+        handler = CommandHandler(obj)
+        handler.register("play", lambda args: b"ok")
+        command = CommandClient(sa).build_command("media-1", "play")
+        assert handler.handle(command, "cmd-b") is None
+
+
+class TestMessageFormats:
+    def test_bad_seq_rejected(self):
+        with pytest.raises(MessageFormatError):
+            Command(0, "f", b"", b"\x00" * 32)
+
+    def test_bad_mac_length_rejected(self):
+        with pytest.raises(MessageFormatError):
+            Command(1, "f", b"", b"short")
+
+    def test_bad_status_rejected(self):
+        with pytest.raises(MessageFormatError):
+            Response(1, 99, b"", b"\x00" * 32)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(MessageFormatError):
+            Command.from_bytes(b"\x10")
+
+
+class TestMessageFuzz:
+    from hypothesis import given, settings, strategies as st
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.binary(min_size=1, max_size=200))
+    def test_command_parse_never_crashes(self, data):
+        from repro.access.messages import Command
+        from repro.protocol.errors import MessageFormatError
+
+        try:
+            Command.from_bytes(data)
+        except MessageFormatError:
+            pass
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.binary(min_size=1, max_size=200))
+    def test_response_parse_never_crashes(self, data):
+        from repro.access.messages import Response
+        from repro.protocol.errors import MessageFormatError
+
+        try:
+            Response.from_bytes(data)
+        except MessageFormatError:
+            pass

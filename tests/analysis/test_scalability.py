@@ -1,0 +1,86 @@
+"""Table I closed-form model and its agreement with the live systems."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import scalability
+from repro.analysis.scalability import ScaleParams
+from repro.experiments import table1
+
+
+class TestClosedForm:
+    def test_table1_shape(self):
+        rows = scalability.table1(ScaleParams(n=100, alpha=50))
+        assert set(rows) == {"ID-based ACL", "ABE", "Argus"}
+
+    def test_id_acl_row(self):
+        p = ScaleParams(n=300, alpha=10)
+        assert scalability.id_acl_add(p) == 300
+        assert scalability.id_acl_remove(p) == 300
+
+    def test_abe_row(self):
+        p = ScaleParams(n=100, alpha=500, xi_o=1.5, xi_s=2.0)
+        assert scalability.abe_add(p) == 1
+        assert scalability.abe_remove(p) == 1.5 * 100 + 2.0 * 499
+
+    def test_argus_row(self):
+        p = ScaleParams(n=100, alpha=500)
+        assert scalability.argus_add(p) == 1
+        assert scalability.argus_remove(p) == 100
+
+    def test_paper_approx_10n(self):
+        """§VIII: 'the overhead easily goes to 10N or more' for large alpha."""
+        p = ScaleParams(n=1000, alpha=9001)
+        assert scalability.abe_remove(p) == pytest.approx(10 * p.n)
+
+    def test_speedup_headlines(self):
+        p = ScaleParams(n=1000, alpha=9001)
+        ratios = scalability.speedups(p)
+        assert ratios["add_vs_id_acl"] == 1000
+        assert ratios["remove_vs_abe"] == pytest.approx(10.0)
+
+    def test_level3_remove_is_gamma_minus_1(self):
+        assert scalability.level3_remove(7) == 6
+        with pytest.raises(ValueError):
+            scalability.level3_remove(0)
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            ScaleParams(n=-1, alpha=1)
+        with pytest.raises(ValueError):
+            ScaleParams(n=1, alpha=1, xi_o=0.5)
+
+
+class TestSweeps:
+    def test_add_sweep(self):
+        n = np.array([10, 100, 1000])
+        sweep = scalability.sweep_add_overhead(n)
+        assert np.array_equal(sweep["ID-based ACL"], n)
+        assert np.all(sweep["Argus"] == 1)
+        assert np.all(sweep["ABE"] == 1)
+
+    def test_remove_sweep_ordering(self):
+        """For alpha > 0, ABE remove dominates Argus at every N."""
+        n = np.logspace(1, 3, 10)
+        sweep = scalability.sweep_remove_overhead(n, alpha=100, xi_o=1.2, xi_s=1.2)
+        assert np.all(sweep["ABE"] > sweep["Argus"])
+        assert np.array_equal(sweep["Argus"], sweep["ID-based ACL"])
+
+
+class TestClosedFormMatchesSimulation:
+    def test_simulated_overheads_match_formulas(self):
+        sim = table1.simulate(n_objects=30, alpha=8)
+        # ID-ACL: N for both
+        assert sim.id_acl_add == 30
+        assert sim.id_acl_remove == 30
+        # Argus: 1 to add (the newcomer only), N to remove
+        assert sim.argus_add == 1
+        assert sim.argus_remove == 30
+        # ABE: re-encryptions = N (all same-policy objects) and re-keys =
+        # everyone else holding the attributes: the alpha - 1 original
+        # category members plus the newcomer added mid-simulation
+        assert sim.abe_remove == 30 + (8 - 1) + 1
+
+    def test_render_paths(self):
+        assert "Argus" in table1.closed_form().render()
+        assert "Argus" in table1.simulated_table(10, 4).render()

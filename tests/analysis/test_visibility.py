@@ -1,0 +1,129 @@
+"""Static visibility audit tests — and its agreement with the protocol."""
+
+import pytest
+
+from repro.analysis.visibility import audit, compute_matrix
+from repro.attributes.model import AttributeSet
+from repro.attributes.predicate import parse_predicate
+from repro.backend.database import (
+    BackendDatabase,
+    ObjectRecord,
+    Policy,
+    SubjectRecord,
+)
+from repro.backend.groups import GroupManager
+
+
+@pytest.fixture
+def db():
+    db = BackendDatabase()
+    for i, position in enumerate(["manager", "staff", "staff", "visitor"]):
+        db.add_subject(SubjectRecord(f"u{i}", AttributeSet(position=position)))
+    db.add_object(ObjectRecord("thermo", AttributeSet(type="thermometer"), level=1))
+    db.add_object(ObjectRecord("lock", AttributeSet(type="door lock"), level=2))
+    db.add_object(ObjectRecord("media", AttributeSet(type="multimedia"), level=2))
+    db.add_policy(Policy(
+        "managers-locks",
+        parse_predicate("position=='manager'"),
+        parse_predicate("type=='door lock'"),
+    ))
+    db.add_policy(Policy(
+        "everyone-media",
+        parse_predicate("position=='manager' || position=='staff' || position=='visitor'"),
+        parse_predicate("type=='multimedia'"),
+    ))
+    return db
+
+
+class TestMatrix:
+    def test_level1_visible_to_all(self, db):
+        matrix = compute_matrix(db)
+        assert matrix.audience_of("thermo") == ["u0", "u1", "u2", "u3"]
+
+    def test_policy_scoping(self, db):
+        matrix = compute_matrix(db)
+        assert matrix.audience_of("lock") == ["u0"]  # the manager
+        assert matrix.can_see("u0", "lock")
+        assert not matrix.can_see("u1", "lock")
+
+    def test_objects_visible_to(self, db):
+        matrix = compute_matrix(db)
+        assert set(matrix.objects_visible_to("u1")) == {"thermo", "media"}
+
+    def test_mean_n(self, db):
+        matrix = compute_matrix(db)
+        # u0: 3, u1/u2/u3: 2 each
+        assert matrix.mean_n == pytest.approx((3 + 2 + 2 + 2) / 4)
+
+    def test_matches_live_protocol(self, db):
+        """The static matrix must agree with what the real protocol serves."""
+        from repro.backend import Backend
+        from repro.protocol import discover
+
+        backend = Backend()
+        for record in db.subjects.values():
+            backend.register_subject(record.subject_id, record.attributes)
+        backend.register_object("thermo", {"type": "thermometer"}, level=1,
+                                functions=("read",))
+        backend.register_object(
+            "lock", {"type": "door lock"}, level=2, functions=("open",),
+            variants=[("position=='manager'", ("open",))],
+        )
+        backend.register_object(
+            "media", {"type": "multimedia"}, level=2, functions=("play",),
+            variants=[("position=='manager' || position=='staff' || position=='visitor'",
+                       ("play",))],
+        )
+        for policy in db.policies.values():
+            backend.database.add_policy(policy)
+        matrix = compute_matrix(db)
+        objects = list(backend.issued_objects.values())
+        for subject_id in matrix.subject_ids:
+            creds = backend.issued_subjects[subject_id]
+            wire = discover(creds, objects).service_ids()
+            static = set(matrix.objects_visible_to(subject_id))
+            assert wire == static
+
+
+class TestAudit:
+    def test_clean_database(self, db):
+        report = audit(db, exposure_threshold=1.1)  # disable exposure check
+        assert report.orphaned_objects == []
+        assert report.orphaned_policies == []
+        assert "no findings" in report.render()
+
+    def test_over_exposed_flagged(self, db):
+        report = audit(db, exposure_threshold=0.9)
+        assert [oid for oid, _ in report.over_exposed] == ["media"]
+
+    def test_orphaned_object_flagged(self, db):
+        db.add_object(ObjectRecord("safe", AttributeSet(type="safe"), level=2))
+        report = audit(db)
+        assert "safe" in report.orphaned_objects
+        assert "ORPHANED OBJ" in report.render()
+
+    def test_orphaned_policy_flagged(self, db):
+        db.add_policy(Policy(
+            "ghost", parse_predicate("position=='cfo'"), parse_predicate("true"),
+        ))
+        report = audit(db)
+        assert "ghost" in report.orphaned_policies
+
+    def test_half_empty_group_flagged(self, db):
+        groups = GroupManager()
+        group = groups.create_group("sensitive:a", "sensitive:sa")
+        groups.enroll_subject(group.group_id, "u0")  # no object side
+        report = audit(db, groups)
+        assert group.group_id in report.half_empty_groups
+
+    def test_balanced_group_clean(self, db):
+        groups = GroupManager()
+        group = groups.create_group("sensitive:a", "sensitive:sa")
+        groups.enroll_subject(group.group_id, "u0")
+        groups.enroll_object(group.group_id, "lock")
+        report = audit(db, groups)
+        assert report.half_empty_groups == []
+
+    def test_empty_database(self):
+        report = audit(BackendDatabase())
+        assert report.clean

@@ -1,0 +1,62 @@
+"""§VII-D: consequences of key compromise are bounded."""
+
+import pytest
+
+from repro.attacks.compromise import (
+    probe_fellows_with_stolen_keys,
+    session_key_blast_radius,
+)
+from repro.protocol.object import ObjectEngine
+from repro.protocol.subject import SubjectEngine
+
+
+@pytest.fixture(scope="module")
+def world(backend):
+    """Two secret groups, two kiosks each serving one, plus plain media."""
+    backend.add_sensitive_policy("sensitive:g-b", "sensitive:serves-g-b")
+    fellow_a = backend.register_subject(
+        "comp-sam", {"position": "student"}, ("sensitive:needs-support",)
+    )
+    kiosk_a = backend.register_object(
+        "comp-kiosk-a", {"type": "kiosk"}, level=3, functions=("mag",),
+        variants=[("true", ("mag",))],
+        covert_functions={"sensitive:serves-support": ("flyer-a",)},
+    )
+    kiosk_b = backend.register_object(
+        "comp-kiosk-b", {"type": "kiosk"}, level=3, functions=("mag",),
+        variants=[("true", ("mag",))],
+        covert_functions={"sensitive:serves-g-b": ("flyer-b",)},
+    )
+    media = backend.register_object(
+        "comp-media", {"type": "multimedia"}, level=2, functions=("play",),
+        variants=[("true", ("play",))],
+    )
+    return fellow_a, kiosk_a, kiosk_b, media
+
+
+class TestGroupKeyCompromise:
+    def test_only_stolen_group_exposed(self, world):
+        """Private key + group key of group A: attacker enumerates group A's
+        object fellows one by one — and ONLY them."""
+        fellow_a, kiosk_a, kiosk_b, media = world
+        group_id = next(iter(fellow_a.group_keys))
+        engines = {
+            c.object_id: ObjectEngine(c) for c in (kiosk_a, kiosk_b, media)
+        }
+        findings = probe_fellows_with_stolen_keys(
+            backend=None, stolen_creds=fellow_a, stolen_group_id=group_id,
+            object_engines=engines,
+        )
+        assert findings.identified_fellows == ["comp-kiosk-a"]
+
+
+class TestSessionKeyCompromise:
+    def test_blast_radius_is_one_session(self, world, backend):
+        fellow_a, kiosk_a, kiosk_b, media = world
+        user = backend.register_subject("comp-user", {"position": "staff"})
+        subject = SubjectEngine(user)
+        objects = {
+            c.object_id: ObjectEngine(c) for c in (kiosk_a, kiosk_b, media)
+        }
+        findings = session_key_blast_radius(subject, objects, "comp-media")
+        assert findings.decrypted_sessions == ["comp-media"]

@@ -1,0 +1,81 @@
+"""Downgrade attacks: forcing a Level 3 discovery down to Level 2.
+
+A man-in-the-middle who strips or corrupts MAC_{S,3} makes the object
+see a non-fellow and serve its Level 2 face. The transcript design must
+make this *detectable*: the object's MAC_{O,X} covers the QUE2 MACs it
+actually received, while the subject verifies against the MACs she
+actually sent — any tampering desynchronizes them and the subject
+rejects RES2 instead of silently accepting the downgraded service.
+"""
+
+import pytest
+
+from repro.attacks.channel import run_exchange
+from repro.protocol.errors import AuthenticationError
+from repro.protocol.messages import Que2
+from repro.protocol.object import ObjectEngine
+from repro.protocol.subject import SubjectEngine
+
+
+def _strip_mac3(name, message):
+    if name == "que2":
+        return Que2(message.profile_bytes, message.cert_chain_bytes,
+                    message.kexm, message.signature, message.mac_s2, None)
+    return message
+
+
+def _corrupt_mac3(name, message):
+    if name == "que2" and message.mac_s3 is not None:
+        return Que2(message.profile_bytes, message.cert_chain_bytes,
+                    message.kexm, message.signature, message.mac_s2,
+                    b"\x00" * 32)
+    return message
+
+
+def _swap_macs(name, message):
+    if name == "que2" and message.mac_s3 is not None:
+        return Que2(message.profile_bytes, message.cert_chain_bytes,
+                    message.kexm, message.signature, message.mac_s3,
+                    message.mac_s2)
+    return message
+
+
+class TestDowngradeDetection:
+    def test_stripped_mac3_detected_by_subject(self, fellow, kiosk):
+        """MITM strips MAC_S3: the kiosk answers with its Level 2 face,
+        but the subject's transcript check catches the mismatch."""
+        subject = SubjectEngine(fellow)
+        capture = run_exchange(subject, ObjectEngine(kiosk), tamper=_strip_mac3)
+        assert capture.outcome is None
+        assert any(isinstance(e, AuthenticationError) for e in subject.errors)
+
+    def test_corrupted_mac3_detected_by_subject(self, fellow, kiosk):
+        subject = SubjectEngine(fellow)
+        capture = run_exchange(subject, ObjectEngine(kiosk), tamper=_corrupt_mac3)
+        assert capture.outcome is None
+
+    def test_swapped_macs_rejected_by_object(self, fellow, kiosk):
+        """Swapping MAC_S2/MAC_S3 invalidates MAC_S2: silence."""
+        obj = ObjectEngine(kiosk)
+        capture = run_exchange(SubjectEngine(fellow), obj, tamper=_swap_macs)
+        assert capture.res2 is None
+        assert any(isinstance(e, AuthenticationError) for e in obj.errors)
+
+    def test_no_false_positives_on_honest_level2(self, staff, media):
+        """The downgrade detection must not break honest Level 2 flows
+        where the subject's K3 simply never matches anything."""
+        capture = run_exchange(SubjectEngine(staff), ObjectEngine(media))
+        assert capture.outcome is not None
+        assert capture.outcome.level_seen == 2
+
+    def test_fellow_on_level2_object_is_not_a_downgrade(self, backend, media):
+        """A real Level 2 object serving a fellow is legitimate (not an
+        attack): her MAC_S3 is present, unverifiable by design, and both
+        transcripts agree."""
+        staff_fellow = backend.register_subject(
+            "dg-fellow", {"position": "staff"},
+            sensitive_attributes=("sensitive:needs-support",),
+        )
+        capture = run_exchange(SubjectEngine(staff_fellow), ObjectEngine(media))
+        assert capture.outcome is not None
+        assert capture.outcome.level_seen == 2

@@ -1,0 +1,95 @@
+"""§VII Cases 1, 3, 5: passive attacks on secrecy."""
+
+import pytest
+
+from repro.attacks.channel import run_exchange
+from repro.attacks.eavesdropper import Eavesdropper
+from repro.protocol.object import ObjectEngine
+from repro.protocol.subject import SubjectEngine
+
+
+@pytest.fixture
+def level2_capture(staff, media):
+    subject = SubjectEngine(staff)
+    capture = run_exchange(subject, ObjectEngine(media))
+    assert capture.outcome is not None
+    return subject, capture
+
+
+@pytest.fixture
+def level3_capture(fellow, kiosk):
+    subject = SubjectEngine(fellow)
+    capture = run_exchange(subject, ObjectEngine(kiosk))
+    assert capture.outcome.level_seen == 3
+    return subject, capture
+
+
+class TestCase1Level2Secrecy:
+    def test_ciphertext_opaque_without_key(self, level2_capture):
+        _, capture = level2_capture
+        assert Eavesdropper.try_decrypt_res2(capture, b"\x00" * 32) is None
+
+    def test_many_wrong_keys_fail(self, level2_capture):
+        _, capture = level2_capture
+        for i in range(16):
+            assert Eavesdropper.try_decrypt_res2(capture, bytes([i]) * 32) is None
+
+    def test_profile_not_in_plaintext_on_wire(self, level2_capture):
+        """The PROF variant's function names must never appear in any
+        captured frame — encryption actually covers the payload."""
+        _, capture = level2_capture
+        wire = b"".join(capture.wire_bytes().values())
+        assert b"play" not in wire
+
+    def test_true_session_key_opens_exactly_that_session(self, level2_capture):
+        """§VII-D: session-key compromise exposes only that session."""
+        subject, capture = level2_capture
+        k2 = subject._sessions["media-1"].keys.k2
+        profile = Eavesdropper.try_decrypt_res2(capture, k2)
+        assert profile is not None and profile.entity_id == "media-1"
+
+
+class TestCase3Level3Secrecy:
+    def test_covert_payload_opaque(self, level3_capture):
+        _, capture = level3_capture
+        assert Eavesdropper.try_decrypt_res2(capture, b"\x01" * 32) is None
+
+    def test_k2_alone_insufficient_for_level3_payload(self, level3_capture):
+        """The covert variant is encrypted under K3; even the session's
+        own K2 cannot open it (K3 needs the group key too)."""
+        subject, capture = level3_capture
+        k2 = subject._sessions["kiosk-1"].keys.k2
+        assert Eavesdropper.try_decrypt_res2(capture, k2) is None
+
+    def test_covert_functions_not_on_wire(self, level3_capture):
+        _, capture = level3_capture
+        wire = b"".join(capture.wire_bytes().values())
+        assert b"dispense_support_flyer" not in wire
+
+
+class TestCase5SensitiveAttributeSecrecy:
+    def test_group_check_needs_both_keys(self, level3_capture, backend, fellow):
+        subject, capture = level3_capture
+        group_id = next(iter(fellow.group_keys))
+        true_group_key = fellow.group_keys[group_id]
+        true_k2 = subject._sessions["kiosk-1"].keys.k2
+
+        # group key alone (wrong K2): no
+        assert not Eavesdropper.test_group_membership(
+            capture, b"\x00" * 32, true_group_key
+        )
+        # K2 alone (wrong group key): no
+        assert not Eavesdropper.test_group_membership(
+            capture, true_k2, b"\x00" * 32
+        )
+        # both: the §VII-D bounded compromise case — yes
+        assert Eavesdropper.test_group_membership(capture, true_k2, true_group_key)
+
+    def test_coverup_user_indistinguishable_from_member(self, staff, media, backend):
+        """A cover-up MAC_S3 verifies under NO group key the attacker can
+        ever hold — so 'every subject looks like a member'."""
+        subject = SubjectEngine(staff)
+        capture = run_exchange(subject, ObjectEngine(media))
+        k2 = subject._sessions["media-1"].keys.k2
+        for group in backend.groups.groups.values():
+            assert not Eavesdropper.test_group_membership(capture, k2, group.key)

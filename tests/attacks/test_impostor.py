@@ -1,0 +1,94 @@
+"""§VII Cases 2, 4, 6, 8: active impersonation attacks."""
+
+import pytest
+
+from repro.attacks.channel import run_exchange
+from repro.attacks.impostor import EliminationProbe, ObjectImpostor, SubjectImpostor
+from repro.protocol.errors import AuthenticationError
+from repro.protocol.object import ObjectEngine
+from repro.protocol.subject import SubjectEngine
+
+
+class TestCase2SubjectImpostor:
+    def test_forged_chain_rejected_by_object(self, backend, media):
+        impostor = SubjectImpostor(trust_root=backend.admin_public)
+        target = ObjectEngine(media)
+        capture = impostor.attack(target)
+        assert capture.outcome is None
+        assert capture.res2 is None
+        assert any(isinstance(e, AuthenticationError) for e in target.errors)
+
+    def test_impostor_without_real_root_aborts_early(self, media):
+        """Distrusting the real root, she can't even get past RES1."""
+        impostor = SubjectImpostor()
+        capture = impostor.attack(ObjectEngine(media))
+        assert capture.que2 is None
+
+
+class TestCase2ObjectImpostor:
+    def test_fake_object_rejected_by_subject(self, staff):
+        victim = SubjectEngine(staff)
+        impostor = ObjectImpostor()
+        capture = impostor.attack(victim)
+        assert capture.outcome is None
+        assert any(isinstance(e, AuthenticationError) for e in victim.errors)
+
+    def test_fake_profile_never_recorded(self, staff):
+        victim = SubjectEngine(staff)
+        ObjectImpostor().attack(victim)
+        assert victim.discovered == []
+
+
+class TestCase4Level3Impostor:
+    def test_impostor_never_reaches_covert_variant(self, backend, kiosk):
+        impostor = SubjectImpostor(trust_root=backend.admin_public)
+        capture = impostor.attack(ObjectEngine(kiosk))
+        assert capture.outcome is None
+
+    def test_valid_subject_without_group_key_gets_level2_only(self, backend, kiosk):
+        """Even a REGISTERED subject without the group key can only ever
+        see the kiosk's Level 2 face."""
+        insider = backend.register_subject("case4-insider", {"position": "staff"})
+        capture = run_exchange(SubjectEngine(insider), ObjectEngine(kiosk))
+        assert capture.outcome.level_seen == 2
+        assert "flyer" not in " ".join(capture.outcome.functions)
+
+
+class TestCase6FellowProbing:
+    def test_nonfellow_probe_learns_nothing(self, backend, fellow, kiosk):
+        """A rogue object without the group key cannot extract the
+        subject's sensitive attributes: her MAC_S3 is opaque."""
+        rogue = backend.register_object(
+            "rogue-obj", {"type": "multimedia"}, level=2, functions=("play",),
+            variants=[("true", ("play",))],
+        )
+        subject = SubjectEngine(fellow)
+        capture = run_exchange(subject, ObjectEngine(rogue))
+        # the exchange even succeeds at Level 2 — but nothing in the rogue's
+        # view verifies against any group key it could hold
+        assert capture.outcome.level_seen == 2
+        assert capture.que2.mac_s3 is not None  # present but useless to it
+
+
+class TestCase8EliminationTrick:
+    def test_probe_classifies_everything_level2(self, backend, media, kiosk):
+        """Double-faced role: the insider probe sees MAC_{O,2} everywhere,
+        so 'not MAC_{O,2} => Level 3' never fires."""
+        probe = EliminationProbe(backend, probe_id="case8-probe")
+        assert probe.classify(ObjectEngine(kiosk)) == 2
+        assert probe.classify(ObjectEngine(media)) == 2
+
+    def test_probe_cannot_tell_kiosk_from_media(self, backend):
+        kiosk2 = backend.register_object(
+            "case8-kiosk", {"type": "kiosk"}, level=3, functions=("mag",),
+            variants=[("true", ("mag",))],
+            covert_functions={"sensitive:serves-support": ("flyer",)},
+        )
+        media2 = backend.register_object(
+            "case8-media", {"type": "multimedia"}, level=2, functions=("mag",),
+            variants=[("true", ("mag",))],
+        )
+        probe = EliminationProbe(backend, probe_id="case8-probe2")
+        verdicts = {probe.classify(ObjectEngine(kiosk2)),
+                    probe.classify(ObjectEngine(media2))}
+        assert verdicts == {2}

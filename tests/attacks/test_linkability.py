@@ -1,0 +1,55 @@
+"""§XI: Argus is linkable by design — and only linkable, nothing more."""
+
+from repro.attacks.channel import run_exchange
+from repro.attacks.linkability import (
+    link_sessions,
+    linkability_rate,
+    sensitive_exposure,
+)
+from repro.protocol.object import ObjectEngine
+from repro.protocol.subject import SubjectEngine
+
+
+def _collect(creds_list, object_creds_list):
+    captures = []
+    engines = {c.object_id: ObjectEngine(c) for c in object_creds_list}
+    for creds in creds_list:
+        for object_id, engine in engines.items():
+            subject = SubjectEngine(creds)
+            captures.append((run_exchange(subject, engine), object_id))
+    return captures
+
+
+class TestLinkability:
+    def test_every_session_is_linkable(self, staff, manager, media, kiosk):
+        """The §XI non-goal: a passive observer attributes every phase-2
+        exchange to a named subject."""
+        captures = _collect([staff, manager], [media, kiosk])
+        assert linkability_rate(captures) == 1.0
+
+    def test_dossier_tracks_movements(self, staff, media, kiosk):
+        captures = _collect([staff], [media, kiosk])
+        dossiers = link_sessions(captures)
+        dossier = dossiers[staff.subject_id]
+        assert dossier.session_count == 2
+        assert dossier.objects_contacted == {"media-1", "kiosk-1"}
+
+    def test_dossier_reveals_nonsensitive_attributes(self, staff, media):
+        captures = _collect([staff], [media])
+        dossier = link_sessions(captures)[staff.subject_id]
+        assert dossier.attributes.get("position") == "staff"
+
+    def test_but_never_sensitive_attributes(self, fellow, kiosk):
+        """The boundary the paper defends: even the secret-group member's
+        dossier contains zero sensitive attributes — her covert life is
+        invisible even to an observer who tracks her everywhere."""
+        captures = _collect([fellow], [kiosk])
+        dossiers = link_sessions(captures)
+        exposure = sensitive_exposure(dossiers)
+        assert exposure[fellow.subject_id] == []
+
+    def test_level1_exchanges_not_linkable(self, staff, thermometer):
+        """Level 1 discovery has no QUE2: nothing names the subject."""
+        captures = _collect([staff], [thermometer])
+        assert linkability_rate(captures) == 0.0
+        assert link_sessions(captures) == {}

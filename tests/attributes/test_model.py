@@ -1,0 +1,102 @@
+"""AttributeSet tests: typing, sensitivity firewall, canonical encoding."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.attributes.model import SENSITIVE_PREFIX, AttributeSet, is_sensitive_name
+
+attr_names = st.text(
+    alphabet=st.characters(min_codepoint=33, max_codepoint=126, exclude_characters="\x1f"),
+    min_size=1, max_size=20,
+).filter(lambda s: not s.startswith(SENSITIVE_PREFIX))
+attr_values = st.one_of(
+    st.text(alphabet=st.characters(min_codepoint=32, max_codepoint=126, exclude_characters="\x1f"), max_size=30),
+    st.integers(min_value=-10**9, max_value=10**9),
+    st.booleans(),
+)
+
+
+class TestConstruction:
+    def test_kwargs(self):
+        attrs = AttributeSet(position="manager", floor=3)
+        assert attrs["position"] == "manager"
+        assert attrs["floor"] == 3
+
+    def test_mapping(self):
+        attrs = AttributeSet({"a": 1})
+        assert dict(attrs) == {"a": 1}
+
+    def test_sensitive_name_rejected(self):
+        """The sensitivity firewall: sensitive names can never enter a
+        PROF-bound attribute set."""
+        with pytest.raises(ValueError, match="sensitive attribute"):
+            AttributeSet({"sensitive:depressed": True})
+
+    def test_bad_value_type_rejected(self):
+        with pytest.raises(TypeError):
+            AttributeSet({"a": [1, 2]})
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            AttributeSet({"": 1})
+
+
+class TestSemantics:
+    def test_equality_order_insensitive(self):
+        assert AttributeSet(a=1, b=2) == AttributeSet(b=2, a=1)
+
+    def test_hashable(self):
+        assert hash(AttributeSet(a=1)) == hash(AttributeSet(a=1))
+        assert {AttributeSet(a=1): "x"}[AttributeSet(a=1)] == "x"
+
+    def test_updated_is_functional(self):
+        base = AttributeSet(a=1)
+        changed = base.updated(a=2, b=3)
+        assert base["a"] == 1 and changed["a"] == 2 and changed["b"] == 3
+
+    def test_without(self):
+        assert AttributeSet(a=1, b=2).without("a") == AttributeSet(b=2)
+
+    def test_flatten(self):
+        assert AttributeSet(dept="X", pos="mgr").flatten() == ["dept:X", "pos:mgr"]
+
+
+class TestEncoding:
+    def test_roundtrip(self):
+        attrs = AttributeSet(s="text", i=42, f=2.5, b=True, b2=False)
+        assert AttributeSet.from_bytes(attrs.to_bytes()) == attrs
+
+    def test_empty_roundtrip(self):
+        assert AttributeSet.from_bytes(AttributeSet().to_bytes()) == AttributeSet()
+
+    def test_canonical_sorted(self):
+        """Same attrs -> same bytes regardless of insertion order, so
+        admin signatures over PROFs are deterministic."""
+        a = AttributeSet({"x": 1, "y": 2}).to_bytes()
+        b = AttributeSet({"y": 2, "x": 1}).to_bytes()
+        assert a == b
+
+    def test_bool_not_confused_with_int(self):
+        attrs = AttributeSet(flag=True, num=1)
+        restored = AttributeSet.from_bytes(attrs.to_bytes())
+        assert restored["flag"] is True
+        assert restored["num"] == 1 and restored["num"] is not True
+
+    def test_newline_rejected(self):
+        with pytest.raises(ValueError):
+            AttributeSet(note="line1\nline2").to_bytes()
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ValueError):
+            AttributeSet.from_bytes(b"not a valid encoding")
+
+    @given(st.dictionaries(attr_names, attr_values, max_size=8))
+    def test_roundtrip_property(self, attrs):
+        original = AttributeSet(attrs)
+        assert AttributeSet.from_bytes(original.to_bytes()) == original
+
+
+class TestSensitiveNames:
+    def test_predicate(self):
+        assert is_sensitive_name("sensitive:debt")
+        assert not is_sensitive_name("position")

@@ -1,0 +1,156 @@
+"""Predicate language: lexer, parser, evaluator, canonical roundtrip."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.attributes.predicate import (
+    And,
+    Comparison,
+    FALSE,
+    Not,
+    Or,
+    PredicateError,
+    TRUE,
+    parse_predicate,
+)
+
+
+class TestParsingBasics:
+    def test_paper_example(self):
+        p = parse_predicate("position=='manager' && department=='X'")
+        assert p == And(Comparison("position", "==", "manager"),
+                        Comparison("department", "==", "X"))
+
+    def test_or(self):
+        p = parse_predicate("a=='1' || b=='2'")
+        assert isinstance(p, Or)
+
+    def test_not(self):
+        p = parse_predicate("!(a==1)")
+        assert isinstance(p, Not)
+
+    def test_precedence_and_binds_tighter(self):
+        p = parse_predicate("a==1 || b==2 && c==3")
+        assert isinstance(p, Or)
+        assert isinstance(p.right, And)
+
+    def test_parentheses_override(self):
+        p = parse_predicate("(a==1 || b==2) && c==3")
+        assert isinstance(p, And)
+        assert isinstance(p.left, Or)
+
+    def test_constants(self):
+        assert parse_predicate("true") is TRUE
+        assert parse_predicate("false") is FALSE
+
+    def test_double_quotes(self):
+        p = parse_predicate('name=="O\'Brien"')
+        assert p.evaluate({"name": "O'Brien"})
+
+    def test_escaped_quote(self):
+        p = parse_predicate(r"name=='O\'Brien'")
+        assert p.evaluate({"name": "O'Brien"})
+
+    def test_numbers(self):
+        assert parse_predicate("floor==3").evaluate({"floor": 3})
+        assert parse_predicate("temp==21.5").evaluate({"temp": 21.5})
+        assert parse_predicate("delta==-2").evaluate({"delta": -2})
+
+    def test_in_operator(self):
+        p = parse_predicate("type in ['light', 'hvac']")
+        assert p.evaluate({"type": "hvac"})
+        assert not p.evaluate({"type": "lock"})
+
+    def test_comparison_operators(self):
+        attrs = {"floor": 3}
+        assert parse_predicate("floor>=3").evaluate(attrs)
+        assert parse_predicate("floor>2").evaluate(attrs)
+        assert parse_predicate("floor<=3").evaluate(attrs)
+        assert parse_predicate("floor<4").evaluate(attrs)
+        assert parse_predicate("floor!=4").evaluate(attrs)
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize("source", [
+        "", "&&", "a ==", "a == 'unterminated", "(a==1", "a==1)",
+        "a in 'notalist'", "a=='x' &&", "== 'x'", "a == @",
+    ])
+    def test_malformed_rejected(self, source):
+        with pytest.raises(PredicateError):
+            parse_predicate(source)
+
+
+class TestEvaluation:
+    def test_missing_attribute_is_false(self):
+        assert not parse_predicate("ghost=='x'").evaluate({})
+
+    def test_missing_attribute_under_not_is_true(self):
+        assert parse_predicate("!(ghost=='x')").evaluate({})
+
+    def test_type_mismatch_comparison_false(self):
+        assert not parse_predicate("name>3").evaluate({"name": "bob"})
+
+    def test_bool_values_not_ordered(self):
+        assert not parse_predicate("flag>0").evaluate({"flag": True})
+
+    def test_combinators_via_operators(self):
+        p = Comparison("a", "==", 1) & ~Comparison("b", "==", 2)
+        assert p.evaluate({"a": 1, "b": 3})
+        assert not p.evaluate({"a": 1, "b": 2})
+
+
+class TestCanonicalRoundtrip:
+    @pytest.mark.parametrize("source", [
+        "position=='manager' && department=='X'",
+        "a==1 || b==2 && c==3",
+        "!(x=='y')",
+        "type in ['light', 'hvac']",
+        "floor>=2 && floor<10",
+        "true",
+        "flag==true && other==false",
+    ])
+    def test_str_reparses_to_same_ast(self, source):
+        p = parse_predicate(source)
+        assert parse_predicate(str(p)) == p
+
+    @given(st.recursive(
+        st.builds(
+            Comparison,
+            st.sampled_from(["a", "b", "dept"]),
+            st.sampled_from(["==", "!=", "<", ">="]),
+            st.one_of(st.integers(-100, 100), st.text(
+                alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+                max_size=10)),
+        ),
+        lambda children: st.one_of(
+            st.builds(And, children, children),
+            st.builds(Or, children, children),
+            st.builds(Not, children),
+        ),
+        max_leaves=6,
+    ))
+    def test_roundtrip_property(self, predicate):
+        assert parse_predicate(str(predicate)) == predicate
+
+
+class TestAbeConversion:
+    def test_and_of_equalities(self):
+        p = parse_predicate("position=='manager' && department=='X'")
+        assert p.to_abe_attributes() == ["department:X", "position:manager"]
+
+    def test_single_equality(self):
+        assert parse_predicate("a=='x'").to_abe_attributes() == ["a:x"]
+
+    def test_or_not_expressible(self):
+        with pytest.raises(PredicateError):
+            parse_predicate("a=='x' || b=='y'").to_abe_attributes()
+
+    def test_inequality_not_expressible(self):
+        with pytest.raises(PredicateError):
+            parse_predicate("floor>=3").to_abe_attributes()
+
+
+class TestAttributeNames:
+    def test_collects_names(self):
+        p = parse_predicate("a==1 && (b==2 || !(c==3))")
+        assert p.attribute_names() == {"a", "b", "c"}

@@ -1,0 +1,84 @@
+"""Certificate expiry and renewal through the live protocol."""
+
+import pytest
+
+from repro.backend import Backend, DatabaseError
+from repro.protocol import ObjectEngine, SubjectEngine
+from repro.protocol.discovery import run_round
+
+
+@pytest.fixture
+def world():
+    backend = Backend()
+    user = backend.register_subject("cl-user", {"position": "staff"})
+    obj = backend.register_object(
+        "cl-media", {"type": "multimedia"}, level=2, functions=("play",),
+        variants=[("position=='staff'", ("play",))],
+    )
+    return backend, user, obj
+
+
+class TestExpiry:
+    def test_expired_subject_cert_rejected(self, world):
+        backend, user, obj = world
+        backend.reissue_certificate("cl-user", not_before=0, not_after=100)
+        # at now=50 the cert is valid
+        result = run_round(
+            SubjectEngine(user, now=50), {"cl-media": ObjectEngine(obj, now=50)}
+        )
+        assert len(result.services) == 1
+        # at now=200 it has expired: the object rejects QUE2
+        result = run_round(
+            SubjectEngine(user, now=200), {"cl-media": ObjectEngine(obj, now=200)}
+        )
+        assert result.services == []
+
+    def test_expired_object_cert_rejected_by_subject(self, world):
+        backend, user, obj = world
+        backend.reissue_certificate("cl-media", not_before=0, not_after=100)
+        subject = SubjectEngine(user, now=200)
+        result = run_round(subject, {"cl-media": ObjectEngine(obj, now=200)})
+        assert result.services == []
+        from repro.protocol.errors import AuthenticationError
+
+        assert any(isinstance(e, AuthenticationError) for e in subject.errors)
+
+    def test_not_yet_valid_rejected(self, world):
+        backend, user, obj = world
+        backend.reissue_certificate("cl-user", not_before=500, not_after=1000)
+        result = run_round(
+            SubjectEngine(user, now=100), {"cl-media": ObjectEngine(obj, now=100)}
+        )
+        assert result.services == []
+
+
+class TestRenewal:
+    def test_renewal_restores_discovery(self, world):
+        backend, user, obj = world
+        backend.reissue_certificate("cl-user", not_after=100)
+        assert run_round(
+            SubjectEngine(user, now=200), {"cl-media": ObjectEngine(obj, now=200)}
+        ).services == []
+        backend.reissue_certificate("cl-user", not_after=10_000)
+        result = run_round(
+            SubjectEngine(user, now=200), {"cl-media": ObjectEngine(obj, now=200)}
+        )
+        assert len(result.services) == 1
+
+    def test_renewal_keeps_key_pair(self, world):
+        backend, user, obj = world
+        public_before = user.signing_key.public_key.to_bytes()
+        backend.reissue_certificate("cl-user", not_after=9_999)
+        assert user.signing_key.public_key.to_bytes() == public_before
+        assert user.cert_chain.leaf.public_key.to_bytes() == public_before
+
+    def test_renewal_for_unknown_entity_rejected(self, world):
+        backend, *_ = world
+        with pytest.raises(DatabaseError):
+            backend.reissue_certificate("ghost")
+
+    def test_renewed_serial_advances(self, world):
+        backend, user, _ = world
+        serial_before = user.cert_chain.leaf.serial
+        backend.reissue_certificate("cl-user")
+        assert user.cert_chain.leaf.serial > serial_before

@@ -1,0 +1,117 @@
+"""Backend database: records, policies, category queries (alpha/beta/N)."""
+
+import pytest
+
+from repro.attributes.model import AttributeSet
+from repro.attributes.predicate import parse_predicate
+from repro.backend.database import (
+    BackendDatabase,
+    DatabaseError,
+    ObjectRecord,
+    Policy,
+    SubjectRecord,
+)
+
+
+@pytest.fixture
+def db():
+    db = BackendDatabase()
+    for i in range(6):
+        db.add_subject(SubjectRecord(
+            f"u{i}", AttributeSet(
+                position="manager" if i < 2 else "staff",
+                department="X" if i % 2 == 0 else "Y",
+            ),
+        ))
+    for i in range(8):
+        db.add_object(ObjectRecord(
+            f"o{i}", AttributeSet(
+                type="door lock" if i < 4 else "light",
+                building="A" if i % 2 == 0 else "B",
+            ),
+            level=2 if i < 4 else 1,
+        ))
+    db.add_policy(Policy(
+        "managers-locks",
+        parse_predicate("position=='manager'"),
+        parse_predicate("type=='door lock'"),
+        ("open", "close"),
+    ))
+    db.add_policy(Policy(
+        "dept-x-lights",
+        parse_predicate("department=='X'"),
+        parse_predicate("type=='light' && building=='A'"),
+        ("on",),
+    ))
+    return db
+
+
+class TestMutation:
+    def test_duplicate_subject_rejected(self, db):
+        with pytest.raises(DatabaseError):
+            db.add_subject(SubjectRecord("u0", AttributeSet()))
+
+    def test_duplicate_object_rejected(self, db):
+        with pytest.raises(DatabaseError):
+            db.add_object(ObjectRecord("o0", AttributeSet()))
+
+    def test_duplicate_policy_rejected(self, db):
+        with pytest.raises(DatabaseError):
+            db.add_policy(Policy("managers-locks", parse_predicate("true"),
+                                 parse_predicate("true")))
+
+    def test_remove_unknown_rejected(self, db):
+        with pytest.raises(DatabaseError):
+            db.remove_subject("ghost")
+        with pytest.raises(DatabaseError):
+            db.remove_object("ghost")
+        with pytest.raises(DatabaseError):
+            db.remove_policy("ghost")
+
+    def test_remove_returns_record(self, db):
+        record = db.remove_subject("u0")
+        assert record.subject_id == "u0"
+        assert "u0" not in db.subjects
+
+    def test_invalid_level_rejected(self):
+        with pytest.raises(DatabaseError):
+            ObjectRecord("x", AttributeSet(), level=4)
+
+
+class TestCategoryQueries:
+    def test_alpha_subject_category(self, db):
+        managers = db.subjects_matching(parse_predicate("position=='manager'"))
+        assert {s.subject_id for s in managers} == {"u0", "u1"}
+
+    def test_beta_object_category(self, db):
+        locks = db.objects_matching(parse_predicate("type=='door lock'"))
+        assert len(locks) == 4
+
+    def test_policies_for_subject(self, db):
+        manager = db.subjects["u0"]  # manager, dept X
+        ids = {p.policy_id for p in db.policies_for_subject(manager)}
+        assert ids == {"managers-locks", "dept-x-lights"}
+
+    def test_n_objects_accessible(self, db):
+        # u0: manager & dept X -> 4 locks + lights in building A (o4, o6)
+        accessible = {o.object_id for o in db.objects_accessible_by("u0")}
+        assert accessible == {"o0", "o1", "o2", "o3", "o4", "o6"}
+
+    def test_accessible_deduplicates_across_policies(self, db):
+        db.add_policy(Policy(
+            "managers-locks-2",
+            parse_predicate("position=='manager'"),
+            parse_predicate("type=='door lock'"),
+        ))
+        accessible = [o.object_id for o in db.objects_accessible_by("u0")]
+        assert len(accessible) == len(set(accessible))
+
+    def test_subjects_with_access_to(self, db):
+        allowed = {s.subject_id for s in db.subjects_with_access_to("o0")}
+        assert allowed == {"u0", "u1"}
+
+    def test_unknown_ids_rejected(self, db):
+        with pytest.raises(DatabaseError):
+            db.objects_accessible_by("ghost")
+        with pytest.raises(DatabaseError):
+            db.subjects_with_access_to("ghost")

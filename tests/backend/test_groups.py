@@ -1,0 +1,100 @@
+"""Secret groups: keys, cover-up keys, rekey overhead (gamma - 1)."""
+
+import pytest
+
+from repro.backend.groups import GROUP_KEY_LEN, GroupError, GroupManager
+
+
+@pytest.fixture
+def manager():
+    return GroupManager()
+
+
+class TestGroups:
+    def test_create_and_lookup(self, manager):
+        group = manager.create_group("sensitive:a", "sensitive:serves-a")
+        assert manager.group_for_attributes("sensitive:a", "sensitive:serves-a") is group
+        assert manager.group_for_attributes("sensitive:x", "sensitive:y") is None
+
+    def test_fellows_share_one_key(self, manager):
+        group = manager.create_group("sensitive:a", "sensitive:serves-a")
+        k1 = manager.enroll_subject(group.group_id, "sam")
+        k2 = manager.enroll_object(group.group_id, "kiosk")
+        assert k1 == k2
+        assert len(k1) == GROUP_KEY_LEN
+
+    def test_distinct_groups_distinct_keys(self, manager):
+        g1 = manager.create_group("sensitive:a", "sensitive:sa")
+        g2 = manager.create_group("sensitive:b", "sensitive:sb")
+        assert g1.key != g2.key
+
+    def test_membership_queries(self, manager):
+        group = manager.create_group("sensitive:a", "sensitive:sa")
+        manager.enroll_subject(group.group_id, "sam")
+        manager.enroll_object(group.group_id, "kiosk")
+        assert [g.group_id for g in manager.groups_of_subject("sam")] == [group.group_id]
+        assert [g.group_id for g in manager.groups_of_object("kiosk")] == [group.group_id]
+        assert manager.groups_of_subject("kiosk") == []
+
+    def test_size_is_gamma(self, manager):
+        group = manager.create_group("sensitive:a", "sensitive:sa")
+        for i in range(4):
+            manager.enroll_subject(group.group_id, f"s{i}")
+        manager.enroll_object(group.group_id, "o1")
+        assert group.size == 5
+
+    def test_unknown_group_rejected(self, manager):
+        with pytest.raises(GroupError):
+            manager.enroll_subject("ghost", "sam")
+
+
+class TestCoverupKeys:
+    def test_unique_per_subject(self, manager):
+        assert manager.coverup_key("a") != manager.coverup_key("b")
+
+    def test_stable_per_subject(self, manager):
+        assert manager.coverup_key("a") == manager.coverup_key("a")
+
+    def test_distinct_from_group_keys(self, manager):
+        group = manager.create_group("sensitive:a", "sensitive:sa")
+        assert manager.coverup_key("sam") != group.key
+
+
+class TestRekey:
+    def test_remove_rekeys_group(self, manager):
+        group = manager.create_group("sensitive:a", "sensitive:sa")
+        for i in range(3):
+            manager.enroll_subject(group.group_id, f"s{i}")
+        manager.enroll_object(group.group_id, "o1")
+        old_key = group.key
+        report = manager.remove_member(group.group_id, "s0")
+        assert group.key != old_key
+        assert group.key_version == 2
+        assert "s0" not in group.subject_members
+
+    def test_overhead_is_gamma_minus_one(self, manager):
+        """§VIII: 'the overhead is (gamma - 1)'."""
+        group = manager.create_group("sensitive:a", "sensitive:sa")
+        for i in range(5):
+            manager.enroll_subject(group.group_id, f"s{i}")
+        manager.enroll_object(group.group_id, "o1")
+        gamma = group.size
+        report = manager.remove_member(group.group_id, "s0")
+        assert report.overhead == gamma - 1
+
+    def test_remove_nonmember_rejected(self, manager):
+        group = manager.create_group("sensitive:a", "sensitive:sa")
+        with pytest.raises(GroupError):
+            manager.remove_member(group.group_id, "ghost")
+
+    def test_remove_everywhere(self, manager):
+        g1 = manager.create_group("sensitive:a", "sensitive:sa")
+        g2 = manager.create_group("sensitive:b", "sensitive:sb")
+        manager.enroll_subject(g1.group_id, "sam")
+        manager.enroll_subject(g2.group_id, "sam")
+        manager.enroll_subject(g2.group_id, "pat")
+        reports = manager.remove_everywhere("sam")
+        assert len(reports) == 2
+        assert "sam" not in g1.subject_members
+        assert "sam" not in g2.subject_members
+        assert "pat" in g2.subject_members

@@ -1,0 +1,73 @@
+"""Deep server hierarchies: multi-level chains through the live protocol."""
+
+import pytest
+
+from repro.backend import Backend, DatabaseError
+from repro.crypto import meter
+from repro.pki.chain import ChainVerifier
+from repro.protocol import ObjectEngine, SubjectEngine
+from repro.protocol.discovery import run_round
+
+
+@pytest.fixture
+def deep_backend():
+    backend = Backend(regions=("campus",))
+    backend.add_subregion("campus", "engineering")
+    backend.add_subregion("engineering", "building-7")
+    return backend
+
+
+class TestHierarchy:
+    def test_chain_depth_grows(self, deep_backend):
+        user = deep_backend.register_subject(
+            "deep-user", {"position": "staff"}, region="building-7"
+        )
+        assert len(user.cert_chain.certificates) == 4  # leaf + 3 admins
+        assert user.cert_chain.verify(user.root_id, deep_backend.admin_public)
+
+    def test_duplicate_region_rejected(self, deep_backend):
+        with pytest.raises(DatabaseError):
+            deep_backend.add_subregion("campus", "engineering")
+
+    def test_unknown_parent_rejected(self, deep_backend):
+        with pytest.raises(DatabaseError):
+            deep_backend.add_subregion("mars", "dome-1")
+
+    def test_cross_region_discovery(self, deep_backend):
+        """A building-7 subject discovers a campus-level object: both
+        chains root at the same admin."""
+        user = deep_backend.register_subject(
+            "b7-user", {"position": "staff"}, region="building-7"
+        )
+        obj = deep_backend.register_object(
+            "campus-media", {"type": "multimedia"}, level=2, functions=("play",),
+            variants=[("position=='staff'", ("play",))],
+            region="campus",
+        )
+        result = run_round(SubjectEngine(user), {"campus-media": ObjectEngine(obj)})
+        assert len(result.services) == 1
+
+    def test_warm_deep_chain_is_one_verify(self, deep_backend):
+        user = deep_backend.register_subject(
+            "warm-user", {"position": "staff"}, region="building-7"
+        )
+        verifier = ChainVerifier(user.root_id, deep_backend.admin_public)
+        verifier.warm_up(user.cert_chain)
+        with meter.metered() as tally:
+            assert verifier.verify(user.cert_chain) is not None
+        assert tally.total("ecdsa_verify") == 1
+
+    def test_cold_deep_chain_cost_scales_with_depth(self, deep_backend):
+        user = deep_backend.register_subject(
+            "cold-user", {"position": "staff"}, region="building-7"
+        )
+        verifier = ChainVerifier(user.root_id, deep_backend.admin_public)
+        with meter.metered() as tally:
+            assert verifier.verify(user.cert_chain) is not None
+        assert tally.total("ecdsa_verify") == 4  # leaf + 3 intermediates
+
+    def test_foreign_root_still_rejected(self, deep_backend):
+        other = Backend()
+        intruder = other.register_subject("intruder", {"position": "staff"})
+        verifier = ChainVerifier("admin-root", deep_backend.admin_public)
+        assert verifier.verify(intruder.cert_chain) is None

@@ -1,0 +1,91 @@
+"""Provisioning snapshots: export/import round-trips to working state."""
+
+import pytest
+
+from repro.backend import Backend, ChurnEngine
+from repro.backend.persistence import (
+    PersistenceError,
+    export_backend,
+    import_backend,
+    load_backend,
+    save_backend,
+)
+from repro.protocol import discover
+
+
+@pytest.fixture
+def live_backend():
+    backend = Backend()
+    backend.add_sensitive_policy("sensitive:s", "sensitive:serves-s")
+    backend.add_policy("p1", "position=='staff'", "type=='multimedia'", ("play",))
+    backend.register_subject("alice", {"position": "staff"})
+    backend.register_subject("sam", {"position": "staff"}, ("sensitive:s",))
+    backend.register_object(
+        "m1", {"type": "multimedia"}, level=2, functions=("play",),
+        variants=[("position=='staff'", ("play",))],
+    )
+    backend.register_object(
+        "k1", {"type": "kiosk"}, level=3, functions=("mag",),
+        variants=[("true", ("mag",))],
+        covert_functions={"sensitive:serves-s": ("flyer",)},
+    )
+    backend.register_object("t1", {"type": "thermometer"}, level=1, functions=("read",))
+    return backend
+
+
+class TestRoundtrip:
+    def test_snapshot_is_json_serializable(self, live_backend):
+        import json
+
+        blob = json.dumps(export_backend(live_backend))
+        assert "alice" in blob
+
+    def test_database_restored(self, live_backend):
+        restored = import_backend(export_backend(live_backend))
+        assert set(restored.database.subjects) == {"alice", "sam"}
+        assert set(restored.database.objects) == {"m1", "k1", "t1"}
+        assert set(restored.database.policies) == {"p1"}
+        assert len(restored.groups.groups) == 1
+
+    def test_restored_credentials_discover(self, live_backend):
+        """The acid test: restored credentials still run the protocol."""
+        restored = import_backend(export_backend(live_backend))
+        sam = restored.issued_subjects["sam"]
+        fleet = list(restored.issued_objects.values())
+        result = discover(sam, fleet)
+        levels = {s.object_id: s.level_seen for s in result.services}
+        assert levels == {"t1": 1, "m1": 2, "k1": 3}
+
+    def test_cross_snapshot_interop(self, live_backend):
+        """Credentials exported before and after a snapshot interoperate:
+        the restored kiosk accepts the ORIGINAL sam's keys."""
+        restored = import_backend(export_backend(live_backend))
+        original_sam = live_backend.issued_subjects["sam"]
+        fleet = list(restored.issued_objects.values())
+        result = discover(original_sam, fleet)
+        assert any(s.level_seen == 3 for s in result.services)
+
+    def test_churn_works_after_restore(self, live_backend):
+        restored = import_backend(export_backend(live_backend))
+        churn = ChurnEngine(restored)
+        report = churn.remove_subject("alice")
+        assert report.overhead >= 1
+        # new registrations keep working (serial counter restored)
+        creds = restored.register_subject("newbie", {"position": "staff"})
+        assert creds.cert_chain.verify(creds.root_id, restored.admin_public)
+
+    def test_file_helpers(self, live_backend, tmp_path):
+        path = str(tmp_path / "snapshot.json")
+        save_backend(live_backend, path)
+        restored = load_backend(path)
+        assert set(restored.issued_objects) == {"m1", "k1", "t1"}
+
+    def test_revocation_list_persisted(self, live_backend):
+        churn = ChurnEngine(live_backend)
+        churn.remove_subject("alice")
+        restored = import_backend(export_backend(live_backend))
+        assert "alice" in restored.issued_objects["m1"].revoked_subjects
+
+    def test_bad_format_rejected(self):
+        with pytest.raises(PersistenceError):
+            import_backend({"format": 99})

@@ -1,0 +1,62 @@
+"""Property tests: persistence round-trips arbitrary synthetic enterprises."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.backend import Backend
+from repro.backend.persistence import export_backend, import_backend
+from repro.backend.synthetic import SyntheticConfig, generate, provision
+
+configs = st.builds(
+    SyntheticConfig,
+    n_subjects=st.integers(min_value=1, max_value=12),
+    n_departments=st.integers(min_value=1, max_value=3),
+    n_buildings=st.integers(min_value=1, max_value=2),
+    rooms_per_building=st.integers(min_value=1, max_value=3),
+    objects_per_room=st.integers(min_value=1, max_value=2),
+    n_secret_groups=st.integers(min_value=0, max_value=2),
+    gamma=st.integers(min_value=2, max_value=4),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(config=configs)
+def test_roundtrip_preserves_everything(config):
+    backend = Backend()
+    provision(generate(config), backend)
+    restored = import_backend(export_backend(backend))
+
+    assert set(restored.database.subjects) == set(backend.database.subjects)
+    assert set(restored.database.objects) == set(backend.database.objects)
+    assert set(restored.database.policies) == set(backend.database.policies)
+    assert set(restored.groups.groups) == set(backend.groups.groups)
+    for gid, group in backend.groups.groups.items():
+        mirror = restored.groups.groups[gid]
+        assert mirror.key == group.key
+        assert mirror.subject_members == group.subject_members
+        assert mirror.object_members == group.object_members
+    for sid, creds in backend.issued_subjects.items():
+        mirror_s = restored.issued_subjects[sid]
+        assert mirror_s.group_keys == creds.group_keys
+        assert mirror_s.coverup_key == creds.coverup_key
+        assert mirror_s.profile == creds.profile
+    for oid, creds_o in backend.issued_objects.items():
+        mirror_o = restored.issued_objects[oid]
+        assert mirror_o.level == creds_o.level
+        assert len(mirror_o.level2_variants) == len(creds_o.level2_variants)
+        assert set(mirror_o.level3_variants) == set(creds_o.level3_variants)
+
+
+@settings(max_examples=5, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(config=configs)
+def test_double_export_is_stable(config):
+    """export(import(export(x))) == export(x) for the data payloads
+    (keys re-serialize identically; PEM is canonical)."""
+    backend = Backend()
+    provision(generate(config), backend)
+    once = export_backend(backend)
+    twice = export_backend(import_backend(once))
+    assert once == twice

@@ -1,0 +1,148 @@
+"""Bootstrapping: credentials issued by the Backend facade (§IV-A)."""
+
+import pytest
+
+from repro.backend import Backend, DatabaseError
+from repro.pki.chain import ChainVerifier
+
+
+@pytest.fixture(scope="module")
+def backend():
+    b = Backend()
+    b.add_sensitive_policy("sensitive:needs-x", "sensitive:serves-x")
+    return b
+
+
+class TestSubjectRegistration:
+    def test_credentials_complete(self, backend):
+        creds = backend.register_subject("reg-alice", {"position": "staff"})
+        assert creds.subject_id == "reg-alice"
+        assert creds.cert_chain.verify(creds.root_id, creds.admin_public)
+        assert creds.profile.verify(creds.admin_public)
+        assert creds.profile.attributes["position"] == "staff"
+        assert len(creds.coverup_key) == 32
+
+    def test_chain_passes_chain_verifier(self, backend):
+        creds = backend.register_subject("reg-bob", {"position": "staff"})
+        verifier = ChainVerifier(creds.root_id, creds.admin_public)
+        leaf = verifier.verify(creds.cert_chain)
+        assert leaf is not None and leaf.subject_id == "reg-bob"
+
+    def test_sensitive_subject_gets_group_key(self, backend):
+        creds = backend.register_subject(
+            "reg-sam", {"position": "student"}, ("sensitive:needs-x",)
+        )
+        assert len(creds.group_keys) == 1
+        group_id = next(iter(creds.group_keys))
+        assert backend.groups.groups[group_id].subject_attribute == "sensitive:needs-x"
+
+    def test_plain_subject_gets_only_coverup(self, backend):
+        creds = backend.register_subject("reg-eve", {"position": "visitor"})
+        assert creds.group_keys == {}
+        # discovery_keys always yields something to use for Level 3 rounds
+        keys = creds.discovery_keys()
+        assert keys[-1][0] == "coverup"
+
+    def test_coverup_keys_unique_across_subjects(self, backend):
+        c1 = backend.register_subject("reg-u1", {"position": "staff"})
+        c2 = backend.register_subject("reg-u2", {"position": "staff"})
+        assert c1.coverup_key != c2.coverup_key
+
+    def test_sensitive_attrs_never_in_profile(self, backend):
+        creds = backend.register_subject(
+            "reg-pat", {"position": "student"}, ("sensitive:needs-x",)
+        )
+        assert all(not k.startswith("sensitive:") for k in creds.profile.attributes)
+
+    def test_duplicate_registration_rejected(self, backend):
+        backend.register_subject("reg-dup", {"position": "staff"})
+        with pytest.raises(DatabaseError):
+            backend.register_subject("reg-dup", {"position": "staff"})
+
+
+class TestObjectRegistration:
+    def test_level1(self, backend):
+        creds = backend.register_object(
+            "reg-t1", {"type": "thermometer"}, level=1, functions=("read",)
+        )
+        assert creds.level == 1
+        assert creds.public_profile.functions == ("read",)
+        assert creds.level2_variants == []
+        assert creds.level3_variants == {}
+
+    def test_level2_variants_signed(self, backend):
+        creds = backend.register_object(
+            "reg-m1", {"type": "multimedia"}, level=2, functions=("play",),
+            variants=[("position=='manager'", ("play", "admin")),
+                      ("position=='staff'", ("play",))],
+        )
+        assert len(creds.level2_variants) == 2
+        for variant in creds.level2_variants:
+            assert variant.profile.verify(backend.admin_public)
+
+    def test_level2_without_variants_rejected(self, backend):
+        with pytest.raises(DatabaseError):
+            backend.register_object("reg-bad", {"type": "x"}, level=2)
+
+    def test_level3_gets_group_key_and_covert_variant(self, backend):
+        creds = backend.register_object(
+            "reg-k1", {"type": "kiosk"}, level=3, functions=("mag",),
+            variants=[("true", ("mag",))],
+            covert_functions={"sensitive:serves-x": ("flyer",)},
+        )
+        assert len(creds.level3_variants) == 1
+        group_id, (key, prof) = next(iter(creds.level3_variants.items()))
+        assert backend.groups.groups[group_id].key == key
+        assert prof.functions == ("flyer",)
+        assert prof.verify(backend.admin_public)
+
+    def test_level3_without_covert_rejected(self, backend):
+        with pytest.raises(DatabaseError):
+            backend.register_object(
+                "reg-bad3", {"type": "kiosk"}, level=3,
+                variants=[("true", ("mag",))],
+            )
+
+    def test_covert_on_level2_rejected(self, backend):
+        with pytest.raises(DatabaseError):
+            backend.register_object(
+                "reg-bad2", {"type": "x"}, level=2,
+                variants=[("true", ("f",))],
+                covert_functions={"sensitive:serves-x": ("f",)},
+            )
+
+    def test_unknown_sensitive_attribute_rejected(self, backend):
+        with pytest.raises(DatabaseError, match="no secret group"):
+            backend.register_object(
+                "reg-bad4", {"type": "kiosk"}, level=3,
+                variants=[("true", ("mag",))],
+                covert_functions={"sensitive:serves-ghost": ("flyer",)},
+            )
+
+    def test_fellow_subject_and_object_share_key(self, backend):
+        subject = backend.register_subject(
+            "reg-fel", {"position": "student"}, ("sensitive:needs-x",)
+        )
+        obj = backend.register_object(
+            "reg-k2", {"type": "kiosk"}, level=3, functions=("mag",),
+            variants=[("true", ("mag",))],
+            covert_functions={"sensitive:serves-x": ("flyer",)},
+        )
+        group_id = next(iter(obj.level3_variants))
+        assert subject.group_keys[group_id] == obj.level3_variants[group_id][0]
+
+
+class TestHierarchy:
+    def test_multi_region_chains(self):
+        backend = Backend(regions=("north", "south"))
+        c1 = backend.register_subject("u1", {"position": "staff"}, region="north")
+        c2 = backend.register_subject("u2", {"position": "staff"}, region="south")
+        assert c1.cert_chain.certificates[0].issuer_id == "admin-north"
+        assert c2.cert_chain.certificates[0].issuer_id == "admin-south"
+        for creds in (c1, c2):
+            assert creds.cert_chain.verify(creds.root_id, backend.admin_public)
+
+    def test_unknown_region_rejected(self):
+        backend = Backend()
+        with pytest.raises(DatabaseError):
+            backend.register_subject("u", {"position": "staff"}, region="mars")

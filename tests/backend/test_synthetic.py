@@ -1,0 +1,94 @@
+"""Synthetic enterprise generator tests."""
+
+import pytest
+
+from repro.backend import Backend
+from repro.backend.database import BackendDatabase
+from repro.backend.synthetic import (
+    OBJECT_TYPES,
+    SyntheticConfig,
+    generate,
+    populate,
+    provision,
+)
+
+
+class TestGenerate:
+    def test_deterministic(self):
+        a = generate(SyntheticConfig(seed=7))
+        b = generate(SyntheticConfig(seed=7))
+        assert a.subject_specs == b.subject_specs
+        assert a.object_specs == b.object_specs
+
+    def test_seed_changes_population(self):
+        a = generate(SyntheticConfig(seed=1))
+        b = generate(SyntheticConfig(seed=2))
+        assert a.subject_specs != b.subject_specs
+
+    def test_counts(self):
+        cfg = SyntheticConfig(n_subjects=50, n_buildings=2, rooms_per_building=5,
+                              objects_per_room=3)
+        ent = generate(cfg)
+        assert len(ent.subject_specs) == 50
+        assert len(ent.object_specs) == 2 * 5 * 3
+
+    def test_levels_follow_types(self):
+        ent = generate(SyntheticConfig())
+        for spec in ent.object_specs:
+            natural = OBJECT_TYPES[spec["attributes"]["type"]]
+            # Level 3 specs may be downgraded to 2 if no group claimed them.
+            assert spec["level"] in (natural, 2) if natural == 3 else spec["level"] == natural
+
+    def test_level3_objects_have_groups(self):
+        ent = generate(SyntheticConfig(n_secret_groups=2))
+        for spec in ent.object_specs:
+            if spec["level"] == 3:
+                assert spec.get("covert_for")
+
+    def test_gamma_members_spread(self):
+        cfg = SyntheticConfig(n_secret_groups=1, gamma=5)
+        ent = generate(cfg)
+        sensitive = [s for s in ent.subject_specs if s["sensitive_attributes"]]
+        assert len(sensitive) == 4  # gamma - 1 subjects (objects fill the rest)
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            SyntheticConfig(n_subjects=0)
+        with pytest.raises(ValueError):
+            SyntheticConfig(n_secret_groups=99)
+
+
+class TestPopulate:
+    def test_db_counts_match(self):
+        cfg = SyntheticConfig(n_subjects=100)
+        ent = generate(cfg)
+        db = BackendDatabase()
+        populate(ent, db)
+        assert len(db.subjects) == 100
+        assert len(db.objects) == len(ent.object_specs)
+        assert len(db.policies) == len(ent.policy_specs)
+
+    def test_accessibility_nonempty(self):
+        ent = generate(SyntheticConfig(n_subjects=20))
+        db = BackendDatabase()
+        populate(ent, db)
+        any_access = any(
+            db.objects_accessible_by(sid) for sid in list(db.subjects)[:5]
+        )
+        assert any_access
+
+
+class TestProvision:
+    def test_full_registration(self):
+        cfg = SyntheticConfig(n_subjects=10, n_buildings=1, rooms_per_building=3,
+                              objects_per_room=2)
+        ent = generate(cfg)
+        backend = Backend()
+        provision(ent, backend)
+        assert len(backend.issued_subjects) == 10
+        assert len(backend.issued_objects) == 6
+        # every sensitive subject got a group key
+        for spec in ent.subject_specs:
+            if spec["sensitive_attributes"]:
+                creds = backend.issued_subjects[spec["subject_id"]]
+                assert creds.group_keys

@@ -1,0 +1,22 @@
+"""Synthetic generator internals: function tables, level mapping."""
+
+import pytest
+
+from repro.backend.synthetic import OBJECT_TYPES, _functions_for
+
+
+class TestFunctionTable:
+    def test_every_type_has_functions(self):
+        for obj_type in OBJECT_TYPES:
+            functions = _functions_for(obj_type)
+            assert functions and all(isinstance(f, str) for f in functions)
+
+    def test_unknown_type_gets_default(self):
+        assert _functions_for("mystery-gadget") == ("use",)
+
+    def test_level_assignments_sane(self):
+        """Level 1 = public utilities; Level 3 = covert-capable dispensers."""
+        assert OBJECT_TYPES["thermometer"] == 1
+        assert OBJECT_TYPES["door lock"] == 2
+        assert OBJECT_TYPES["magazine kiosk"] == 3
+        assert set(OBJECT_TYPES.values()) == {1, 2, 3}

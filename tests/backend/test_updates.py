@@ -1,0 +1,146 @@
+"""Churn engine: update propagation and overhead accounting (§VIII)."""
+
+import pytest
+
+from repro.backend import Backend, ChurnEngine
+from repro.protocol import ObjectEngine, SubjectEngine
+from repro.protocol.discovery import run_round
+
+
+@pytest.fixture
+def world():
+    """A backend with 5 Level 2 objects, 3 same-department subjects, and
+    one secret group with a fellow subject + kiosk."""
+    backend = Backend()
+    backend.add_sensitive_policy("sensitive:s", "sensitive:serves-s")
+    backend.add_policy("dept-media", "department=='X'", "type=='multimedia'", ("play",))
+    subjects = [
+        backend.register_subject(f"u{i}", {"department": "X", "position": "staff"})
+        for i in range(3)
+    ]
+    fellow = backend.register_subject(
+        "fel", {"department": "X", "position": "staff"}, ("sensitive:s",)
+    )
+    objects = [
+        backend.register_object(
+            f"m{i}", {"type": "multimedia"}, level=2, functions=("play",),
+            variants=[("department=='X'", ("play",))],
+        )
+        for i in range(5)
+    ]
+    kiosk = backend.register_object(
+        "kiosk", {"type": "kiosk"}, level=3, functions=("mag",),
+        variants=[("true", ("mag",))],
+        covert_functions={"sensitive:serves-s": ("flyer",)},
+    )
+    return backend, ChurnEngine(backend), subjects, fellow, objects, kiosk
+
+
+class TestAddSubject:
+    def test_overhead_is_one(self, world):
+        _, churn, *_ = world
+        creds, report = churn.add_subject("newbie", {"department": "X", "position": "staff"})
+        assert report.overhead == 1
+        assert creds.subject_id == "newbie"
+
+    def test_newcomer_can_discover_immediately(self, world):
+        """The Argus advantage: no object is touched, yet discovery works."""
+        backend, churn, _, _, objects, _ = world
+        creds, _ = churn.add_subject("newbie2", {"department": "X", "position": "staff"})
+        subject = SubjectEngine(creds)
+        engines = {o.object_id: ObjectEngine(o) for o in objects}
+        result = run_round(subject, engines)
+        assert len(result.services) == len(objects)
+
+
+class TestRemoveSubject:
+    def test_overhead_is_n(self, world):
+        backend, churn, subjects, *_ = world
+        n = len(backend.database.objects_accessible_by("u0"))
+        report = churn.remove_subject("u0")
+        assert report.overhead == n
+
+    def test_revoked_subject_fails_discovery(self, world):
+        """The push is real: objects now reject the revoked subject."""
+        backend, churn, subjects, _, objects, _ = world
+        engines = {o.object_id: ObjectEngine(o) for o in objects}
+        subject = SubjectEngine(subjects[0])
+        assert len(run_round(subject, engines).services) == 5
+
+        churn.remove_subject("u0")
+        engines2 = {o.object_id: ObjectEngine(o) for o in objects}
+        subject2 = SubjectEngine(subjects[0])
+        result = run_round(subject2, engines2)
+        assert result.services == []
+
+    def test_other_subjects_unaffected(self, world):
+        backend, churn, subjects, _, objects, _ = world
+        churn.remove_subject("u0")
+        subject = SubjectEngine(subjects[1])
+        engines = {o.object_id: ObjectEngine(o) for o in objects}
+        assert len(run_round(subject, engines).services) == 5
+
+    def test_fellow_removal_rekeys_group(self, world):
+        """Removing a fellow rekeys; her old key no longer opens Level 3."""
+        backend, churn, _, fellow, _, kiosk = world
+        group_id = next(iter(fellow.group_keys))
+        old_key = fellow.group_keys[group_id]
+        churn.remove_subject("fel")
+        new_key = backend.groups.groups[group_id].key
+        assert new_key != old_key
+        # the kiosk's issued credentials were rekeyed in place
+        assert kiosk.level3_variants[group_id][0] == new_key
+
+
+class TestObjectChurn:
+    def test_add_object_overhead_one(self, world):
+        _, churn, *_ = world
+        creds, report = churn.add_object(
+            "m-new", {"type": "multimedia"}, level=2, functions=("play",),
+            variants=[("department=='X'", ("play",))],
+        )
+        assert report.overhead == 1
+
+    def test_remove_object(self, world):
+        backend, churn, *_ = world
+        report = churn.remove_object("m0")
+        assert "m0" not in backend.database.objects
+        assert report.overhead >= 1
+
+
+class TestPolicyChurn:
+    def test_add_policy_pushes_beta_variants(self, world):
+        backend, churn, subjects, _, objects, _ = world
+        report = churn.add_policy_with_variant(
+            "managers-admin", "position=='manager'", "type=='multimedia'",
+            functions=("play", "admin"),
+        )
+        beta = len(backend.database.objects_matching(
+            backend.database.policies["managers-admin"].object_pred))
+        assert report.overhead == beta
+        # a manager (from another department, so no earlier variant
+        # shadows the new one under first-match-wins) sees the new variant
+        manager, _ = churn.add_subject("mgr", {"department": "Y", "position": "manager"})
+        subject = SubjectEngine(manager)
+        engines = {o.object_id: ObjectEngine(o) for o in objects}
+        result = run_round(subject, engines)
+        assert any("admin" in s.functions for s in result.services)
+
+    def test_remove_policy_revokes_variant(self, world):
+        backend, churn, subjects, _, objects, _ = world
+        churn.add_policy_with_variant(
+            "temp-policy", "position=='staff'", "type=='multimedia'",
+            functions=("bonus",),
+        )
+        report = churn.remove_policy("temp-policy")
+        assert report.overhead >= 1
+        assert all(
+            v.profile.variant != "policy-temp-policy"
+            for o in objects for v in o.level2_variants
+        )
+
+    def test_total_overhead_accumulates(self, world):
+        _, churn, *_ = world
+        churn.add_subject("acc1", {"department": "X", "position": "staff"})
+        churn.remove_subject("u1")
+        assert churn.total_overhead() == sum(r.overhead for r in churn.log)

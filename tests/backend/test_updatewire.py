@@ -1,0 +1,148 @@
+"""The update plane: signed revocations, ECIES-wrapped rekeys."""
+
+import pytest
+
+from repro.backend import Backend
+from repro.backend.updatewire import (
+    UpdateMessage,
+    UpdatePublisher,
+    UpdateReceiver,
+    UpdateWireError,
+    push_group_rekey,
+    push_revocation,
+)
+from repro.crypto.ecdsa import generate_signing_key
+from repro.protocol import ObjectEngine, SubjectEngine
+from repro.protocol.discovery import run_round
+
+
+@pytest.fixture
+def world():
+    backend = Backend()
+    backend.add_sensitive_policy("sensitive:s", "sensitive:serves-s")
+    backend.add_policy("p", "position=='staff'", "type=='multimedia'")
+    alice = backend.register_subject("alice", {"position": "staff"})
+    sam = backend.register_subject("sam", {"position": "staff"}, ("sensitive:s",))
+    media = backend.register_object(
+        "media", {"type": "multimedia"}, level=2, functions=("play",),
+        variants=[("position=='staff'", ("play",))],
+    )
+    kiosk = backend.register_object(
+        "kiosk", {"type": "kiosk"}, level=3, functions=("mag",),
+        variants=[("true", ("mag",))],
+        covert_functions={"sensitive:serves-s": ("flyer",)},
+    )
+    return backend, alice, sam, media, kiosk
+
+
+class TestMessageFormat:
+    def test_roundtrip(self, world):
+        backend, *_ = world
+        publisher = UpdatePublisher(backend.root_key)
+        message = publisher.revoke_subject("media", "alice")
+        restored = UpdateMessage.from_bytes(message.to_bytes())
+        assert restored == message
+
+    def test_garbage_rejected(self):
+        with pytest.raises(UpdateWireError):
+            UpdateMessage.from_bytes(b"\x20\x00")
+
+    def test_sequence_increments(self, world):
+        backend, *_ = world
+        publisher = UpdatePublisher(backend.root_key)
+        a = publisher.revoke_subject("media", "x")
+        b = publisher.revoke_subject("media", "y")
+        assert b.sequence == a.sequence + 1
+
+
+class TestRevocationPush:
+    def test_applies_and_blocks_discovery(self, world):
+        backend, alice, _, media, _ = world
+        receiver = UpdateReceiver("media", backend.admin_public, object_creds=media)
+        for message in push_revocation(backend, "alice"):
+            if message.addressee == "media":
+                assert receiver.apply(message)
+        # alice is now rejected by the real engine
+        result = run_round(SubjectEngine(alice), {"media": ObjectEngine(media)})
+        assert result.services == []
+
+    def test_forged_signature_rejected(self, world):
+        backend, _, _, media, _ = world
+        rogue = UpdatePublisher(generate_signing_key())
+        message = rogue.revoke_subject("media", "alice")
+        receiver = UpdateReceiver("media", backend.admin_public, object_creds=media)
+        assert not receiver.apply(message)
+        assert "alice" not in media.revoked_subjects
+
+    def test_misaddressed_rejected(self, world):
+        backend, _, _, media, _ = world
+        publisher = UpdatePublisher(backend.root_key)
+        message = publisher.revoke_subject("someone-else", "alice")
+        receiver = UpdateReceiver("media", backend.admin_public, object_creds=media)
+        assert not receiver.apply(message)
+
+    def test_replayed_update_rejected(self, world):
+        backend, _, _, media, _ = world
+        publisher = UpdatePublisher(backend.root_key)
+        message = publisher.revoke_subject("media", "alice")
+        receiver = UpdateReceiver("media", backend.admin_public, object_creds=media)
+        assert receiver.apply(message)
+        assert not receiver.apply(message)  # same sequence: stale
+
+    def test_tampered_payload_rejected(self, world):
+        backend, _, _, media, _ = world
+        publisher = UpdatePublisher(backend.root_key)
+        message = publisher.revoke_subject("media", "alice")
+        tampered = UpdateMessage(
+            message.msg_type, message.sequence, message.addressee,
+            b"mallory", message.signature,
+        )
+        receiver = UpdateReceiver("media", backend.admin_public, object_creds=media)
+        assert not receiver.apply(tampered)
+
+
+class TestRekeyPush:
+    def test_rekey_restores_covert_discovery(self, world):
+        """Full lifecycle on the wire: rekey the group, push to both
+        fellows, and verify covert discovery works under the NEW key."""
+        backend, _, sam, _, kiosk = world
+        group_id = next(iter(sam.group_keys))
+        # backend rotates the key (e.g., after some other fellow left)
+        from repro.crypto.primitives import random_bytes
+
+        group = backend.groups.groups[group_id]
+        group.key = random_bytes(32)
+        group.key_version += 1
+
+        sam_rx = UpdateReceiver("sam", backend.admin_public, subject_creds=sam)
+        kiosk_rx = UpdateReceiver("kiosk", backend.admin_public, object_creds=kiosk)
+        receivers = {"sam": sam_rx, "kiosk": kiosk_rx}
+        for message in push_group_rekey(backend, group_id):
+            assert receivers[message.addressee].apply(message)
+
+        assert sam.group_keys[group_id] == group.key
+        assert kiosk.level3_variants[group_id][0] == group.key
+        result = run_round(SubjectEngine(sam), {"kiosk": ObjectEngine(kiosk)},
+                           group_id=group_id)
+        assert result.services[0].level_seen == 3
+
+    def test_rekey_confidential_to_third_parties(self, world):
+        """The pushed key is ECIES-wrapped: another registered device
+        cannot decrypt a rekey addressed to sam."""
+        backend, alice, sam, media, _ = world
+        group_id = next(iter(sam.group_keys))
+        messages = [
+            m for m in push_group_rekey(backend, group_id) if m.addressee == "sam"
+        ]
+        assert messages
+        eve_rx = UpdateReceiver("sam", backend.admin_public, subject_creds=alice)
+        # eve spoofs sam's id but holds alice's private key: ECIES fails
+        assert not eve_rx.apply(messages[0])
+        assert any("undecryptable" in str(e) for e in eve_rx.errors)
+
+    def test_rekey_to_unissued_members_skipped(self, world):
+        backend, _, sam, _, _ = world
+        group_id = next(iter(sam.group_keys))
+        backend.groups.groups[group_id].subject_members.add("ghost-member")
+        messages = push_group_rekey(backend, group_id)
+        assert all(m.addressee != "ghost-member" for m in messages)

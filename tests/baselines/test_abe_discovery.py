@@ -1,0 +1,85 @@
+"""ABE baseline tests: discovery, real revocation, Table I overheads."""
+
+import pytest
+
+from repro.attributes.model import AttributeSet
+from repro.baselines.abe_discovery import AbeSystem, AbeSystemError
+from repro.crypto.ecdsa import generate_signing_key
+from repro.pki.profile import Profile, sign_profile
+
+
+@pytest.fixture(scope="module")
+def admin():
+    return generate_signing_key()
+
+
+def make_profile(admin, object_id):
+    return sign_profile(Profile(object_id, AttributeSet(type="media"), ("play",)), admin)
+
+
+@pytest.fixture
+def system(admin):
+    system = AbeSystem()
+    system.add_subject("alice", {"dept:X", "pos:staff"})
+    system.add_subject("bob", {"dept:X", "pos:manager"})
+    system.add_subject("carol", {"dept:Y", "pos:staff"})
+    system.deploy_variant("o-x", make_profile(admin, "o-x"), ["dept:X"])
+    system.deploy_variant("o-mgr", make_profile(admin, "o-mgr"), ["dept:X", "pos:manager"])
+    return system
+
+
+class TestDiscovery:
+    def test_policy_satisfaction(self, system):
+        alice = {p.entity_id for p in system.discover("alice")}
+        bob = {p.entity_id for p in system.discover("bob")}
+        carol = {p.entity_id for p in system.discover("carol")}
+        assert alice == {"o-x"}
+        assert bob == {"o-x", "o-mgr"}
+        assert carol == set()
+
+    def test_unknown_subject_rejected(self, system):
+        with pytest.raises(AbeSystemError):
+            system.discover("ghost")
+
+    def test_duplicate_subject_rejected(self, system):
+        with pytest.raises(AbeSystemError):
+            system.add_subject("alice", {"dept:X"})
+
+
+class TestRevocation:
+    def test_revoked_subject_loses_access(self, system):
+        """The crucial property: after revocation the old key opens nothing."""
+        assert system.discover("alice")
+        state = system.subjects["alice"]
+        system.remove_subject("alice")
+        # simulate the revoked user retrying with her retained key
+        system.subjects["alice"] = state
+        assert system.discover("alice") == []
+
+    def test_unaffected_categories_keep_access(self, system):
+        system.remove_subject("carol")  # dept:Y does not intersect dept:X-only policy
+        assert {p.entity_id for p in system.discover("alice")} == {"o-x"}
+
+    def test_peers_rekeyed_and_still_working(self, system):
+        system.remove_subject("alice")
+        # bob shared attributes with alice -> rekeyed, but must still work
+        assert {p.entity_id for p in system.discover("bob")} == {"o-x", "o-mgr"}
+        assert system.subjects["bob"].rekeys == 1
+
+    def test_remove_overhead_counts(self, system):
+        """xi_o*N + xi_s*(alpha-1): both ciphertext policies mention
+        alice's attributes; bob shares dept:X and carol shares pos:staff —
+        the attribute-level over-reach (xi_s > 1) §VIII describes: even a
+        different-department subject gets rekeyed."""
+        report = system.remove_subject("alice")
+        assert report.reencrypted_objects == {"o-x", "o-mgr"}
+        assert report.rekeyed_subjects == {"bob", "carol"}
+        assert report.overhead == 4
+
+    def test_add_overhead_is_one(self, system):
+        report = system.add_subject("dave", {"dept:Z"})
+        assert report.overhead == 1
+
+    def test_reencryption_counters(self, system):
+        system.remove_subject("alice")
+        assert all(r.reencryptions == 1 for r in system.ciphertexts)

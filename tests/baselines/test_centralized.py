@@ -1,0 +1,96 @@
+"""Centralized baseline: the §X-A failure modes, measured."""
+
+import pytest
+
+from repro.attributes.model import AttributeSet
+from repro.baselines.centralized import (
+    CentralizedClient,
+    DirectoryRecord,
+    DirectoryServer,
+    ServerDownError,
+    accuracy_experiment,
+)
+from repro.crypto.ecdsa import generate_signing_key
+from repro.pki.profile import Profile, sign_profile
+
+
+@pytest.fixture(scope="module")
+def admin():
+    return generate_signing_key()
+
+
+def make_record(admin, object_id, location, allowed):
+    prof = sign_profile(Profile(object_id, AttributeSet(room=location), ("use",)), admin)
+    return DirectoryRecord(object_id, location, prof, set(allowed))
+
+
+@pytest.fixture
+def server(admin):
+    server = DirectoryServer()
+    server.register(make_record(admin, "lab-light", "lab", {"alice"}))
+    server.register(make_record(admin, "lab-media", "lab", {"alice"}))
+    server.register(make_record(admin, "lobby-tv", "lobby", {"alice"}))
+    return server
+
+
+class TestHappyPath:
+    def test_query_by_location(self, server):
+        client = CentralizedClient("alice", server)
+        profiles, latency = client.discover("lab", ["lobby"])
+        assert {p.entity_id for p in profiles} == {"lab-light", "lab-media"}
+        assert latency == pytest.approx(0.16)
+
+    def test_account_scoping(self, server):
+        client = CentralizedClient("eve", server)
+        profiles, _ = client.discover("lab", [])
+        assert profiles == []
+
+
+class TestFailureModes:
+    def test_single_point_of_failure(self, server):
+        """Server down => zero discovery, everywhere, for everyone."""
+        server.available = False
+        client = CentralizedClient("alice", server)
+        with pytest.raises(ServerDownError):
+            client.discover("lab", [])
+
+    def test_argus_unaffected_by_server_failure(self, server):
+        """The comparison that matters: P2P discovery has no server to
+        lose. Same fleet, server 'down', Argus still discovers."""
+        from repro.backend import Backend
+        from repro.protocol import discover
+
+        backend = Backend()
+        user = backend.register_subject("alice", {"position": "staff"})
+        lab_light = backend.register_object(
+            "lab-light", {"room": "lab"}, level=1, functions=("use",))
+        server.available = False  # irrelevant to Argus
+        result = discover(user, [lab_light])
+        assert result.service_ids() == {"lab-light"}
+
+    def test_localization_error_degrades_accuracy(self, server):
+        good = CentralizedClient("alice", server, localization_error=0.0)
+        bad = CentralizedClient("alice", server, localization_error=0.5)
+        expected = {"lab-light", "lab-media"}
+        acc_good = accuracy_experiment(server, good, "lab", ["lobby"], expected)
+        acc_bad = accuracy_experiment(server, bad, "lab", ["lobby"], expected)
+        assert acc_good == 1.0
+        assert acc_bad < 0.75
+
+    def test_stale_records_serve_ghosts(self, server, admin):
+        """A decommissioned device lingers unless ops clean the record —
+        the central directory's truth decays; Argus's 'truth' is the
+        device answering (or not) in real time."""
+        server.decommission("lab-light", remove=False)
+        client = CentralizedClient("alice", server)
+        profiles, _ = client.discover("lab", [])
+        assert "lab-light" in {p.entity_id for p in profiles}  # a ghost
+
+    def test_wan_latency_dominates(self, server):
+        """One central query costs more transmission time than Argus's
+        whole single-hop Level 1 exchange."""
+        from repro.analysis.timing_model import predict_single_object
+
+        _, latency = CentralizedClient("alice", server).discover("lab", [])
+        argus_l1 = predict_single_object(1)
+        assert latency > argus_l1.transmission_s

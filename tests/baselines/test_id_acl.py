@@ -1,0 +1,67 @@
+"""ID-based ACL baseline tests."""
+
+import pytest
+
+from repro.attributes.model import AttributeSet
+from repro.baselines.id_acl import AclObject, IdAclError, IdAclSystem
+from repro.crypto.ecdsa import generate_signing_key
+from repro.pki.profile import Profile, sign_profile
+
+
+@pytest.fixture(scope="module")
+def admin():
+    return generate_signing_key()
+
+
+@pytest.fixture
+def system(admin):
+    system = IdAclSystem()
+    for i in range(5):
+        prof = sign_profile(Profile(f"o{i}", AttributeSet(type="lock")), admin)
+        system.add_object(AclObject(f"o{i}", prof))
+    return system
+
+
+class TestUpdates:
+    def test_add_overhead_is_n(self, system):
+        report = system.add_subject("alice", {"o0", "o1", "o2"})
+        assert report.overhead == 3
+
+    def test_remove_overhead_is_n(self, system):
+        system.add_subject("alice", {"o0", "o1", "o2", "o3"})
+        report = system.remove_subject("alice")
+        assert report.overhead == 4
+
+    def test_objects_record_updates(self, system):
+        system.add_subject("alice", {"o0"})
+        system.remove_subject("alice")
+        assert system.objects["o0"].updates_received == 2
+        assert system.objects["o1"].updates_received == 0
+
+    def test_duplicate_subject_rejected(self, system):
+        system.add_subject("alice", {"o0"})
+        with pytest.raises(IdAclError):
+            system.add_subject("alice", {"o1"})
+
+    def test_unknown_object_rejected(self, system):
+        with pytest.raises(IdAclError):
+            system.add_subject("alice", {"ghost"})
+
+    def test_remove_unknown_rejected(self, system):
+        with pytest.raises(IdAclError):
+            system.remove_subject("ghost")
+
+
+class TestDiscovery:
+    def test_enumerated_subject_discovers(self, system):
+        system.add_subject("alice", {"o0", "o2"})
+        profiles = system.discover("alice")
+        assert {p.entity_id for p in profiles} == {"o0", "o2"}
+
+    def test_unenrolled_subject_sees_nothing(self, system):
+        assert system.discover("stranger") == []
+
+    def test_removed_subject_sees_nothing(self, system):
+        system.add_subject("alice", {"o0"})
+        system.remove_subject("alice")
+        assert system.discover("alice") == []

@@ -1,0 +1,85 @@
+"""The insecure baseline: every Argus guarantee, shown absent.
+
+Each test pairs a failure of the UPnP-class world with the Argus test
+that proves the corresponding guarantee holds (referenced in comments),
+making the delta concrete.
+"""
+
+import pytest
+
+from repro.baselines.insecure_distributed import (
+    PassiveSniffer,
+    PlainAdvertisement,
+    PlainService,
+    PlainSubjectDevice,
+    spoof_service,
+)
+
+
+@pytest.fixture
+def services():
+    return [
+        PlainService(PlainAdvertisement(
+            "safe-hr-office", {"type": "safe", "room": "HR"}, ("unlock",))),
+        PlainService(PlainAdvertisement(
+            "camera-lobby", {"type": "camera"}, ("stream",))),
+    ]
+
+
+class TestNoServiceInformationSecrecy:
+    def test_everyone_sees_everything(self, services):
+        """No visibility scoping at all (vs Argus Level 2's silence to
+        outsiders — tests/protocol/test_engines.py::test_visitor_gets_silence)."""
+        outsider = PlainSubjectDevice()
+        found = outsider.discover(services)
+        assert {a.object_id for a in found} == {"safe-hr-office", "camera-lobby"}
+
+    def test_eavesdropper_builds_full_inventory(self, services):
+        """Sniffing the plaintext = knowing the building's contents (vs
+        Case 1: Argus ciphertext opaque without the session key)."""
+        sniffer = PassiveSniffer()
+        for service in services:
+            sniffer.sniff(service.announce())
+        inventory = sniffer.full_inventory()
+        assert inventory["safe-hr-office"] == ("unlock",)
+
+    def test_profiles_readable_off_the_wire(self, services):
+        blob = services[0].announce().to_bytes()
+        assert b"safe" in blob and b"unlock" in blob
+        restored = PlainAdvertisement.from_bytes(blob)
+        assert restored.functions == ("unlock",)
+
+
+class TestNoAuthenticity:
+    def test_spoofed_service_accepted(self):
+        """An attacker's fake lock is indistinguishable (vs Case 2:
+        Argus rejects unsigned PROFs / forged chains)."""
+        victim = PlainSubjectDevice()
+        fake = spoof_service("lock-main-entrance", ("open", "backdoor"))
+        victim.hear_announcement(fake.announce())
+        assert victim.known_services["lock-main-entrance"].functions == (
+            "open", "backdoor",
+        )
+
+    def test_spoof_overwrites_genuine_record(self, services):
+        """Worse: the fake can shadow a real device's record."""
+        victim = PlainSubjectDevice()
+        victim.discover(services)
+        fake = spoof_service("camera-lobby", ("stream", "attacker-relay"))
+        victim.hear_announcement(fake.announce())
+        assert "attacker-relay" in victim.known_services["camera-lobby"].functions
+
+
+class TestNoLevels:
+    def test_single_visibility_level(self, services):
+        """No differentiated variants, no covert services — two different
+        'users' get byte-identical views (vs the three-level quickstart)."""
+        alice, eve = PlainSubjectDevice(), PlainSubjectDevice()
+        view_a = {a.object_id: a for a in alice.discover(services)}
+        view_e = {a.object_id: a for a in eve.discover(services)}
+        assert view_a == view_e
+
+    def test_queries_are_plaintext_too(self, services):
+        device = PlainSubjectDevice()
+        device.discover(services)
+        assert device.query_log[0].startswith(b"M-SEARCH")

@@ -1,0 +1,63 @@
+"""PBC secret-handshake baseline tests."""
+
+import pytest
+
+from repro.attributes.model import AttributeSet
+from repro.baselines.pbc_discovery import PbcSystem, PbcSystemError
+from repro.crypto import meter
+from repro.crypto.ecdsa import generate_signing_key
+from repro.pki.profile import Profile, sign_profile
+
+
+@pytest.fixture(scope="module")
+def admin():
+    return generate_signing_key()
+
+
+@pytest.fixture
+def system(admin):
+    system = PbcSystem()
+    system.create_group("support")
+    system.create_group("other")
+    covert = sign_profile(Profile("kiosk", AttributeSet(type="kiosk"), ("flyer",)), admin)
+    system.enroll_object("kiosk", {"support": covert})
+    system.enroll_subject("sam", ["support"])
+    system.enroll_subject("eve", ["other"])
+    return system
+
+
+class TestDiscovery:
+    def test_fellow_discovers_covert_profile(self, system):
+        profile = system.discover("sam", "kiosk", "support")
+        assert profile is not None
+        assert profile.functions == ("flyer",)
+
+    def test_nonfellow_gets_nothing(self, system):
+        assert system.discover("eve", "kiosk", "other") is None
+
+    def test_subject_without_credential_rejected(self, system):
+        with pytest.raises(PbcSystemError):
+            system.discover("eve", "kiosk", "support")
+
+    def test_unknown_participants_rejected(self, system):
+        with pytest.raises(PbcSystemError):
+            system.discover("ghost", "kiosk", "support")
+
+    def test_duplicate_group_rejected(self, system):
+        with pytest.raises(PbcSystemError):
+            system.create_group("support")
+
+
+class TestCostProfile:
+    def test_two_pairings_per_discovery(self, system):
+        """Fig. 6(d)'s anchor: one pairing per side."""
+        with meter.metered() as tally:
+            system.discover("sam", "kiosk", "support")
+        assert tally.total("pairing") == 2
+
+    def test_nonfellow_path_costs_the_same(self, system):
+        """Cover traffic: a failed handshake still runs both pairings, so
+        timing does not reveal membership."""
+        with meter.metered() as tally:
+            system.discover("eve", "kiosk", "other")
+        assert tally.total("pairing") == 2

@@ -1,0 +1,110 @@
+"""Shared fixtures: a small provisioned enterprise and ready engines.
+
+Key generation is the slow part of setup, so the standard backend and
+credentials are session-scoped; engines (which hold mutable state) are
+built fresh per test from the shared credentials.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.backend import Backend
+from repro.protocol.object import ObjectEngine
+from repro.protocol.subject import SubjectEngine
+from repro.protocol.versions import Version
+
+
+@pytest.fixture(scope="session")
+def backend() -> Backend:
+    """A backend with one secret group and a spread of subjects/objects."""
+    backend = Backend()
+    backend.add_sensitive_policy("sensitive:needs-support", "sensitive:serves-support")
+    backend.add_policy(
+        "staff-media", "position=='staff'", "type=='multimedia'", ("play",)
+    )
+    return backend
+
+
+@pytest.fixture(scope="session")
+def staff(backend: Backend):
+    return backend.register_subject(
+        "staff-alice", {"position": "staff", "department": "X", "building": "B"}
+    )
+
+
+@pytest.fixture(scope="session")
+def manager(backend: Backend):
+    return backend.register_subject(
+        "manager-bob", {"position": "manager", "department": "X", "building": "B"}
+    )
+
+
+@pytest.fixture(scope="session")
+def fellow(backend: Backend):
+    """A subject with the sensitive attribute (secret-group member)."""
+    return backend.register_subject(
+        "student-sam", {"position": "student", "department": "CS"},
+        sensitive_attributes=("sensitive:needs-support",),
+    )
+
+
+@pytest.fixture(scope="session")
+def visitor(backend: Backend):
+    return backend.register_subject("visitor-eve", {"position": "visitor"})
+
+
+@pytest.fixture(scope="session")
+def thermometer(backend: Backend):
+    return backend.register_object(
+        "thermo-1", {"type": "thermometer", "building": "B"}, level=1,
+        functions=("read_temperature",),
+    )
+
+
+@pytest.fixture(scope="session")
+def media(backend: Backend):
+    return backend.register_object(
+        "media-1", {"type": "multimedia", "building": "B"}, level=2,
+        functions=("play",),
+        variants=[
+            ("position=='manager'", ("play", "cast", "admin")),
+            ("position=='staff'", ("play",)),
+        ],
+    )
+
+
+@pytest.fixture(scope="session")
+def kiosk(backend: Backend):
+    """A Level 3 magazine kiosk: Level 2 face + covert variant."""
+    return backend.register_object(
+        "kiosk-1", {"type": "magazine kiosk", "building": "B"}, level=3,
+        functions=("dispense_magazine",),
+        variants=[("true", ("dispense_magazine",))],
+        covert_functions={"sensitive:serves-support": ("dispense_support_flyer",)},
+    )
+
+
+@pytest.fixture
+def subject_engine(staff):
+    return SubjectEngine(staff, Version.V3_0)
+
+
+@pytest.fixture
+def fellow_engine(fellow):
+    return SubjectEngine(fellow, Version.V3_0)
+
+
+@pytest.fixture
+def media_engine(media):
+    return ObjectEngine(media, Version.V3_0)
+
+
+@pytest.fixture
+def kiosk_engine(kiosk):
+    return ObjectEngine(kiosk, Version.V3_0)
+
+
+@pytest.fixture
+def thermo_engine(thermometer):
+    return ObjectEngine(thermometer, Version.V3_0)

@@ -1,0 +1,151 @@
+"""CP-ABE (BSW07) tests: access trees, scheme correctness, cost shape."""
+
+import pytest
+
+from repro.crypto import meter
+from repro.crypto.abe import (
+    AbeError,
+    CpAbe,
+    and_node,
+    decrypt_bytes,
+    encrypt_bytes,
+    leaf,
+    or_node,
+    policy_of_attributes,
+    threshold_node,
+)
+
+
+@pytest.fixture(scope="module")
+def scheme():
+    return CpAbe()
+
+
+@pytest.fixture(scope="module")
+def keys(scheme):
+    return scheme.setup()
+
+
+class TestAccessTree:
+    def test_leaf_satisfaction(self):
+        assert leaf("a").satisfied_by({"a", "b"})
+        assert not leaf("a").satisfied_by({"b"})
+
+    def test_and(self):
+        tree = and_node(leaf("a"), leaf("b"))
+        assert tree.satisfied_by({"a", "b"})
+        assert not tree.satisfied_by({"a"})
+
+    def test_or(self):
+        tree = or_node(leaf("a"), leaf("b"))
+        assert tree.satisfied_by({"b"})
+        assert not tree.satisfied_by({"c"})
+
+    def test_threshold_2_of_3(self):
+        tree = threshold_node(2, leaf("a"), leaf("b"), leaf("c"))
+        assert tree.satisfied_by({"a", "c"})
+        assert not tree.satisfied_by({"a"})
+
+    def test_nested(self):
+        tree = and_node(leaf("employee"), or_node(leaf("dept:X"), leaf("dept:Y")))
+        assert tree.satisfied_by({"employee", "dept:Y"})
+        assert not tree.satisfied_by({"dept:X"})
+
+    def test_leaves_in_order(self):
+        tree = and_node(leaf("a"), or_node(leaf("b"), leaf("c")))
+        assert tree.leaves() == ["a", "b", "c"]
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            threshold_node(4, leaf("a"), leaf("b"))
+
+    def test_empty_policy_rejected(self):
+        with pytest.raises(ValueError):
+            policy_of_attributes([])
+
+
+class TestScheme:
+    def test_roundtrip_and_policy(self, scheme, keys):
+        pk, mk = keys
+        sk = scheme.keygen(mk, {"a", "b"})
+        message = scheme.group.random_gt()
+        ct = scheme.encrypt(pk, message, and_node(leaf("a"), leaf("b")))
+        assert scheme.decrypt(pk, sk, ct) == message
+
+    def test_unsatisfying_key_rejected(self, scheme, keys):
+        pk, mk = keys
+        sk = scheme.keygen(mk, {"a"})
+        ct = scheme.encrypt(pk, scheme.group.random_gt(), and_node(leaf("a"), leaf("b")))
+        with pytest.raises(AbeError):
+            scheme.decrypt(pk, sk, ct)
+
+    def test_or_policy_needs_only_one_branch(self, scheme, keys):
+        pk, mk = keys
+        sk = scheme.keygen(mk, {"b"})
+        message = scheme.group.random_gt()
+        ct = scheme.encrypt(pk, message, or_node(leaf("a"), leaf("b")))
+        assert scheme.decrypt(pk, sk, ct) == message
+
+    def test_threshold_policy(self, scheme, keys):
+        pk, mk = keys
+        message = scheme.group.random_gt()
+        policy = threshold_node(2, leaf("a"), leaf("b"), leaf("c"))
+        ct = scheme.encrypt(pk, message, policy)
+        assert scheme.decrypt(pk, scheme.keygen(mk, {"a", "c"}), ct) == message
+        with pytest.raises(AbeError):
+            scheme.decrypt(pk, scheme.keygen(mk, {"c"}), ct)
+
+    def test_nested_policy(self, scheme, keys):
+        pk, mk = keys
+        message = scheme.group.random_gt()
+        policy = and_node(leaf("employee"), or_node(leaf("dept:X"), leaf("dept:Y")))
+        ct = scheme.encrypt(pk, message, policy)
+        assert scheme.decrypt(pk, scheme.keygen(mk, {"employee", "dept:Y"}), ct) == message
+
+    def test_collusion_keys_do_not_combine(self, scheme, keys):
+        """BSW07's collusion resistance: two keys each satisfying half of
+        an AND policy cannot be combined — structurally, neither key alone
+        decrypts (our transparent group can't prove hardness, but the
+        recombination path must fail for each key separately)."""
+        pk, mk = keys
+        ct = scheme.encrypt(pk, scheme.group.random_gt(), and_node(leaf("a"), leaf("b")))
+        for attrs in ({"a"}, {"b"}):
+            with pytest.raises(AbeError):
+                scheme.decrypt(pk, scheme.keygen(mk, attrs), ct)
+
+    def test_empty_attribute_set_rejected(self, scheme, keys):
+        _, mk = keys
+        with pytest.raises(ValueError):
+            scheme.keygen(mk, set())
+
+
+class TestHybrid:
+    def test_bytes_roundtrip(self, scheme, keys):
+        pk, mk = keys
+        sk = scheme.keygen(mk, {"x"})
+        header, body = encrypt_bytes(scheme, pk, b"profile bytes", leaf("x"))
+        assert decrypt_bytes(scheme, pk, sk, header, body) == b"profile bytes"
+
+    def test_wrong_attrs_cannot_read_bytes(self, scheme, keys):
+        pk, mk = keys
+        sk = scheme.keygen(mk, {"y"})
+        header, body = encrypt_bytes(scheme, pk, b"secret", leaf("x"))
+        with pytest.raises(AbeError):
+            decrypt_bytes(scheme, pk, sk, header, body)
+
+
+class TestCostShape:
+    def test_pairings_linear_in_attributes(self, scheme, keys):
+        """Fig. 6(c)'s mechanism: 2 pairings per satisfied leaf + 1."""
+        pk, mk = keys
+        counts = {}
+        for n in (1, 3, 5):
+            attrs = {f"a{i}" for i in range(n)}
+            sk = scheme.keygen(mk, attrs)
+            ct = scheme.encrypt(pk, scheme.group.random_gt(), policy_of_attributes(sorted(attrs)))
+            with meter.metered() as tally:
+                scheme.decrypt(pk, sk, ct)
+            counts[n] = tally.total("pairing")
+        assert counts[1] == 2 * 1 + 1
+        assert counts[3] == 2 * 3 + 1
+        assert counts[5] == 2 * 5 + 1

@@ -1,0 +1,78 @@
+"""AES-CBC + HMAC encrypt-then-MAC tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto import aead
+
+KEY = b"k" * 32
+OTHER = b"o" * 32
+
+
+class TestRoundtrip:
+    def test_roundtrip(self):
+        blob = aead.encrypt(KEY, b"secret profile")
+        assert aead.decrypt(KEY, blob) == b"secret profile"
+
+    def test_empty_plaintext(self):
+        assert aead.decrypt(KEY, aead.encrypt(KEY, b"")) == b""
+
+    def test_fresh_iv_every_call(self):
+        assert aead.encrypt(KEY, b"same") != aead.encrypt(KEY, b"same")
+
+    @given(st.binary(max_size=1024))
+    def test_roundtrip_property(self, plaintext):
+        assert aead.decrypt(KEY, aead.encrypt(KEY, plaintext)) == plaintext
+
+    @given(st.binary(max_size=512))
+    def test_ciphertext_length_formula(self, plaintext):
+        blob = aead.encrypt(KEY, plaintext)
+        assert len(blob) == aead.ciphertext_length(len(plaintext))
+
+
+class TestAuthenticity:
+    def test_wrong_key_rejected(self):
+        blob = aead.encrypt(KEY, b"payload")
+        with pytest.raises(aead.AeadError):
+            aead.decrypt(OTHER, blob)
+
+    @pytest.mark.parametrize("position", [0, 15, 16, 40, -1])
+    def test_bit_flip_rejected(self, position):
+        blob = bytearray(aead.encrypt(KEY, b"payload that is long enough"))
+        blob[position] ^= 0x01
+        with pytest.raises(aead.AeadError):
+            aead.decrypt(KEY, bytes(blob))
+
+    def test_truncation_rejected(self):
+        blob = aead.encrypt(KEY, b"payload")
+        with pytest.raises(aead.AeadError):
+            aead.decrypt(KEY, blob[:-1])
+
+    def test_too_short_rejected(self):
+        with pytest.raises(aead.AeadError, match="too short"):
+            aead.decrypt(KEY, b"\x00" * 10)
+
+    def test_extension_rejected(self):
+        blob = aead.encrypt(KEY, b"payload")
+        with pytest.raises(aead.AeadError):
+            aead.decrypt(KEY, blob + b"\x00")
+
+
+class TestKeySeparation:
+    def test_k2_ciphertext_unreadable_with_k3(self):
+        """The v3.0 level-classification trick depends on this: a RES2
+        encrypted under K2 must fail cleanly under K3 and vice versa."""
+        k2, k3 = b"2" * 32, b"3" * 32
+        blob = aead.encrypt(k2, b"level 2 variant")
+        with pytest.raises(aead.AeadError):
+            aead.decrypt(k3, blob)
+
+
+class TestCipherObject:
+    def test_wrapper_roundtrip(self):
+        cipher = aead.SymmetricCipher(KEY)
+        assert cipher.decrypt(cipher.encrypt(b"x")) == b"x"
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(ValueError):
+            aead.SymmetricCipher(b"")

@@ -1,0 +1,58 @@
+"""Golden conformance vectors for the Argus key schedule.
+
+These hex constants pin the exact byte-level behaviour of the K2/K3
+derivation and the finished MACs. Any change — a label typo, a reordered
+concatenation, a different PRF iteration — breaks interop between
+subjects and objects built from different revisions, and MUST fail here
+before it fails in the field. If you change the key schedule on
+purpose, bump these vectors in the same commit and say why.
+"""
+
+from repro.crypto import kdf
+from repro.crypto.primitives import hkdf_like_prf
+
+PRE_K = bytes(range(32))
+R_S = bytes([0xAA]) * 28
+R_O = bytes([0xBB]) * 28
+GROUP_KEY = bytes([0xCC]) * 32
+TRANSCRIPT = b"transcript bytes for conformance"
+
+K2_HEX = "ba8734f3dc3119b35dba290bdbeb1dbf1ef692470d15fa2a09bda39026810a15"
+K3_HEX = "aa0b587cee9cae857375a4a57b876d0feed0afefece880c30ccd78134c191d57"
+MAC_S2_HEX = "90598902b40f154dcb1d1ce69de1b0f16588d7157a4bce67f1a1f74b33e702ea"
+MAC_S3_HEX = "58c793bdd037ed6b2f5418eca847159d66e66fbe7749eb22a867d2f0e3300cd0"
+MAC_O2_HEX = "777c97356abaf76a76558b7709acb90aa993a591fe0676f7ffa7a838553cc5c2"
+PRF48_HEX = (
+    "1ddc15ddb69b6847e626be4111457273464cd9492bbf556b178885f27234e5eb"
+    "b85ca269a9e936a8026a6eb359c5d50c"
+)
+
+
+class TestKeyScheduleVectors:
+    def test_k2(self):
+        assert kdf.derive_k2(PRE_K, R_S, R_O).hex() == K2_HEX
+
+    def test_k3(self):
+        k2 = kdf.derive_k2(PRE_K, R_S, R_O)
+        assert kdf.derive_k3(k2, GROUP_KEY, R_S, R_O).hex() == K3_HEX
+
+    def test_mac_s2(self):
+        k2 = bytes.fromhex(K2_HEX)
+        assert kdf.subject_finished(k2, TRANSCRIPT).hex() == MAC_S2_HEX
+
+    def test_mac_s3(self):
+        k3 = bytes.fromhex(K3_HEX)
+        assert kdf.subject_finished(k3, TRANSCRIPT).hex() == MAC_S3_HEX
+
+    def test_mac_o2(self):
+        k2 = bytes.fromhex(K2_HEX)
+        assert kdf.object_finished(k2, TRANSCRIPT).hex() == MAC_O2_HEX
+
+    def test_prf_expansion(self):
+        assert hkdf_like_prf(b"secret", b"label", b"seed", 48).hex() == PRF48_HEX
+
+    def test_labels_are_the_papers(self):
+        """The exact ASCII strings of §V are part of the wire contract."""
+        assert kdf.LABEL_KEY == b"session key"
+        assert kdf.LABEL_SUBJECT == b"subject finished"
+        assert kdf.LABEL_OBJECT == b"object finished"

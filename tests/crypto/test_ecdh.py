@@ -1,0 +1,53 @@
+"""Ephemeral ECDH (KEXM) tests."""
+
+import pytest
+
+from repro.crypto.ecdh import EphemeralECDH, kexm_length
+
+
+class TestKeyAgreement:
+    def test_both_sides_agree(self):
+        a, b = EphemeralECDH(), EphemeralECDH()
+        assert a.derive_premaster(b.kexm) == b.derive_premaster(a.kexm)
+
+    def test_distinct_sessions_distinct_secrets(self):
+        """Ephemerality: every handshake gets a fresh premaster."""
+        peer = EphemeralECDH()
+        s1 = EphemeralECDH().derive_premaster(peer.kexm)
+        s2 = EphemeralECDH().derive_premaster(peer.kexm)
+        assert s1 != s2
+
+    @pytest.mark.parametrize("strength", [112, 128, 192, 256])
+    def test_all_strengths(self, strength):
+        a, b = EphemeralECDH(strength), EphemeralECDH(strength)
+        assert a.derive_premaster(b.kexm) == b.derive_premaster(a.kexm)
+
+
+class TestKexmFormat:
+    def test_kexm_is_64_bytes_at_128bit(self):
+        """§IX-A: 'KEXM_X … [is] 64 B'."""
+        assert len(EphemeralECDH(128).kexm) == 64
+        assert kexm_length(128) == 64
+
+    def test_wrong_length_rejected(self):
+        a = EphemeralECDH()
+        with pytest.raises(ValueError, match="KEXM must be"):
+            a.derive_premaster(b"\x00" * 63)
+
+    def test_off_curve_point_rejected(self):
+        a = EphemeralECDH()
+        with pytest.raises(ValueError, match="invalid KEXM point"):
+            a.derive_premaster(b"\x01" * 64)
+
+    def test_tampered_kexm_changes_or_fails(self):
+        """A bit-flipped KEXM either fails to parse or yields a different
+        premaster — never silently the same key."""
+        a, b = EphemeralECDH(), EphemeralECDH()
+        good = a.derive_premaster(b.kexm)
+        tampered = bytearray(b.kexm)
+        tampered[10] ^= 0x01
+        try:
+            bad = a.derive_premaster(bytes(tampered))
+        except ValueError:
+            return
+        assert bad != good

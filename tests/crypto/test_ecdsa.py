@@ -1,0 +1,103 @@
+"""ECDSA wrapper tests across the paper's four strengths."""
+
+import pytest
+
+from repro.crypto import ecdsa
+
+
+@pytest.fixture(scope="module")
+def key128():
+    return ecdsa.generate_signing_key(128)
+
+
+class TestSignVerify:
+    def test_roundtrip(self, key128):
+        sig = key128.sign(b"message")
+        assert key128.public_key.verify(sig, b"message")
+
+    def test_wrong_message_rejected(self, key128):
+        sig = key128.sign(b"message")
+        assert not key128.public_key.verify(sig, b"other")
+
+    def test_wrong_key_rejected(self, key128):
+        other = ecdsa.generate_signing_key(128)
+        sig = key128.sign(b"message")
+        assert not other.public_key.verify(sig, b"message")
+
+    def test_tampered_signature_rejected(self, key128):
+        sig = bytearray(key128.sign(b"message"))
+        sig[0] ^= 0xFF
+        assert not key128.public_key.verify(bytes(sig), b"message")
+
+    def test_truncated_signature_rejected(self, key128):
+        sig = key128.sign(b"message")
+        assert not key128.public_key.verify(sig[:-1], b"message")
+
+    def test_empty_signature_rejected(self, key128):
+        assert not key128.public_key.verify(b"", b"message")
+
+
+class TestStrengths:
+    @pytest.mark.parametrize("strength", ecdsa.STRENGTH_TO_CURVE.keys())
+    def test_all_strengths_roundtrip(self, strength):
+        key = ecdsa.generate_signing_key(strength)
+        sig = key.sign(b"m")
+        assert key.public_key.verify(sig, b"m")
+
+    def test_signature_is_64_bytes_at_128bit(self, key128):
+        """§IX-A: 'SIG_X [is] 64 B' at the paper's default strength."""
+        assert len(key128.sign(b"m")) == 64
+        assert ecdsa.signature_length(128) == 64
+
+    @pytest.mark.parametrize(
+        "strength,length", [(112, 56), (128, 64), (192, 96), (256, 132)]
+    )
+    def test_signature_lengths(self, strength, length):
+        assert ecdsa.signature_length(strength) == length
+
+    def test_unsupported_strength_rejected(self):
+        with pytest.raises(ValueError, match="unsupported security strength"):
+            ecdsa.generate_signing_key(160)
+
+
+class TestSerialization:
+    def test_public_key_roundtrip(self, key128):
+        data = key128.public_key.to_bytes()
+        restored = ecdsa.VerifyingKey.from_bytes(data, 128)
+        sig = key128.sign(b"m")
+        assert restored.verify(sig, b"m")
+
+    def test_uncompressed_point_format(self, key128):
+        data = key128.public_key.to_bytes()
+        assert data[0] == 0x04
+        assert len(data) == 65  # 1 + 2 * 32 at P-256
+
+    def test_garbage_point_rejected(self):
+        with pytest.raises(ValueError):
+            ecdsa.VerifyingKey.from_bytes(b"\x04" + b"\x01" * 64, 128)
+
+
+class TestPemSerialization:
+    def test_roundtrip(self, key128):
+        restored = ecdsa.SigningKey.from_pem(key128.to_pem())
+        sig = restored.sign(b"m")
+        assert key128.public_key.verify(sig, b"m")
+        assert restored.strength == 128
+
+    def test_all_strengths(self):
+        for strength in (112, 192, 256):
+            key = ecdsa.generate_signing_key(strength)
+            assert ecdsa.SigningKey.from_pem(key.to_pem()).strength == strength
+
+    def test_non_ec_pem_rejected(self):
+        from cryptography.hazmat.primitives import serialization
+        from cryptography.hazmat.primitives.asymmetric import rsa
+
+        rsa_key = rsa.generate_private_key(public_exponent=65537, key_size=2048)
+        pem = rsa_key.private_bytes(
+            serialization.Encoding.PEM,
+            serialization.PrivateFormat.PKCS8,
+            serialization.NoEncryption(),
+        )
+        with pytest.raises(ValueError, match="EC private key"):
+            ecdsa.SigningKey.from_pem(pem)

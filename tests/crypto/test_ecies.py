@@ -1,0 +1,61 @@
+"""ECIES (ephemeral ECDH + AEAD) tests."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto import ecies
+from repro.crypto.ecdsa import generate_signing_key
+
+
+@pytest.fixture(scope="module")
+def recipient():
+    return generate_signing_key()
+
+
+class TestRoundtrip:
+    def test_roundtrip(self, recipient):
+        blob = ecies.encrypt(recipient.public_key, b"new group key material")
+        assert ecies.decrypt(recipient, blob) == b"new group key material"
+
+    def test_empty_plaintext(self, recipient):
+        assert ecies.decrypt(recipient, ecies.encrypt(recipient.public_key, b"")) == b""
+
+    def test_fresh_ephemeral_per_message(self, recipient):
+        a = ecies.encrypt(recipient.public_key, b"same")
+        b = ecies.encrypt(recipient.public_key, b"same")
+        assert a != b and a[:64] != b[:64]
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.binary(max_size=256))
+    def test_roundtrip_property(self, recipient, plaintext):
+        blob = ecies.encrypt(recipient.public_key, plaintext)
+        assert ecies.decrypt(recipient, blob) == plaintext
+
+
+class TestSecurity:
+    def test_wrong_recipient_fails(self, recipient):
+        other = generate_signing_key()
+        blob = ecies.encrypt(recipient.public_key, b"secret")
+        with pytest.raises(ecies.EciesError):
+            ecies.decrypt(other, blob)
+
+    def test_tampered_body_fails(self, recipient):
+        blob = bytearray(ecies.encrypt(recipient.public_key, b"secret"))
+        blob[-1] ^= 0x01
+        with pytest.raises(ecies.EciesError):
+            ecies.decrypt(recipient, bytes(blob))
+
+    def test_tampered_ephemeral_fails(self, recipient):
+        blob = bytearray(ecies.encrypt(recipient.public_key, b"secret"))
+        blob[0] ^= 0x01
+        with pytest.raises(ecies.EciesError):
+            ecies.decrypt(recipient, bytes(blob))
+
+    def test_truncated_fails(self, recipient):
+        with pytest.raises(ecies.EciesError):
+            ecies.decrypt(recipient, b"\x00" * 10)
+
+    def test_works_at_other_strengths(self):
+        key = generate_signing_key(192)
+        blob = ecies.encrypt(key.public_key, b"hi")
+        assert ecies.decrypt(key, blob) == b"hi"

@@ -1,0 +1,68 @@
+"""Key-schedule tests: K2, K3, finished MACs (§V, §VI-A)."""
+
+from hypothesis import given, strategies as st
+
+from repro.crypto import kdf
+from repro.crypto.primitives import hmac_sha256, sha256
+
+R_S = b"s" * 28
+R_O = b"o" * 28
+
+
+class TestK2:
+    def test_matches_paper_formula(self):
+        """K2 = HMAC(preK, 'session key' || R_S || R_O)."""
+        pre_k = b"premaster"
+        expected = hmac_sha256(pre_k, b"session key" + R_S + R_O)
+        assert kdf.derive_k2(pre_k, R_S, R_O) == expected
+
+    def test_nonce_binding(self):
+        k = kdf.derive_k2(b"p", R_S, R_O)
+        assert kdf.derive_k2(b"p", R_O, R_S) != k
+        assert kdf.derive_k2(b"p", b"x" * 28, R_O) != k
+
+    @given(st.binary(min_size=1, max_size=64), st.binary(min_size=1, max_size=64))
+    def test_distinct_premasters_distinct_keys(self, p1, p2):
+        if p1 == p2:
+            return
+        assert kdf.derive_k2(p1, R_S, R_O) != kdf.derive_k2(p2, R_S, R_O)
+
+
+class TestK3:
+    def test_matches_paper_formula(self):
+        """K3 = HMAC(K2 || K_grp, 'session key' || R_S || R_O)."""
+        k2, grp = b"2" * 32, b"g" * 32
+        expected = hmac_sha256(k2 + grp, b"session key" + R_S + R_O)
+        assert kdf.derive_k3(k2, grp, R_S, R_O) == expected
+
+    def test_group_key_required(self):
+        """Different group keys -> different K3: a non-fellow can't match."""
+        k2 = b"2" * 32
+        k3a = kdf.derive_k3(k2, b"a" * 32, R_S, R_O)
+        k3b = kdf.derive_k3(k2, b"b" * 32, R_S, R_O)
+        assert k3a != k3b
+
+    def test_k3_differs_from_k2(self):
+        k2 = kdf.derive_k2(b"p", R_S, R_O)
+        assert kdf.derive_k3(k2, b"g" * 32, R_S, R_O) != k2
+
+
+class TestFinishedMacs:
+    def test_subject_label(self):
+        """MAC_S = HMAC(K, 'subject finished' || Hash(*))."""
+        key, transcript = b"k" * 32, b"all content so far"
+        expected = hmac_sha256(key, b"subject finished" + sha256(transcript))
+        assert kdf.subject_finished(key, transcript) == expected
+
+    def test_object_label(self):
+        key, transcript = b"k" * 32, b"all content so far"
+        expected = hmac_sha256(key, b"object finished" + sha256(transcript))
+        assert kdf.object_finished(key, transcript) == expected
+
+    def test_labels_domain_separate(self):
+        key, transcript = b"k" * 32, b"t"
+        assert kdf.subject_finished(key, transcript) != kdf.object_finished(key, transcript)
+
+    def test_transcript_binding(self):
+        key = b"k" * 32
+        assert kdf.subject_finished(key, b"t1") != kdf.subject_finished(key, b"t2")

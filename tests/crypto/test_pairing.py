@@ -1,0 +1,92 @@
+"""Simulated bilinear group: algebraic laws the ABE/PBC schemes rely on."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.pairing import PairingGroup
+
+GROUP = PairingGroup()
+scalars = st.integers(min_value=1, max_value=GROUP.order - 1)
+
+
+class TestGroupLaws:
+    def test_identity(self):
+        g = GROUP.g1(5)
+        assert (g * GROUP.g1(0)).exponent == g.exponent
+
+    def test_inverse(self):
+        g = GROUP.random_g1()
+        assert (g * g.inverse()).is_identity()
+
+    @given(scalars, scalars)
+    @settings(max_examples=25)
+    def test_commutativity(self, a, b):
+        assert (GROUP.g1(a) * GROUP.g1(b)).exponent == (GROUP.g1(b) * GROUP.g1(a)).exponent
+
+    @given(scalars, scalars)
+    @settings(max_examples=25)
+    def test_exponent_laws(self, a, k):
+        assert (GROUP.g1(a) ** k).exponent == a * k % GROUP.order
+
+    def test_cross_group_rejected(self):
+        other = PairingGroup(7)
+        with pytest.raises(ValueError):
+            GROUP.g1(1) * other.g1(1)  # noqa: B018
+
+
+class TestPairing:
+    @given(scalars, scalars)
+    @settings(max_examples=25)
+    def test_bilinearity_left(self, a, b):
+        """e(g^a, g^b) = e(g, g)^(ab)."""
+        lhs = GROUP.pair(GROUP.g1(a), GROUP.g1(b))
+        assert lhs.exponent == a * b % GROUP.order
+
+    @given(scalars, scalars, scalars)
+    @settings(max_examples=25)
+    def test_bilinearity_product(self, a, b, c):
+        """e(g^a * g^b, g^c) = e(g^a, g^c) * e(g^b, g^c)."""
+        lhs = GROUP.pair(GROUP.g1(a) * GROUP.g1(b), GROUP.g1(c))
+        rhs = GROUP.pair(GROUP.g1(a), GROUP.g1(c)) * GROUP.pair(GROUP.g1(b), GROUP.g1(c))
+        assert lhs.exponent == rhs.exponent
+
+    def test_symmetry(self):
+        p, q = GROUP.random_g1(), GROUP.random_g1()
+        assert GROUP.pair(p, q).exponent == GROUP.pair(q, p).exponent
+
+    def test_non_degenerate(self):
+        assert not GROUP.pair(GROUP.g1(1), GROUP.g1(1)).is_identity()
+
+
+class TestHashToGroup:
+    def test_deterministic(self):
+        assert GROUP.hash_to_g1(b"id").exponent == GROUP.hash_to_g1(b"id").exponent
+
+    def test_distinct_inputs(self):
+        assert GROUP.hash_to_g1(b"a").exponent != GROUP.hash_to_g1(b"b").exponent
+
+
+class TestLagrange:
+    def test_interpolates_constant_term(self):
+        """Reconstruct q(0) from shares of a degree-2 polynomial."""
+        q = GROUP.order
+        coeffs = [1234, 77, 9]  # q(x) = 1234 + 77x + 9x^2
+        poly = lambda x: (coeffs[0] + coeffs[1] * x + coeffs[2] * x * x) % q
+        index_set = [1, 3, 5]
+        total = 0
+        for i in index_set:
+            total = (total + GROUP.lagrange_coefficient(i, index_set, 0) * poly(i)) % q
+        assert total == coeffs[0]
+
+    def test_requires_membership(self):
+        with pytest.raises(ValueError):
+            GROUP.lagrange_coefficient(2, [1, 3], 0)
+
+
+class TestEncoding:
+    def test_derive_key_is_32_bytes(self):
+        assert len(GROUP.random_gt().derive_key()) == 32
+
+    def test_to_bytes_roundtrip_exponent(self):
+        e = GROUP.random_g1()
+        assert int.from_bytes(e.to_bytes(), "big") == e.exponent

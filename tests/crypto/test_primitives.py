@@ -1,0 +1,92 @@
+"""Unit + property tests for the crypto primitives."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto import primitives
+
+
+class TestSha256:
+    def test_deterministic(self):
+        assert primitives.sha256(b"abc") == primitives.sha256(b"abc")
+
+    def test_known_vector(self):
+        assert primitives.sha256(b"").hex() == (
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        )
+
+    def test_length(self):
+        assert len(primitives.sha256(b"x")) == primitives.HASH_LEN
+
+
+class TestHmac:
+    def test_known_vector(self):
+        # RFC 4231 test case 2.
+        tag = primitives.hmac_sha256(b"Jefe", b"what do ya want for nothing?")
+        assert tag.hex() == (
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        )
+
+    def test_key_separates(self):
+        assert primitives.hmac_sha256(b"k1", b"m") != primitives.hmac_sha256(b"k2", b"m")
+
+    def test_message_separates(self):
+        assert primitives.hmac_sha256(b"k", b"m1") != primitives.hmac_sha256(b"k", b"m2")
+
+    def test_length(self):
+        assert len(primitives.hmac_sha256(b"k", b"m")) == primitives.MAC_LEN
+
+
+class TestConstantTimeEqual:
+    def test_equal(self):
+        assert primitives.constant_time_equal(b"same", b"same")
+
+    def test_unequal(self):
+        assert not primitives.constant_time_equal(b"same", b"diff")
+
+    def test_length_mismatch(self):
+        assert not primitives.constant_time_equal(b"short", b"longer bytes")
+
+
+class TestRandom:
+    def test_nonce_length(self):
+        assert len(primitives.fresh_nonce()) == primitives.NONCE_LEN
+
+    def test_nonces_unique(self):
+        nonces = {primitives.fresh_nonce() for _ in range(100)}
+        assert len(nonces) == 100
+
+    def test_random_bytes_length(self):
+        assert len(primitives.random_bytes(17)) == 17
+
+
+class TestPrf:
+    def test_first_block_matches_paper_definition(self):
+        """The first 32 bytes must equal HMAC(secret, label||seed||ctr0)."""
+        out = primitives.hkdf_like_prf(b"secret", b"label", b"seed", 32)
+        direct = primitives.hmac_sha256(b"secret", b"label" + b"seed" + b"\x00" * 4)
+        assert out == direct
+
+    def test_extension_is_prefix_consistent(self):
+        short = primitives.hkdf_like_prf(b"s", b"l", b"x", 16)
+        long = primitives.hkdf_like_prf(b"s", b"l", b"x", 48)
+        assert long[:16] == short
+
+    def test_rejects_nonpositive_length(self):
+        with pytest.raises(ValueError):
+            primitives.hkdf_like_prf(b"s", b"l", b"x", 0)
+
+    @given(st.binary(min_size=1, max_size=64), st.integers(min_value=1, max_value=200))
+    def test_output_length_property(self, secret, length):
+        assert len(primitives.hkdf_like_prf(secret, b"l", b"s", length)) == length
+
+    @given(st.binary(max_size=32), st.binary(max_size=32))
+    def test_distinct_seeds_distinct_outputs(self, seed_a, seed_b):
+        if seed_a == seed_b:
+            return
+        a = primitives.hkdf_like_prf(b"k", b"l", seed_a)
+        b = primitives.hkdf_like_prf(b"k", b"l", seed_b)
+        # Note: (label+seed) concatenation could collide if label weren't
+        # fixed-width within one call site; with equal labels distinct
+        # seeds give distinct inputs.
+        assert a != b

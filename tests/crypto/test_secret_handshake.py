@@ -1,0 +1,77 @@
+"""Pairing-based secret handshake (the PBC baseline's core)."""
+
+import pytest
+
+from repro.crypto import meter
+from repro.crypto.pairing import PairingGroup
+from repro.crypto.secret_handshake import (
+    HandshakeAuthority,
+    HandshakeParty,
+    run_handshake,
+)
+
+
+@pytest.fixture(scope="module")
+def group():
+    return PairingGroup()
+
+
+class TestHandshake:
+    def test_fellows_succeed(self, group):
+        auth = HandshakeAuthority(group)
+        a, b = auth.issue(b"alice"), auth.issue(b"kiosk")
+        assert run_handshake(group, a, b) == (True, True)
+
+    def test_cross_authority_fails(self, group):
+        a = HandshakeAuthority(group).issue(b"alice")
+        b = HandshakeAuthority(group).issue(b"kiosk")
+        assert run_handshake(group, a, b) == (False, False)
+
+    def test_failure_is_mutual(self, group):
+        """Neither side learns more than 'not my fellow' — both verdicts
+        fail together; there is no asymmetric leak."""
+        a = HandshakeAuthority(group).issue(b"a")
+        b = HandshakeAuthority(group).issue(b"b")
+        ok_a, ok_b = run_handshake(group, a, b)
+        assert ok_a == ok_b is False
+
+    def test_keys_match_only_for_fellows(self, group):
+        auth = HandshakeAuthority(group)
+        other = HandshakeAuthority(group)
+        a, b, c = auth.issue(b"a"), auth.issue(b"b"), other.issue(b"c")
+        pa, pb, pc = (HandshakeParty(group, x) for x in (a, b, c))
+        k_ab = pa.complete(*pb.hello).key
+        k_ba = pb.complete(*pa.hello).key
+        k_ac = pa.complete(*pc.hello).key
+        k_ca = pc.complete(*pa.hello).key
+        assert k_ab == k_ba
+        assert k_ac != k_ca
+
+    def test_one_pairing_per_side(self, group):
+        """The Fig. 6(d) cost anchor: exactly one pairing per complete()."""
+        auth = HandshakeAuthority(group)
+        a, b = auth.issue(b"a"), auth.issue(b"b")
+        pa, pb = HandshakeParty(group, a), HandshakeParty(group, b)
+        with meter.metered() as tally:
+            pa.complete(*pb.hello)
+        assert tally.total("pairing") == 1
+
+    def test_nonces_fresh_per_party(self, group):
+        auth = HandshakeAuthority(group)
+        cred = auth.issue(b"a")
+        n1 = HandshakeParty(group, cred).nonce
+        n2 = HandshakeParty(group, cred).nonce
+        assert n1 != n2
+
+    def test_proof_is_nonce_bound(self, group):
+        """A proof replayed under different nonces must not verify."""
+        auth = HandshakeAuthority(group)
+        a, b = auth.issue(b"a"), auth.issue(b"b")
+        pa1, pb = HandshakeParty(group, a), HandshakeParty(group, b)
+        t_b = pb.complete(*pa1.hello)
+        old_proof = pa1.complete(*pb.hello).prove(b"initiator")
+        # New session, same parties: old proof must fail.
+        pa2 = HandshakeParty(group, a)
+        t_b2 = pb.complete(*pa2.hello)
+        assert not t_b2.verify(b"initiator", old_proof)
+        assert t_b.verify(b"initiator", old_proof)

@@ -1,0 +1,63 @@
+"""CLI smoke tests (in-process, capturing stdout)."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_demo(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "alice" in out and "kiosk-1" in out
+        # the covert flyer appears for sam only
+        assert out.count("dispense_support_flyer") == 1
+
+    def test_simulate(self, capsys):
+        assert main(["simulate", "--level", "1", "--objects", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "discovered 3/3 objects" in out
+
+    def test_simulate_multihop_lossy(self, capsys):
+        assert main([
+            "simulate", "--level", "2", "--objects", "4", "--hops", "2",
+            "--loss", "0.2", "--rounds", "10",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "discovered 4/4" in out
+
+    def test_table1(self, capsys):
+        assert main(["table1", "--n", "50", "--alpha", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "Argus" in out and "ID-based ACL" in out
+
+    def test_experiments_list(self, capsys):
+        assert main(["experiments", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out and "fig6h" in out
+
+    def test_experiments_single(self, capsys):
+        assert main(["experiments", "msg_overhead"]) == 0
+        out = capsys.readouterr().out
+        assert "2088" in out
+
+    def test_campus(self, capsys):
+        assert main([
+            "campus", "--subjects", "10", "--buildings", "1",
+            "--rooms", "3", "--sample", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "subjects" in out and "sees" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(KeyError):
+            main(["experiments", "fig99"])
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_audit(self, capsys):
+        assert main(["audit", "--subjects", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "visibility audit" in out and "mean N" in out

@@ -1,0 +1,120 @@
+"""End-to-end enterprise lifecycle: provision → discover → churn → re-discover."""
+
+import pytest
+
+from repro.backend import Backend, ChurnEngine
+from repro.backend.synthetic import SyntheticConfig, generate, provision
+from repro.protocol import ObjectEngine, SubjectEngine, Version, discover
+from repro.protocol.discovery import run_round
+
+
+@pytest.fixture(scope="module")
+def campus():
+    ent = generate(SyntheticConfig(
+        n_subjects=20, n_buildings=2, rooms_per_building=4,
+        objects_per_room=2, n_secret_groups=1, gamma=4, seed=11,
+    ))
+    backend = Backend()
+    provision(ent, backend)
+    return ent, backend
+
+
+class TestProvisionedCampus:
+    def test_everyone_sees_level1_objects(self, campus):
+        ent, backend = campus
+        level1_ids = {s["object_id"] for s in ent.object_specs if s["level"] == 1}
+        if not level1_ids:
+            pytest.skip("generated campus has no Level 1 objects")
+        creds = next(iter(backend.issued_subjects.values()))
+        objects = list(backend.issued_objects.values())
+        result = discover(creds, objects)
+        assert level1_ids <= result.service_ids()
+
+    def test_building_scoping(self, campus):
+        """Level 2 objects in building A are invisible to building-B staff
+        (unless a manager policy applies)."""
+        ent, backend = campus
+        a_staff = next(
+            backend.issued_subjects[s["subject_id"]]
+            for s in ent.subject_specs
+            if s["attributes"]["building"] == "bldg-A"
+            and s["attributes"]["position"] == "staff"
+        )
+        b_level2 = [
+            backend.issued_objects[s["object_id"]]
+            for s in ent.object_specs
+            if s["attributes"]["building"] == "bldg-B" and s["level"] == 2
+        ]
+        if not b_level2:
+            pytest.skip("no Level 2 objects in building B")
+        result = discover(a_staff, b_level2)
+        assert all(s.level_seen == 1 for s in result.services)
+
+    def test_sensitive_members_find_covert_services(self, campus):
+        ent, backend = campus
+        covert_hosts = {
+            s["object_id"] for s in ent.object_specs if s["level"] == 3
+        }
+        if not covert_hosts:
+            pytest.skip("no Level 3 objects generated")
+        member = next(
+            backend.issued_subjects[s["subject_id"]]
+            for s in ent.subject_specs if s["sensitive_attributes"]
+        )
+        objects = [backend.issued_objects[oid] for oid in covert_hosts]
+        result = discover(member, objects)
+        assert any(s.level_seen == 3 for s in result.services)
+
+    def test_nonmembers_never_see_level3(self, campus):
+        ent, backend = campus
+        covert_hosts = {
+            s["object_id"] for s in ent.object_specs if s["level"] == 3
+        }
+        if not covert_hosts:
+            pytest.skip("no Level 3 objects generated")
+        plain = next(
+            backend.issued_subjects[s["subject_id"]]
+            for s in ent.subject_specs if not s["sensitive_attributes"]
+        )
+        objects = [backend.issued_objects[oid] for oid in covert_hosts]
+        result = discover(plain, objects)
+        assert all(s.level_seen != 3 for s in result.services)
+
+
+class TestChurnLifecycle:
+    def test_revocation_round_trip(self, campus):
+        ent, backend = campus
+        churn = ChurnEngine(backend)
+        # register a fresh user so we don't disturb other tests
+        creds, _ = churn.add_subject(
+            "lifecycle-user",
+            {"department": "dept-0", "position": "staff", "building": "bldg-A"},
+        )
+        objects = [
+            backend.issued_objects[s["object_id"]]
+            for s in ent.object_specs
+            if s["attributes"]["building"] == "bldg-A" and s["level"] == 2
+        ]
+        if not objects:
+            pytest.skip("no Level 2 objects in building A")
+        before = discover(creds, objects)
+        assert any(s.level_seen == 2 for s in before.services)
+
+        report = churn.remove_subject("lifecycle-user")
+        assert report.overhead >= len(objects)
+        after = discover(creds, objects)
+        assert all(s.level_seen != 2 for s in after.services)
+
+
+class TestVersionInterop:
+    def test_v3_subject_v3_objects_all_versions_of_fleet(self, campus):
+        """One subject runs all three protocol versions against the same
+        fleet; v1 can never see Level 3."""
+        ent, backend = campus
+        subject_spec = next(s for s in ent.subject_specs if s["sensitive_attributes"])
+        creds = backend.issued_subjects[subject_spec["subject_id"]]
+        objects = list(backend.issued_objects.values())[:8]
+        for version in Version:
+            result = discover(creds, objects, version=version)
+            if version is Version.V1_0:
+                assert all(s.level_seen != 3 for s in result.services)

@@ -1,0 +1,28 @@
+"""Every example script must run clean end to end (they are the docs)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).resolve().parents[2] / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True, text=True, timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip(), "examples must narrate what they do"
+
+
+def test_expected_examples_present():
+    names = {p.name for p in EXAMPLES}
+    assert {"quickstart.py", "covert_support_kiosk.py", "enterprise_campus.py",
+            "multihop_building.py", "churn_and_revocation.py",
+            "secure_door_lock.py", "walking_the_corridor.py"} <= names

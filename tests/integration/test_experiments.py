@@ -1,0 +1,200 @@
+"""Experiment runners: every table/figure regenerates and matches shape."""
+
+import pytest
+
+from repro.experiments import (
+    fig6a,
+    fig6b,
+    fig6c,
+    fig6d,
+    fig6e,
+    fig6f,
+    fig6g,
+    fig6h,
+    headline,
+    msg_overhead,
+    table1,
+)
+
+
+class TestTable1:
+    def test_headline_ratios(self):
+        table = table1.closed_form()
+        assert "add 1000x" in table.notes
+        assert "remove 10.0x" in table.notes
+
+    def test_simulated_matches_live_systems(self):
+        table = table1.simulated_table(n_objects=20, alpha=5)
+        rows = {row[0]: row[1:] for row in table.rows}
+        assert rows["ID-based ACL"] == [20, 20]
+        assert rows["Argus"] == [1, 20]
+
+
+class TestFig6a:
+    def test_monotone_in_strength(self):
+        table = fig6a.run(iterations=3)
+        by_op = {}
+        for strength, op, paper_hw, local in table.rows:
+            by_op.setdefault(op, []).append((strength, paper_hw, local))
+        for op, rows in by_op.items():
+            paper_series = [p for _, p, _ in sorted(rows)]
+            assert paper_series == sorted(paper_series)
+
+
+class TestFig6b:
+    def test_paper_anchors_within_tolerance(self):
+        table = fig6b.run()
+        for level, side, calibrated, paper in table.rows:
+            assert calibrated == pytest.approx(paper, abs=2.5)
+
+    def test_level2_equals_level3(self):
+        table = fig6b.run()
+        values = {(lvl, side): cal for lvl, side, cal, _ in table.rows}
+        assert values[(2, "subject")] == pytest.approx(values[(3, "subject")], abs=0.5)
+        assert values[(2, "object")] == pytest.approx(values[(3, "object")], abs=0.5)
+
+
+class TestFig6c:
+    def test_linear_in_attributes(self):
+        table = fig6c.run(max_attributes=5)
+        pairings = [row[1] for row in table.rows]
+        # 2n + 1 pairings
+        assert pairings == [2 * n + 1 for n in range(1, 6)]
+        calibrated = [row[2] for row in table.rows]
+        deltas = [b - a for a, b in zip(calibrated, calibrated[1:])]
+        assert all(d == pytest.approx(1000.0) for d in deltas)
+
+
+class TestFig6d:
+    def test_ratio_over_10x(self):
+        table = fig6d.run()
+        for _device, pairing, hmac, ratio in table.rows:
+            assert ratio > 10
+
+
+class TestFig6eToH:
+    def test_fig6e_shape(self):
+        table = fig6e.run(counts=(1, 5, 10))
+        l1 = [row[1] for row in table.rows]
+        l2 = [row[2] for row in table.rows]
+        l3 = [row[3] for row in table.rows]
+        assert l1 == sorted(l1) and l2 == sorted(l2)
+        assert all(a < b for a, b in zip(l1, l2))
+        for a, b in zip(l2, l3):
+            assert a == pytest.approx(b, rel=0.02)
+
+    def test_fig6f_level1_mostly_transmission(self):
+        table = fig6f.run()
+        fractions = {row[0]: row[4] for row in table.rows}
+        assert fractions[1] > 80.0
+        assert fractions[2] < fractions[1]
+
+    def test_fig6g_slower_than_single_hop(self):
+        multi = {row[0]: row[1] for row in fig6g.run().rows}
+        single = fig6e.run(counts=(20,)).rows[0]
+        assert multi[2] > single[2]  # Level 2 multihop > single-hop
+
+    def test_fig6h_linear_in_hops(self):
+        table = fig6h.run()
+        l2 = [row[2] for row in table.rows]
+        assert l2 == sorted(l2)
+        deltas = [b - a for a, b in zip(l2, l2[1:])]
+        # roughly linear: per-hop increments within 40% of each other
+        assert max(deltas) < 1.4 * min(deltas)
+
+
+class TestOverheadAndHeadline:
+    def test_msg_overhead_totals(self):
+        table = msg_overhead.run()
+        assert "Level 1 = 228 B" in table.notes
+        assert "Level 2/3 = 2088 B" in table.notes
+
+    def test_headline_10x(self):
+        table = headline.run()
+        ratios = [row[2] for row in table.rows[1:]]
+        assert all(r >= 10 for r in ratios)
+
+
+class TestVersionOverhead:
+    def test_que2_grows_exactly_32_bytes(self):
+        from repro.experiments.version_overhead import measure_version
+        from repro.protocol.versions import Version
+
+        v1 = measure_version(Version.V1_0)
+        v3 = measure_version(Version.V3_0)
+        assert v3["que2_bytes"] - v1["que2_bytes"] == 32
+
+    def test_compute_delta_under_1ms(self):
+        from repro.experiments.version_overhead import measure_version
+        from repro.protocol.versions import Version
+
+        v1 = measure_version(Version.V1_0)
+        v3 = measure_version(Version.V3_0)
+        assert v3["subject_ms"] - v1["subject_ms"] < 1.0
+        assert v3["object_ms"] - v1["object_ms"] < 1.0
+
+    def test_level3_requires_v2_or_later(self):
+        from repro.experiments.version_overhead import measure_version
+        from repro.protocol.versions import Version
+
+        assert measure_version(Version.V1_0)["level_seen"] == 2
+        assert measure_version(Version.V2_0)["level_seen"] == 3
+
+
+class TestScalabilitySweep:
+    def test_crossover_formula(self):
+        from repro.experiments.scalability_sweep import crossover_alpha_for_10x
+
+        assert crossover_alpha_for_10x(100) == 901
+        assert crossover_alpha_for_10x(1000) == 9001
+
+    def test_sweep_renders(self):
+        from repro.experiments import scalability_sweep
+
+        text = scalability_sweep.run()
+        assert "1000x" in text or "1000.0" in text
+
+
+class TestErrorBars:
+    def test_error_bars_nonzero_under_jitter(self):
+        from repro.experiments.fig6e import run_with_error_bars
+
+        table = run_with_error_bars(counts=(5,), seeds=3)
+        stds = [row[3] for row in table.rows]
+        assert any(s > 0 for s in stds)
+
+
+class TestRadioComparison:
+    def test_all_radios_complete(self):
+        from repro.experiments.radio_comparison import run
+
+        table = run(n=4)
+        assert len(table.rows) == 3
+
+    def test_slower_radio_wider_gap(self):
+        from repro.experiments.radio_comparison import run
+
+        table = run(n=4)
+        ratios = {row[0]: row[3] for row in table.rows}
+        assert ratios["zigbee"] > ratios["wifi"]
+
+
+class TestMixedFleet:
+    def test_all_levels_complete_in_one_round(self):
+        from repro.experiments.mixed_fleet import measure
+
+        timeline, per_level = measure(n_per_level=4)
+        assert all(len(v) == 4 for v in per_level.values())
+
+    def test_level1_finishes_first(self):
+        from repro.experiments.mixed_fleet import measure
+
+        _, per_level = measure(n_per_level=4)
+        assert max(per_level[1]) < min(per_level[2])
+
+    def test_covert_served_within_mixed_round(self):
+        from repro.experiments.mixed_fleet import measure
+
+        timeline, _ = measure(n_per_level=3)
+        l3_sightings = [s for s in timeline.services if s.object_id.startswith("l3-")]
+        assert all(s.level_seen == 3 for s in l3_sightings)

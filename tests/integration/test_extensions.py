@@ -1,0 +1,73 @@
+"""Extension experiments: multi-group, timing curve, capacity."""
+
+import pytest
+
+from repro.experiments import capacity, multi_group, timing_attack
+from repro.net.run import simulate_multi_group_discovery
+
+
+class TestMultiGroup:
+    def test_all_covert_services_found(self):
+        m = multi_group.measure(2, kiosks_per_group=2)
+        assert m["covert_found"] == 4
+        assert len(m["rounds"]) == 2
+
+    def test_cost_linear_in_groups(self):
+        one = multi_group.measure(1)["total_s"]
+        three = multi_group.measure(3)["total_s"]
+        assert 2.0 * one < three < 6.0 * one
+
+    def test_merged_timeline_keeps_best_sighting(self):
+        subject, objects = multi_group.build(2)
+        merged, _ = simulate_multi_group_discovery(subject, objects)
+        assert all(s.level_seen == 3 for s in merged.services)
+        # later-group kiosks complete later (cumulative offsets)
+        g0 = [t for oid, t in merged.completion.items() if "-g0-" in oid]
+        g1 = [t for oid, t in merged.completion.items() if "-g1-" in oid]
+        assert max(g0) < min(g1)
+
+    def test_single_group_degenerates_to_one_round(self):
+        m = multi_group.measure(1)
+        assert len(m["rounds"]) == 1
+
+
+class TestTimingAttackCurve:
+    def test_attack_defeated_at_realistic_jitter(self):
+        table = timing_attack.run(jitters=(0.25,))
+        accuracy = table.rows[0][1]
+        assert accuracy < 0.7
+        assert table.rows[0][3] == "attack defeated"
+
+    def test_gap_stays_sub_millisecond(self):
+        table = timing_attack.run(jitters=(0.0,))
+        gap_ms = table.rows[0][2]
+        assert gap_ms < 1.0  # constant-work design keeps the signal tiny
+
+
+class TestCapacity:
+    def test_monotone_in_budget(self):
+        low = capacity.max_objects_within(2, 0.4, hi=24)
+        high = capacity.max_objects_within(2, 1.2, hi=48)
+        assert high > low
+
+    def test_level1_capacity_exceeds_level2(self):
+        l1 = capacity.max_objects_within(1, 0.5, hi=48)
+        l2 = capacity.max_objects_within(2, 0.5, hi=48)
+        assert l1 > l2
+
+    def test_paper_office_fits_the_budget(self):
+        """§II-C's ~30-object office completes within ~1 s at Level 2/3."""
+        assert capacity.max_objects_within(2, 1.1, hi=40) >= 28
+
+    def test_zero_when_budget_impossible(self):
+        assert capacity.max_objects_within(2, 0.01, hi=8) == 0
+
+
+class TestSecurityReport:
+    def test_every_row_holds(self):
+        from repro.experiments.security_report import run
+
+        table = run()
+        assert len(table.rows) >= 10
+        failures = [row for row in table.rows if row[3] is not True]
+        assert failures == [], f"security scorecard failures: {failures}"

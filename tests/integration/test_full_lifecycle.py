@@ -1,0 +1,114 @@
+"""The grand tour: one scenario exercising every subsystem in sequence.
+
+Provision → snapshot → restore → discover (all levels) → command →
+revoke over the wire → rekey over the wire → re-discover → audit.
+If this test passes, the pieces don't just work — they work *together*.
+"""
+
+import pytest
+
+from repro.access import CommandClient, CommandHandler, invoke
+from repro.analysis.visibility import audit, compute_matrix
+from repro.backend import Backend, ChurnEngine
+from repro.backend.persistence import export_backend, import_backend
+from repro.backend.updatewire import UpdateReceiver, push_group_rekey, push_revocation
+from repro.protocol import ObjectEngine, ServiceDirectory, SubjectEngine, discover
+
+
+@pytest.fixture(scope="module")
+def story():
+    backend = Backend(regions=("campus",))
+    backend.add_subregion("campus", "north-wing")
+    backend.add_sensitive_policy("sensitive:support", "sensitive:serves-support")
+    backend.add_policy("staff-media", "position=='staff'", "type=='multimedia'",
+                       ("play",))
+    # Congruence matters: the kiosk's Level 2 face must be covered by a
+    # policy too, or the backend cannot know whom to notify on revocation
+    # (exactly the mismatch analysis.visibility audits for).
+    backend.add_policy("staff-kiosk", "position=='staff'", "type=='kiosk'",
+                       ("mag",))
+
+    staff = backend.register_subject("tour-staff", {"position": "staff"})
+    member = backend.register_subject(
+        "tour-member", {"position": "staff"}, ("sensitive:support",),
+        region="north-wing",
+    )
+    media = backend.register_object(
+        "tour-media", {"type": "multimedia"}, level=2, functions=("play",),
+        variants=[("position=='staff'", ("play",))],
+    )
+    kiosk = backend.register_object(
+        "tour-kiosk", {"type": "kiosk"}, level=3, functions=("mag",),
+        variants=[("position=='staff'", ("mag",))],
+        covert_functions={"sensitive:serves-support": ("flyer",)},
+        region="north-wing",
+    )
+    thermo = backend.register_object(
+        "tour-thermo", {"type": "thermometer"}, level=1, functions=("read",),
+    )
+    return backend, staff, member, [media, kiosk, thermo]
+
+
+def test_the_grand_tour(story):
+    backend, staff, member, fleet = story
+
+    # 1. snapshot and restore — continue the tour on the RESTORED state.
+    restored = import_backend(export_backend(backend))
+    r_staff = restored.issued_subjects["tour-staff"]
+    r_member = restored.issued_subjects["tour-member"]
+    r_fleet = [restored.issued_objects[c.object_id] for c in fleet]
+
+    # 2. three-level discovery through the directory cache.
+    directory = ServiceDirectory(r_member, max_age=0)
+    delta = directory.refresh(r_fleet)
+    assert sorted(delta["added"]) == ["tour-kiosk", "tour-media", "tour-thermo"]
+    assert directory.lookup("tour-kiosk").level_seen == 3
+    assert directory.lookup("tour-kiosk").functions == ("flyer",)
+
+    # 3. post-discovery command on the Level 2 media device.
+    subject_engine = SubjectEngine(r_staff)
+    media_engine = ObjectEngine(r_fleet[0])
+    from repro.attacks.channel import run_exchange
+
+    assert run_exchange(subject_engine, media_engine).outcome is not None
+    handler = CommandHandler(media_engine)
+    handler.register("play", lambda args: b"now playing")
+    client = CommandClient(subject_engine)
+    assert invoke(client, handler, "tour-media", "play") == b"now playing"
+
+    # 4. revoke the staff user OVER THE WIRE and verify enforcement.
+    receivers = {
+        c.object_id: UpdateReceiver(c.object_id, restored.admin_public,
+                                    object_creds=c)
+        for c in r_fleet
+    }
+    for message in push_revocation(restored, "tour-staff"):
+        assert receivers[message.addressee].apply(message)
+    blocked = discover(r_staff, r_fleet)
+    assert all(s.level_seen == 1 for s in blocked.services)
+
+    # 5. rotate the secret group key over the wire; the member keeps
+    #    covert access under the new key.
+    group_id = next(iter(r_member.group_keys))
+    from repro.crypto.primitives import random_bytes
+
+    group = restored.groups.groups[group_id]
+    group.key = random_bytes(32)
+    group.key_version += 1
+    member_rx = UpdateReceiver("tour-member", restored.admin_public,
+                               subject_creds=r_member)
+    kiosk_rx = UpdateReceiver("tour-kiosk", restored.admin_public,
+                              object_creds=restored.issued_objects["tour-kiosk"])
+    rx = {"tour-member": member_rx, "tour-kiosk": kiosk_rx}
+    for message in push_group_rekey(restored, group_id):
+        assert rx[message.addressee].apply(message)
+    after = discover(r_member, r_fleet)
+    assert any(s.level_seen == 3 for s in after.services)
+
+    # 6. churn accounting and the static audit agree with what happened.
+    churn = ChurnEngine(restored)
+    report = churn.remove_subject("tour-staff")
+    assert report.overhead >= 1
+    matrix = compute_matrix(restored.database)
+    assert "tour-member" in matrix.subject_ids
+    assert audit(restored.database, restored.groups).half_empty_groups == []

@@ -1,0 +1,61 @@
+"""Experiment-table plumbing: rendering edge cases, runner entry point."""
+
+import pytest
+
+from repro.experiments.common import Table
+from repro.experiments.runner import ALL, main, run_all
+
+
+class TestTable:
+    def test_basic_render(self):
+        table = Table("Title", ["a", "b"])
+        table.add(1, 2.5)
+        text = table.render()
+        assert "Title" in text and "2.500" in text
+
+    def test_cell_count_enforced(self):
+        table = Table("T", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add(1)
+
+    def test_empty_table_renders(self):
+        text = Table("Empty", ["col"]).render()
+        assert "Empty" in text and "col" in text
+
+    def test_large_floats_compact(self):
+        table = Table("T", ["v"])
+        table.add(123456.789)
+        assert "123456.8" in table.render()
+
+    def test_notes_appended(self):
+        table = Table("T", ["v"], notes="the note")
+        table.add(1)
+        assert table.render().endswith("the note")
+
+    def test_column_alignment(self):
+        table = Table("T", ["name", "v"])
+        table.add("long-name-here", 1)
+        table.add("x", 22)
+        lines = table.render().splitlines()
+        # all data lines equal width per column: header sep matches
+        assert len(lines[2]) >= len("name  v")
+
+
+class TestRunner:
+    def test_run_all_selected(self):
+        text = run_all(["msg_overhead"])
+        assert "2088" in text
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            run_all(["nope"])
+
+    def test_main_prints(self, capsys):
+        assert main(["headline"]) == 0
+        assert "Argus" in capsys.readouterr().out
+
+    def test_registry_covers_every_figure(self):
+        expected = {"table1", "fig6a", "fig6b", "fig6c", "fig6d",
+                    "fig6e", "fig6f", "fig6g", "fig6h",
+                    "msg_overhead", "headline"}
+        assert expected <= set(ALL)

@@ -1,0 +1,100 @@
+"""Failure injection: lossy links and multi-round recovery."""
+
+import pytest
+
+from repro.experiments.common import make_level_fleet
+from repro.net.node import GroundNetwork, SimNode
+from repro.net.radio import LinkModel
+from repro.net.run import simulate_discovery
+from repro.net.simulator import Simulator
+from repro.net.topology import SUBJECT, star
+from repro.crypto.costmodel import NEXUS6, RASPBERRY_PI3
+
+LOSSY = LinkModel(loss_rate=0.25)
+VERY_LOSSY = LinkModel(loss_rate=0.5)
+
+
+class TestLossModel:
+    def test_lossless_by_default(self):
+        import random
+        link = LinkModel()
+        assert not any(link.lost(random.Random(0)) for _ in range(100))
+
+    def test_loss_rate_approximate(self):
+        import random
+        rng = random.Random(7)
+        losses = sum(LOSSY.lost(rng) for _ in range(4000))
+        assert 0.2 < losses / 4000 < 0.3
+
+    def test_lost_frames_counted(self):
+        sim = Simulator()
+        net = GroundNetwork(sim, star(["a"]), VERY_LOSSY, seed=3)
+        net.add_node(SimNode(SUBJECT, "subject", NEXUS6))
+        net.add_node(SimNode("a", "object", RASPBERRY_PI3))
+        from repro.protocol.messages import Que1
+
+        for _ in range(40):
+            net.unicast(SUBJECT, "a", Que1(b"n" * 28))
+        sim.run()
+        assert net.messages_lost > 0
+
+    def test_lost_frame_still_burns_airtime(self):
+        """Losses don't free the channel: the radio stays busy."""
+        sim = Simulator()
+        always_lost = LinkModel(loss_rate=1.0)
+        net = GroundNetwork(sim, star(["a"]), always_lost, seed=1)
+        net.add_node(SimNode(SUBJECT, "subject", NEXUS6))
+        net.add_node(SimNode("a", "object", RASPBERRY_PI3))
+        from repro.protocol.messages import Que1
+
+        net.unicast(SUBJECT, "a", Que1(b"n" * 28))
+        sim.run()
+        assert net.nodes[SUBJECT].radio.busy_until > 0
+        assert net.messages_lost == 1
+
+
+class TestDiscoveryUnderLoss:
+    def test_single_round_misses_objects(self):
+        subject, objects, _ = make_level_fleet(12, 2)
+        timeline = simulate_discovery(
+            subject, objects, link=VERY_LOSSY, seed=5, max_rounds=1
+        )
+        assert len(timeline.completion) < 12
+
+    def test_multi_round_recovers(self):
+        subject, objects, _ = make_level_fleet(12, 2)
+        timeline = simulate_discovery(
+            subject, objects, link=LOSSY, seed=5,
+            max_rounds=8, round_interval_s=1.5,
+        )
+        assert len(timeline.completion) == 12
+
+    def test_rounds_stop_early_when_complete(self):
+        """No pointless re-broadcasts once everything is found."""
+        subject, objects, _ = make_level_fleet(3, 1)
+        timeline = simulate_discovery(
+            subject, objects, max_rounds=5, round_interval_s=0.8,
+        )
+        # lossless: all found in round 1; completion before round 2 fires
+        assert timeline.total_time < 0.8
+        assert len(timeline.completion) == 3
+
+    def test_level3_covert_survives_loss(self):
+        """The covert path also recovers — fellows eventually get flyers."""
+        subject, objects, _ = make_level_fleet(4, 3)
+        timeline = simulate_discovery(
+            subject, objects, link=LOSSY, seed=9,
+            max_rounds=20, round_interval_s=1.0,
+        )
+        assert len(timeline.completion) == 4
+        assert all(s.level_seen == 3 for s in timeline.services)
+
+    def test_recovery_time_increases_with_loss(self):
+        subject, objects, _ = make_level_fleet(8, 2)
+        clean = simulate_discovery(subject, objects, seed=3).total_time
+        subject2, objects2, _ = make_level_fleet(8, 2)
+        lossy = simulate_discovery(
+            subject2, objects2, link=LOSSY, seed=3,
+            max_rounds=8, round_interval_s=1.0,
+        ).total_time
+        assert lossy > clean

@@ -1,0 +1,75 @@
+"""Link model and topology tests."""
+
+import random
+
+import pytest
+
+from repro.net.radio import DEFAULT_WIFI, JITTERY_WIFI, LinkModel, Radio
+from repro.net.topology import SUBJECT, hop_distance, multihop, paper_multihop, star
+
+
+class TestLinkModel:
+    def test_occupancy_grows_with_size(self):
+        assert DEFAULT_WIFI.occupancy(1000) > DEFAULT_WIFI.occupancy(100)
+
+    def test_occupancy_formula(self):
+        link = LinkModel(frame_overhead_s=0.01, bitrate_bps=1000)
+        assert link.occupancy(500) == pytest.approx(0.01 + 0.5)
+
+    def test_jitter_varies(self):
+        rng = random.Random(1)
+        samples = {JITTERY_WIFI.occupancy(500, rng) for _ in range(10)}
+        assert len(samples) > 1
+
+    def test_jitter_never_negative(self):
+        rng = random.Random(2)
+        assert all(JITTERY_WIFI.occupancy(10, rng) > 0 for _ in range(200))
+
+    def test_no_jitter_deterministic(self):
+        rng = random.Random(3)
+        assert DEFAULT_WIFI.occupancy(500, rng) == DEFAULT_WIFI.occupancy(500)
+
+
+class TestRadio:
+    def test_reserve_serializes(self):
+        radio = Radio("r")
+        s1, e1 = radio.reserve(0.0, 1.0)
+        s2, e2 = radio.reserve(0.5, 1.0)
+        assert (s1, e1) == (0.0, 1.0)
+        assert (s2, e2) == (1.0, 2.0)  # queued behind the first
+
+
+class TestTopology:
+    def test_star(self):
+        g = star(["a", "b", "c"])
+        assert all(hop_distance(g, o) == 1 for o in ("a", "b", "c"))
+
+    def test_multihop_distances(self):
+        g = multihop([["a", "b"], ["c"], ["d"]])
+        assert hop_distance(g, "a") == 1
+        assert hop_distance(g, "c") == 2
+        assert hop_distance(g, "d") == 3
+
+    def test_relay_roles(self):
+        g = multihop([["a"], ["b"], ["c"]])
+        relays = [n for n, d in g.nodes(data=True) if d.get("role") == "relay"]
+        assert relays == ["relay-1", "relay-2"]
+
+    def test_paper_multihop_split(self):
+        g = paper_multihop([f"o{i}" for i in range(20)], 4)
+        by_hop = {}
+        for i in range(20):
+            by_hop.setdefault(hop_distance(g, f"o{i}"), []).append(i)
+        assert {h: len(v) for h, v in by_hop.items()} == {1: 5, 2: 5, 3: 5, 4: 5}
+
+    def test_paper_multihop_leftovers(self):
+        g = paper_multihop([f"o{i}" for i in range(7)], 2)
+        hops = [hop_distance(g, f"o{i}") for i in range(7)]
+        assert hops.count(1) == 3 and hops.count(2) == 4
+
+    def test_too_few_objects_rejected(self):
+        with pytest.raises(ValueError):
+            paper_multihop(["a"], 4)
+
+    def test_subject_present(self):
+        assert SUBJECT in star(["a"])

@@ -1,0 +1,75 @@
+"""Discrete-event core tests."""
+
+import pytest
+
+from repro.net.simulator import Simulator
+
+
+class TestEventLoop:
+    def test_ordering(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(2.0, lambda: order.append("b"))
+        sim.schedule(1.0, lambda: order.append("a"))
+        sim.schedule(3.0, lambda: order.append("c"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_fifo_for_simultaneous_events(self):
+        sim = Simulator()
+        order = []
+        for tag in "abc":
+            sim.schedule(1.0, lambda t=tag: order.append(t))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_clock_advances(self):
+        sim = Simulator()
+        times = []
+        sim.schedule(0.5, lambda: times.append(sim.now))
+        sim.schedule(1.5, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [0.5, 2.0] or times == [0.5, 1.5]
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        hits = []
+
+        def first():
+            hits.append(sim.now)
+            sim.schedule(1.0, lambda: hits.append(sim.now))
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert hits == [1.0, 2.0]
+
+    def test_until_bound(self):
+        sim = Simulator()
+        hits = []
+        sim.schedule(1.0, lambda: hits.append(1))
+        sim.schedule(5.0, lambda: hits.append(5))
+        sim.run(until=2.0)
+        assert hits == [1]
+        assert sim.pending == 1
+
+    def test_at_absolute(self):
+        sim = Simulator()
+        hits = []
+        sim.schedule(1.0, lambda: sim.at(3.0, lambda: hits.append(sim.now)))
+        sim.run()
+        assert hits == [3.0]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_runaway_guard(self):
+        sim = Simulator()
+
+        def forever():
+            sim.schedule(0.001, forever)
+
+        sim.schedule(0.0, forever)
+        with pytest.raises(RuntimeError, match="exceeded"):
+            sim.run(max_events=100)

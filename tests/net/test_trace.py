@@ -1,0 +1,88 @@
+"""Tracer tests + trace-based protocol assertions."""
+
+import pytest
+
+from repro.crypto.costmodel import NEXUS6, RASPBERRY_PI3
+from repro.experiments.common import make_level_fleet
+from repro.net.node import GroundNetwork, SimNode
+from repro.net.radio import DEFAULT_WIFI
+from repro.net.simulator import Simulator
+from repro.net.topology import SUBJECT, star
+from repro.net.trace import Tracer
+from repro.protocol.object import ObjectEngine
+from repro.protocol.subject import SubjectEngine
+
+
+def _traced_run(level: int, n: int = 3):
+    subject_creds, object_creds, _ = make_level_fleet(n, level)
+    sim = Simulator()
+    net = GroundNetwork(sim, star([c.object_id for c in object_creds]), DEFAULT_WIFI)
+    engine = SubjectEngine(subject_creds)
+    net.add_node(SimNode(SUBJECT, "subject", NEXUS6, engine))
+    for creds in object_creds:
+        net.add_node(SimNode(creds.object_id, "object", RASPBERRY_PI3, ObjectEngine(creds)))
+    tracer = Tracer().attach(net)
+    que1 = engine.start_round()
+    sim.schedule(0.0, lambda: net.broadcast(SUBJECT, que1))
+    sim.run()
+    return tracer, engine
+
+
+class TestTracer:
+    def test_level1_message_shape(self):
+        tracer, _ = _traced_run(1, n=3)
+        assert tracer.message_types_seen() == {"Que1", "Res1Level1"}
+        assert tracer.count("Que1") == 3       # one broadcast, 3 receivers
+        assert tracer.count("Res1Level1") == 3
+
+    def test_level2_message_shape(self):
+        """The 4-way exchange, exactly once per object."""
+        tracer, _ = _traced_run(2, n=3)
+        assert tracer.count("Res1") == 3
+        assert tracer.count("Que2") == 3
+        assert tracer.count("Res2") == 3
+
+    def test_level3_traffic_identical_to_level2(self):
+        """On-air message-type histograms are identical across levels —
+        the indistinguishability property at trace granularity."""
+        t2, _ = _traced_run(2, n=3)
+        t3, _ = _traced_run(3, n=3)
+        histogram2 = {m: t2.count(m) for m in t2.message_types_seen()}
+        histogram3 = {m: t3.count(m) for m in t3.message_types_seen()}
+        assert histogram2 == histogram3
+
+    def test_events_time_ordered(self):
+        tracer, _ = _traced_run(2, n=2)
+        times = [e.time for e in tracer.events]
+        assert times == sorted(times)
+
+    def test_render(self):
+        tracer, _ = _traced_run(1, n=1)
+        text = tracer.render()
+        assert "Que1" in text and "->" in text
+        assert len(tracer.render(limit=2).splitlines()) == 2
+
+    def test_first_lookup(self):
+        tracer, _ = _traced_run(2, n=2)
+        first_res2 = tracer.first("Res2")
+        assert first_res2 is not None
+        assert first_res2.dst == SUBJECT
+        assert tracer.first("Nonexistent") is None
+
+    def test_hook_chaining_preserved(self):
+        """Attaching a tracer must not clobber pre-existing hooks."""
+        subject_creds, object_creds, _ = make_level_fleet(1, 1)
+        sim = Simulator()
+        net = GroundNetwork(sim, star([object_creds[0].object_id]), DEFAULT_WIFI)
+        engine = SubjectEngine(subject_creds)
+        net.add_node(SimNode(SUBJECT, "subject", NEXUS6, engine))
+        net.add_node(SimNode(object_creds[0].object_id, "object",
+                             RASPBERRY_PI3, ObjectEngine(object_creds[0])))
+        seen = []
+        net.on_delivery = lambda t, s, d, m: seen.append(d)
+        tracer = Tracer().attach(net)
+        que1 = engine.start_round()
+        sim.schedule(0.0, lambda: net.broadcast(SUBJECT, que1))
+        sim.run()
+        assert seen  # original hook still fired
+        assert tracer.events

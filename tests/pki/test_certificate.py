@@ -1,0 +1,126 @@
+"""Certificate and chain tests."""
+
+import pytest
+
+from repro.crypto.ecdsa import generate_signing_key
+from repro.pki.certificate import (
+    Certificate,
+    CertificateChain,
+    CertificateError,
+    issue_certificate,
+)
+
+
+@pytest.fixture(scope="module")
+def root():
+    return generate_signing_key()
+
+
+@pytest.fixture(scope="module")
+def inter():
+    return generate_signing_key()
+
+
+@pytest.fixture(scope="module")
+def entity():
+    return generate_signing_key()
+
+
+@pytest.fixture(scope="module")
+def chain(root, inter, entity):
+    c_inter = issue_certificate("root", root, "region", inter.public_key, 1)
+    c_leaf = issue_certificate("region", inter, "device-1", entity.public_key, 2)
+    return CertificateChain((c_leaf, c_inter))
+
+
+class TestIssuance:
+    def test_fields(self, root, entity):
+        cert = issue_certificate("root", root, "dev", entity.public_key, 7)
+        assert cert.subject_id == "dev"
+        assert cert.issuer_id == "root"
+        assert cert.serial == 7
+        assert cert.strength == 128
+
+    def test_signature_valid(self, root, entity):
+        cert = issue_certificate("root", root, "dev", entity.public_key, 1)
+        assert cert.verify_signature(root.public_key)
+
+    def test_wrong_issuer_key_rejected(self, root, inter, entity):
+        cert = issue_certificate("root", root, "dev", entity.public_key, 1)
+        assert not cert.verify_signature(inter.public_key)
+
+    def test_strength_mismatch_rejected(self, root):
+        weak = generate_signing_key(112)
+        with pytest.raises(CertificateError):
+            issue_certificate("root", root, "dev", weak.public_key, 1, strength=128)
+
+
+class TestSerialization:
+    def test_roundtrip(self, root, entity):
+        cert = issue_certificate("root", root, "device-x", entity.public_key, 9)
+        restored = Certificate.from_bytes(cert.to_bytes())
+        assert restored == cert
+        assert restored.verify_signature(root.public_key)
+
+    def test_tampered_subject_rejected(self, root, entity):
+        cert = issue_certificate("root", root, "deviceA", entity.public_key, 1)
+        data = bytearray(cert.to_bytes())
+        idx = bytes(data).find(b"deviceA")
+        data[idx] ^= 0x01
+        tampered = Certificate.from_bytes(bytes(data))
+        assert not tampered.verify_signature(root.public_key)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(CertificateError):
+            Certificate.from_bytes(b"\x01garbage")
+
+    def test_missing_signature_rejected(self, root, entity):
+        cert = issue_certificate("root", root, "dev", entity.public_key, 1)
+        with pytest.raises(CertificateError):
+            Certificate.from_bytes(cert.tbs())
+
+
+class TestValidity:
+    def test_window(self, root, entity):
+        cert = issue_certificate(
+            "root", root, "dev", entity.public_key, 1, not_before=10, not_after=20
+        )
+        assert not cert.valid_at(9)
+        assert cert.valid_at(10)
+        assert cert.valid_at(20)
+        assert not cert.valid_at(21)
+
+
+class TestChain:
+    def test_valid_chain(self, chain, root):
+        assert chain.verify("root", root.public_key)
+
+    def test_roundtrip(self, chain, root):
+        restored = CertificateChain.from_bytes(chain.to_bytes())
+        assert restored.verify("root", root.public_key)
+        assert restored.leaf.subject_id == "device-1"
+
+    def test_wrong_root_rejected(self, chain):
+        impostor_root = generate_signing_key()
+        assert not chain.verify("root", impostor_root.public_key)
+
+    def test_broken_linkage_rejected(self, root, inter, entity):
+        c_other = issue_certificate("root", root, "other-region", inter.public_key, 5)
+        c_leaf = issue_certificate("region", inter, "dev", entity.public_key, 6)
+        assert not CertificateChain((c_leaf, c_other)).verify("root", root.public_key)
+
+    def test_expired_intermediate_rejected(self, root, inter, entity):
+        c_inter = issue_certificate(
+            "root", root, "region", inter.public_key, 1, not_after=5
+        )
+        c_leaf = issue_certificate("region", inter, "dev", entity.public_key, 2)
+        chain = CertificateChain((c_leaf, c_inter))
+        assert not chain.verify("root", root.public_key, now=10)
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(CertificateError):
+            CertificateChain(())
+
+    def test_single_cert_chain(self, root, entity):
+        cert = issue_certificate("root", root, "dev", entity.public_key, 1)
+        assert CertificateChain((cert,)).verify("root", root.public_key)

@@ -1,0 +1,85 @@
+"""ChainVerifier: caching behaviour and the §IX-B op-count contract."""
+
+import pytest
+
+from repro.crypto import meter
+from repro.crypto.ecdsa import generate_signing_key
+from repro.pki.certificate import CertificateChain, issue_certificate
+from repro.pki.chain import ChainVerifier
+
+
+@pytest.fixture(scope="module")
+def pki():
+    root = generate_signing_key()
+    inter = generate_signing_key()
+    entity = generate_signing_key()
+    c_inter = issue_certificate("root", root, "region", inter.public_key, 1)
+    c_leaf = issue_certificate("region", inter, "dev", entity.public_key, 2)
+    return root, inter, entity, CertificateChain((c_leaf, c_inter))
+
+
+class TestVerification:
+    def test_valid_chain_returns_leaf(self, pki):
+        root, _, _, chain = pki
+        verifier = ChainVerifier("root", root.public_key)
+        leaf = verifier.verify(chain)
+        assert leaf is not None and leaf.subject_id == "dev"
+
+    def test_wrong_root_rejected(self, pki):
+        _, _, _, chain = pki
+        fake = generate_signing_key()
+        assert ChainVerifier("root", fake.public_key).verify(chain) is None
+
+    def test_bytes_interface(self, pki):
+        root, _, _, chain = pki
+        verifier = ChainVerifier("root", root.public_key)
+        assert verifier.verify_chain_bytes(chain.to_bytes()).subject_id == "dev"
+        assert verifier.verify_chain_bytes(b"garbage") is None
+
+    def test_expired_leaf_rejected(self, pki):
+        root, inter, entity, _ = pki
+        c_inter = issue_certificate("root", root, "region", inter.public_key, 1)
+        c_leaf = issue_certificate(
+            "region", inter, "dev", entity.public_key, 2, not_after=5
+        )
+        verifier = ChainVerifier("root", root.public_key)
+        assert verifier.verify(CertificateChain((c_leaf, c_inter)), now=10) is None
+
+    def test_forged_intermediate_rejected(self, pki):
+        root, _, entity, _ = pki
+        rogue_inter = generate_signing_key()
+        fake_root = generate_signing_key()
+        c_inter = issue_certificate("root", fake_root, "region", rogue_inter.public_key, 1)
+        c_leaf = issue_certificate("region", rogue_inter, "dev", entity.public_key, 2)
+        verifier = ChainVerifier("root", root.public_key)
+        assert verifier.verify(CertificateChain((c_leaf, c_inter))) is None
+
+
+class TestCaching:
+    def test_steady_state_is_one_verify(self, pki):
+        """After warm-up, a 2-cert chain costs exactly 1 ECDSA verify —
+        the assumption behind the paper's 3-verify per-discovery count."""
+        root, _, _, chain = pki
+        verifier = ChainVerifier("root", root.public_key)
+        verifier.warm_up(chain)
+        with meter.metered() as tally:
+            assert verifier.verify(chain) is not None
+        assert tally.total("ecdsa_verify") == 1
+
+    def test_cold_chain_verifies_everything(self, pki):
+        root, _, _, chain = pki
+        verifier = ChainVerifier("root", root.public_key)
+        with meter.metered() as tally:
+            assert verifier.verify(chain) is not None
+        assert tally.total("ecdsa_verify") == 2
+
+    def test_cache_does_not_leak_across_intermediates(self, pki):
+        """A different intermediate (even same-named) must be re-verified."""
+        root, _, entity, chain = pki
+        verifier = ChainVerifier("root", root.public_key)
+        verifier.warm_up(chain)
+        rogue = generate_signing_key()
+        fake_root = generate_signing_key()
+        c_inter = issue_certificate("root", fake_root, "region", rogue.public_key, 9)
+        c_leaf = issue_certificate("region", rogue, "dev", entity.public_key, 10)
+        assert verifier.verify(CertificateChain((c_leaf, c_inter))) is None

@@ -1,0 +1,66 @@
+"""PROF (signed attribute profile) tests."""
+
+import pytest
+
+from repro.attributes.model import AttributeSet
+from repro.crypto.ecdsa import generate_signing_key
+from repro.pki.profile import Profile, ProfileError, sign_profile
+
+
+@pytest.fixture(scope="module")
+def admin():
+    return generate_signing_key()
+
+
+class TestSigning:
+    def test_signed_profile_verifies(self, admin):
+        prof = sign_profile(Profile("dev", AttributeSet(type="lock"), ("open",)), admin)
+        assert prof.verify(admin.public_key)
+
+    def test_unsigned_profile_fails_verify(self, admin):
+        assert not Profile("dev", AttributeSet()).verify(admin.public_key)
+
+    def test_unsigned_profile_cannot_serialize(self):
+        with pytest.raises(ProfileError):
+            Profile("dev", AttributeSet()).to_bytes()
+
+    def test_wrong_admin_rejected(self, admin):
+        other = generate_signing_key()
+        prof = sign_profile(Profile("dev", AttributeSet()), admin)
+        assert not prof.verify(other.public_key)
+
+
+class TestSerialization:
+    def test_roundtrip(self, admin):
+        prof = sign_profile(
+            Profile("dev-1", AttributeSet(type="hvac", floor=2),
+                    ("set_temperature", "fan"), variant="staff-view"),
+            admin,
+        )
+        restored = Profile.from_bytes(prof.to_bytes())
+        assert restored == prof
+        assert restored.functions == ("set_temperature", "fan")
+        assert restored.variant == "staff-view"
+        assert restored.verify(admin.public_key)
+
+    def test_empty_functions(self, admin):
+        prof = sign_profile(Profile("u", AttributeSet(position="staff")), admin)
+        assert Profile.from_bytes(prof.to_bytes()).functions == ()
+
+    def test_tampered_attributes_rejected(self, admin):
+        prof = sign_profile(Profile("dev", AttributeSet(type="safeZ")), admin)
+        data = bytearray(prof.to_bytes())
+        idx = bytes(data).find(b"safeZ")
+        data[idx] ^= 0x01
+        tampered = Profile.from_bytes(bytes(data))
+        assert not tampered.verify(admin.public_key)
+
+    def test_tampered_functions_rejected(self, admin):
+        """Forging extra service rights must invalidate the admin signature."""
+        prof = sign_profile(Profile("dev", AttributeSet(), ("open",)), admin)
+        data = prof.to_bytes().replace(b"open", b"OPEN")
+        assert not Profile.from_bytes(data).verify(admin.public_key)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ProfileError):
+            Profile.from_bytes(b"\xff\xff")

@@ -1,0 +1,103 @@
+"""Service directory: caching, staleness, revocation reconciliation."""
+
+import pytest
+
+from repro.backend import Backend, ChurnEngine
+from repro.protocol.directory import ServiceDirectory
+
+
+@pytest.fixture
+def world():
+    backend = Backend()
+    backend.add_policy("p", "position=='staff'", "type=='multimedia'")
+    user = backend.register_subject("dir-user", {"position": "staff"})
+    objects = [
+        backend.register_object(
+            f"m{i}", {"type": "multimedia"}, level=2, functions=("play",),
+            variants=[("position=='staff'", ("play",))],
+        )
+        for i in range(3)
+    ]
+    thermo = backend.register_object("t0", {"type": "thermometer"}, level=1,
+                                     functions=("read",))
+    return backend, user, objects + [thermo]
+
+
+class TestCaching:
+    def test_first_refresh_adds_everything(self, world):
+        _, user, fleet = world
+        directory = ServiceDirectory(user)
+        delta = directory.refresh(fleet)
+        assert sorted(delta["added"]) == ["m0", "m1", "m2", "t0"]
+        assert len(directory.services()) == 4
+
+    def test_second_refresh_is_quiet(self, world):
+        _, user, fleet = world
+        directory = ServiceDirectory(user)
+        directory.refresh(fleet)
+        delta = directory.refresh(fleet)
+        assert delta == {"added": [], "updated": [], "removed": []}
+
+    def test_lookup_and_function_search(self, world):
+        _, user, fleet = world
+        directory = ServiceDirectory(user)
+        directory.refresh(fleet)
+        assert directory.lookup("m1").functions == ("play",)
+        assert directory.lookup("ghost") is None
+        assert {s.object_id for s in directory.find_by_function("play")} == {"m0", "m1", "m2"}
+        assert [s.object_id for s in directory.find_by_function("read")] == ["t0"]
+
+
+class TestStalenessAndRemoval:
+    def test_missing_object_marked_stale_then_evicted(self, world):
+        _, user, fleet = world
+        directory = ServiceDirectory(user, max_age=1)
+        directory.refresh(fleet)
+        shrunk = fleet[1:]  # m0 disappears
+        delta1 = directory.refresh(shrunk)
+        assert delta1["removed"] == []       # grace period
+        assert directory.stale() == ["m0"]
+        delta2 = directory.refresh(shrunk)
+        assert delta2["removed"] == ["m0"]
+        assert directory.lookup("m0") is None
+
+    def test_reappearing_object_survives(self, world):
+        _, user, fleet = world
+        directory = ServiceDirectory(user, max_age=1)
+        directory.refresh(fleet)
+        directory.refresh(fleet[1:])   # m0 missing once
+        delta = directory.refresh(fleet)  # back again
+        assert "m0" not in delta["added"]  # it never left the cache
+        assert directory.stale() == []
+
+    def test_revocation_disappears_after_refresh(self, world):
+        """The §XI point: a fresh round shows the revoked subject less."""
+        backend, user, fleet = world
+        directory = ServiceDirectory(user, max_age=0)
+        directory.refresh(fleet)
+        assert len(directory.services()) == 4
+
+        ChurnEngine(backend).remove_subject("dir-user")
+        delta = directory.refresh(fleet)
+        # Level 2 objects now refuse her; only the Level 1 thermometer stays
+        assert sorted(delta["removed"]) == ["m0", "m1", "m2"]
+        assert [s.object_id for s in directory.services()] == ["t0"]
+
+    def test_variant_change_reported_as_update(self, world):
+        backend, user, fleet = world
+        directory = ServiceDirectory(user)
+        directory.refresh(fleet)
+        # promote the user: different variant on the next round
+        from repro.backend.registration import ObjectVariant
+        from repro.attributes.predicate import parse_predicate
+        from repro.pki.profile import Profile, sign_profile
+
+        m0 = fleet[0]
+        prof = sign_profile(
+            Profile("m0", m0.public_profile.attributes, ("play", "admin"), "vip"),
+            backend.root_key,
+        )
+        m0.level2_variants.insert(0, ObjectVariant(parse_predicate("true"), prof))
+        delta = directory.refresh(fleet)
+        assert "m0" in delta["updated"]
+        assert directory.lookup("m0").functions == ("play", "admin")

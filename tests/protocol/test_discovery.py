@@ -1,0 +1,85 @@
+"""In-memory discovery orchestration: the 3-in-1 concurrent behaviour."""
+
+import pytest
+
+from repro.crypto.costmodel import NEXUS6, RASPBERRY_PI3
+from repro.protocol.discovery import discover, run_round
+from repro.protocol.object import ObjectEngine
+from repro.protocol.subject import SubjectEngine
+
+
+@pytest.fixture
+def fleet(thermometer, media, kiosk):
+    return [thermometer, media, kiosk]
+
+
+class TestConcurrentDiscovery:
+    def test_all_three_levels_in_one_round(self, staff, fleet):
+        result = discover(staff, fleet)
+        levels = {s.object_id: s.level_seen for s in result.services}
+        assert levels == {"thermo-1": 1, "media-1": 2, "kiosk-1": 2}
+
+    def test_fellow_sees_level3(self, fellow, fleet):
+        result = discover(fellow, fleet)
+        levels = {s.object_id: s.level_seen for s in result.services}
+        assert levels["kiosk-1"] == 3
+        assert levels["thermo-1"] == 1
+
+    def test_visitor_sees_only_public_and_kiosk_face(self, visitor, fleet):
+        result = discover(visitor, fleet)
+        by_id = {s.object_id: s for s in result.services}
+        assert set(by_id) == {"thermo-1", "kiosk-1"}
+        assert by_id["kiosk-1"].level_seen == 2
+
+    def test_result_by_level_partition(self, fellow, fleet):
+        result = discover(fellow, fleet)
+        by_level = result.by_level
+        assert sum(len(v) for v in by_level.values()) == len(result.services)
+
+    def test_empty_fleet(self, staff):
+        result = discover(staff, [])
+        assert result.services == []
+
+
+class TestOpAccounting:
+    def test_level1_op_counts(self, staff, thermometer):
+        """§IX-B: Level 1 subject verifies one signature, object none."""
+        subject = SubjectEngine(staff)
+        objects = {thermometer.object_id: ObjectEngine(thermometer)}
+        result = run_round(subject, objects)
+        assert result.subject_ops.total("ecdsa_verify") == 1
+        assert result.subject_ops.total("ecdsa_sign") == 0
+        assert result.object_ops[thermometer.object_id].total("ecdsa_sign") == 0
+
+    def test_level2_op_counts_warm(self, staff, media):
+        """§IX-B steady state: 1 sign, 3 verifies, 2 ECDH per side."""
+        subject = SubjectEngine(staff)
+        objects = {media.object_id: ObjectEngine(media)}
+        run_round(subject, objects)  # warm-up (intermediate CA caching)
+        result = run_round(subject, objects)
+        s, o = result.subject_ops, result.object_ops[media.object_id]
+        for ops in (s, o):
+            assert ops.total("ecdsa_sign") == 1
+            assert ops.total("ecdsa_verify") == 3
+            assert ops.total("ecdh_gen") == 1
+            assert ops.total("ecdh_derive") == 1
+
+    def test_level23_costs_match_paper(self, staff, fellow, media, kiosk):
+        """Calibrated cost of a warm discovery ≈ 27.4 / 78.2 ms, and Level
+        2 vs Level 3 differ by far less than 1 ms (§VI-A)."""
+        costs = {}
+        for creds, obj in ((staff, media), (fellow, kiosk)):
+            subject = SubjectEngine(creds)
+            objects = {obj.object_id: ObjectEngine(obj)}
+            run_round(subject, objects)
+            result = run_round(subject, objects)
+            costs[obj.object_id] = (
+                NEXUS6.meter_cost_ms(result.subject_ops),
+                RASPBERRY_PI3.meter_cost_ms(result.object_ops[obj.object_id]),
+            )
+        for subject_ms, object_ms in costs.values():
+            assert subject_ms == pytest.approx(27.4, abs=1.5)
+            assert object_ms == pytest.approx(78.2, abs=2.5)
+        l2, l3 = costs["media-1"], costs["kiosk-1"]
+        assert abs(l3[0] - l2[0]) < 1.0
+        assert abs(l3[1] - l2[1]) < 1.0

@@ -1,0 +1,132 @@
+"""Wire-message tests: serialization, framing, §IX-A byte accounting."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.protocol import messages
+from repro.protocol.errors import MessageFormatError
+from repro.protocol.messages import Que1, Que2, Res1, Res1Level1, Res2, parse_message
+
+NONCE = b"n" * 28
+MAC = b"m" * 32
+
+
+class TestQue1:
+    def test_roundtrip(self):
+        q = Que1(NONCE)
+        assert Que1.from_bytes(q.to_bytes()) == q
+
+    def test_nominal_size_is_28(self):
+        assert Que1.nominal_size() == 28
+
+    def test_bad_nonce_length_rejected(self):
+        with pytest.raises(MessageFormatError):
+            Que1(b"short")
+
+    def test_wrong_type_rejected(self):
+        with pytest.raises(MessageFormatError):
+            Que1.from_bytes(b"\x99" + NONCE)
+
+
+class TestRes1:
+    def test_roundtrip(self):
+        r = Res1(NONCE, b"certchain", b"k" * 64, b"s" * 64)
+        assert Res1.from_bytes(r.to_bytes()) == r
+
+    def test_nominal_size_is_772(self):
+        """§IX-A: Level 2/3 RES1 is 772 B."""
+        assert Res1.nominal_size() == 772
+
+    def test_level1_nominal_is_200(self):
+        assert Res1Level1.nominal_size() == 200
+
+    def test_truncated_rejected(self):
+        r = Res1(NONCE, b"cert", b"k", b"s")
+        with pytest.raises(MessageFormatError):
+            Res1.from_bytes(r.to_bytes()[:-3])
+
+    def test_trailing_bytes_rejected(self):
+        r = Res1(NONCE, b"cert", b"k", b"s")
+        with pytest.raises(MessageFormatError):
+            Res1.from_bytes(r.to_bytes() + b"x")
+
+
+class TestQue2:
+    def _mk(self, mac_s3=MAC):
+        return Que2(b"prof", b"cert", b"k" * 64, b"sig", MAC, mac_s3)
+
+    def test_roundtrip_with_mac3(self):
+        q = self._mk()
+        assert Que2.from_bytes(q.to_bytes()) == q
+
+    def test_roundtrip_without_mac3(self):
+        q = self._mk(mac_s3=None)
+        restored = Que2.from_bytes(q.to_bytes())
+        assert restored.mac_s3 is None
+        assert restored == q
+
+    def test_nominal_v3_is_1008(self):
+        """§IX-A: QUE2 is 1008 B when MAC_S3 is mandatory (v3.0)."""
+        assert Que2.nominal_size(with_mac3=True) == 1008
+
+    def test_mac3_adds_exactly_32(self):
+        """§VI-B 'Overhead of Extensions': +32 B only."""
+        assert Que2.nominal_size(True) - Que2.nominal_size(False) == 32
+
+    def test_bad_mac_length_rejected(self):
+        with pytest.raises(MessageFormatError):
+            Que2(b"p", b"c", b"k", b"s", b"short")
+
+    def test_signed_portion_excludes_macs(self):
+        a = self._mk(mac_s3=MAC)
+        b = Que2(b"prof", b"cert", b"k" * 64, b"sig", b"x" * 32, None)
+        assert a.signed_portion() == b.signed_portion()
+
+
+class TestRes2:
+    def test_roundtrip(self):
+        r = Res2(b"ciphertext", MAC)
+        assert Res2.from_bytes(r.to_bytes()) == r
+
+    def test_nominal_is_280(self):
+        assert Res2.nominal_size() == 280
+
+    def test_single_mac_slot(self):
+        """RES2 carries exactly ONE MAC — the structural identity between
+        Level 2 and Level 3 answers (§VI-B)."""
+        r = Res2(b"ct", MAC)
+        parsed = Res2.from_bytes(r.to_bytes())
+        assert parsed.mac_o == MAC
+
+
+class TestExchangeTotals:
+    def test_level1_total_228(self):
+        assert messages.level1_exchange_nominal() == 228
+
+    def test_level23_total_2088(self):
+        assert messages.level23_exchange_nominal() == 2088
+
+
+class TestParseDispatch:
+    def test_dispatch(self):
+        q = Que1(NONCE)
+        assert isinstance(parse_message(q.to_bytes()), Que1)
+        r = Res2(b"ct", MAC)
+        assert isinstance(parse_message(r.to_bytes()), Res2)
+
+    def test_empty_rejected(self):
+        with pytest.raises(MessageFormatError):
+            parse_message(b"")
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(MessageFormatError):
+            parse_message(b"\xee\x00")
+
+    @given(st.binary(min_size=1, max_size=200))
+    def test_fuzz_never_crashes(self, data):
+        """Arbitrary bytes either parse or raise MessageFormatError —
+        nothing else (no unhandled struct errors)."""
+        try:
+            parse_message(data)
+        except MessageFormatError:
+            pass

@@ -1,0 +1,138 @@
+"""Property-based end-to-end invariants of the discovery protocol.
+
+The central correctness property: for ANY subject attribute assignment
+and ANY ordered list of variant predicates, the profile the subject
+receives over the real wire protocol is exactly the first variant whose
+predicate her attributes satisfy — and silence iff none matches. The
+crypto layer must neither block authorized variants nor leak others.
+"""
+
+import itertools
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.attributes.predicate import Comparison
+from repro.backend import Backend
+from repro.attacks.channel import run_exchange
+from repro.protocol.object import ObjectEngine
+from repro.protocol.subject import SubjectEngine
+
+# One backend for the whole module: registration is the expensive part,
+# and ids are made unique per example by a counter.
+_BACKEND = Backend()
+_BACKEND.add_sensitive_policy("sensitive:prop", "sensitive:serves-prop")
+_COUNTER = itertools.count()
+
+DEPARTMENTS = ["X", "Y", "Z"]
+POSITIONS = ["staff", "manager", "student"]
+
+subject_attrs = st.fixed_dictionaries(
+    {
+        "department": st.sampled_from(DEPARTMENTS),
+        "position": st.sampled_from(POSITIONS),
+    }
+)
+
+variant_predicates = st.lists(
+    st.tuples(
+        st.sampled_from(["department", "position"]),
+        st.sampled_from(DEPARTMENTS + POSITIONS),
+    ),
+    min_size=1,
+    max_size=4,
+)
+
+
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(attrs=subject_attrs, preds=variant_predicates)
+def test_served_variant_is_first_matching_predicate(attrs, preds):
+    i = next(_COUNTER)
+    subject = _BACKEND.register_subject(f"prop-subj-{i}", attrs)
+    variants = [
+        (Comparison(name, "==", value), (f"fn-{j}",))
+        for j, (name, value) in enumerate(preds)
+    ]
+    obj = _BACKEND.register_object(
+        f"prop-obj-{i}", {"type": "prop-device"}, level=2,
+        functions=("none",), variants=variants,
+    )
+    capture = run_exchange(SubjectEngine(subject), ObjectEngine(obj))
+
+    expected = None
+    for j, (name, value) in enumerate(preds):
+        if attrs.get(name) == value:
+            expected = (f"fn-{j}",)
+            break
+
+    if expected is None:
+        assert capture.outcome is None, "unauthorized subject got a variant"
+    else:
+        assert capture.outcome is not None, "authorized subject got silence"
+        assert capture.outcome.functions == expected
+
+
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    member=st.booleans(),
+    attrs=subject_attrs,
+)
+def test_covert_variant_iff_group_member(member, attrs):
+    """Level 3 invariant: the covert variant is served exactly to group
+    members, regardless of non-sensitive attributes."""
+    i = next(_COUNTER)
+    subject = _BACKEND.register_subject(
+        f"prop3-subj-{i}", attrs,
+        sensitive_attributes=("sensitive:prop",) if member else (),
+    )
+    obj = _BACKEND.register_object(
+        f"prop3-obj-{i}", {"type": "kiosk"}, level=3,
+        functions=("mag",),
+        variants=[(Comparison("position", "==", attrs["position"]), ("mag",))],
+        covert_functions={"sensitive:serves-prop": ("flyer",)},
+    )
+    capture = run_exchange(SubjectEngine(subject), ObjectEngine(obj))
+    assert capture.outcome is not None
+    if member:
+        assert capture.outcome.level_seen == 3
+        assert capture.outcome.functions == ("flyer",)
+    else:
+        assert capture.outcome.level_seen == 2
+        assert capture.outcome.functions == ("mag",)
+
+
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(data=st.data())
+def test_tampering_any_que2_byte_never_yields_service(data):
+    """Flipping any byte of QUE2 must never produce a (different) valid
+    outcome: either the object goes silent, or — if the flip landed in a
+    part the subject's own state doesn't depend on — the handshake still
+    yields exactly the legitimate variant."""
+    i = next(_COUNTER)
+    subject_creds = _BACKEND.register_subject(
+        f"tamper-subj-{i}", {"department": "X", "position": "staff"}
+    )
+    obj_creds = _BACKEND.register_object(
+        f"tamper-obj-{i}", {"type": "m"}, level=2, functions=("f",),
+        variants=[(Comparison("department", "==", "X"), ("legit",))],
+    )
+    subject = SubjectEngine(subject_creds)
+    obj = ObjectEngine(obj_creds)
+
+    from repro.protocol.messages import Que2
+
+    def tamper(name, message):
+        if name != "que2":
+            return message
+        raw = bytearray(message.to_bytes())
+        # flip one random byte beyond the type/flag header
+        index = data.draw(st.integers(min_value=2, max_value=len(raw) - 1))
+        raw[index] ^= data.draw(st.integers(min_value=1, max_value=255))
+        try:
+            return Que2.from_bytes(bytes(raw))
+        except Exception:
+            return message  # unparseable mutation: send original
+
+    capture = run_exchange(subject, obj, tamper=tamper)
+    if capture.outcome is not None:
+        assert capture.outcome.functions == ("legit",)

@@ -1,0 +1,113 @@
+"""Engine robustness: hostile/garbage inputs must never crash an engine.
+
+The §VII threat model lets attackers inject arbitrary bytes. The engines'
+contract: for any input, either a well-formed reply, or None + a recorded
+error — never an unhandled exception (a crashing device is a DoS the
+protocol layer shouldn't hand out for free).
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.protocol.messages import Que1, Que2, Res1, Res1Level1, Res2
+from repro.protocol.object import ObjectEngine
+from repro.protocol.subject import SubjectEngine
+
+
+@pytest.fixture
+def fresh_object(media):
+    return ObjectEngine(media)
+
+
+@pytest.fixture
+def fresh_subject(staff):
+    engine = SubjectEngine(staff)
+    engine.start_round()
+    return engine
+
+
+class TestObjectEngineRobustness:
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(
+        prof=st.binary(max_size=64), cert=st.binary(max_size=64),
+        kexm=st.binary(max_size=80), sig=st.binary(max_size=80),
+    )
+    def test_garbage_que2_never_crashes(self, fresh_object, prof, cert, kexm, sig):
+        que2 = Que2(prof, cert, kexm, sig, b"\x00" * 32, b"\x00" * 32)
+        # without a session it is dropped; with one, every field fails closed
+        assert fresh_object.handle_que2(que2, "peer") is None
+
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(
+        prof=st.binary(max_size=64), cert=st.binary(max_size=64),
+        kexm=st.binary(max_size=80), sig=st.binary(max_size=80),
+    )
+    def test_garbage_que2_with_open_session(self, media, prof, cert, kexm, sig):
+        engine = ObjectEngine(media)
+        from repro.crypto.primitives import fresh_nonce
+
+        engine.handle_que1(Que1(fresh_nonce()), "peer")
+        que2 = Que2(prof, cert, kexm, sig, b"\x00" * 32, None)
+        assert engine.handle_que2(que2, "peer") is None
+        assert engine.errors  # the failure was recorded, not swallowed
+
+    def test_session_table_bounded(self, media):
+        """A flood of QUE1s cannot exhaust object memory."""
+        from repro.protocol.object import SESSION_LIMIT
+        from repro.crypto.primitives import fresh_nonce
+
+        engine = ObjectEngine(media)
+        for i in range(SESSION_LIMIT + 50):
+            engine.handle_que1(Que1(fresh_nonce()), f"peer-{i}")
+        assert len(engine._sessions) <= SESSION_LIMIT
+
+    def test_nonce_table_bounded(self, media):
+        from repro.protocol.object import SEEN_NONCE_LIMIT
+        from repro.crypto.primitives import fresh_nonce
+
+        engine = ObjectEngine(media)
+        for i in range(SEEN_NONCE_LIMIT + 50):
+            engine.handle_que1(Que1(fresh_nonce()), "peer")
+        assert len(engine._seen_nonces) <= SEEN_NONCE_LIMIT
+
+
+class TestSubjectEngineRobustness:
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(
+        cert=st.binary(max_size=64), kexm=st.binary(max_size=80),
+        sig=st.binary(max_size=80),
+    )
+    def test_garbage_res1_never_crashes(self, fresh_subject, cert, kexm, sig):
+        res1 = Res1(b"o" * 28, cert, kexm, sig)
+        assert fresh_subject.handle_res1(res1, "attacker") is None
+
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(profile=st.binary(max_size=256))
+    def test_garbage_level1_profile_never_crashes(self, fresh_subject, profile):
+        assert fresh_subject.handle_res1_level1(Res1Level1(profile), "x") is None
+
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(ciphertext=st.binary(max_size=256))
+    def test_garbage_res2_never_crashes(self, staff, media, ciphertext):
+        from repro.protocol.object import ObjectEngine as OE
+
+        subject = SubjectEngine(staff)
+        obj = OE(media)
+        que1 = subject.start_round()
+        res1 = obj.handle_que1(que1, staff.subject_id)
+        subject.handle_res1(res1, media.object_id)
+        res2 = Res2(ciphertext, b"\x00" * 32)
+        assert subject.handle_res2(res2, media.object_id) is None
+
+    def test_res2_from_unknown_peer_dropped(self, fresh_subject):
+        assert fresh_subject.handle_res2(Res2(b"ct", b"\x00" * 32), "ghost") is None
+
+    def test_res1_before_round_dropped(self, staff):
+        engine = SubjectEngine(staff)  # no start_round()
+        res1 = Res1(b"o" * 28, b"c", b"k", b"s")
+        assert engine.handle_res1(res1, "x") is None

@@ -1,0 +1,58 @@
+"""Session key state and constant-work MAC_S3 verification."""
+
+from repro.crypto import kdf
+from repro.crypto import meter
+from repro.protocol.session import SessionKeys, Transcript
+
+R_S, R_O = b"s" * 28, b"o" * 28
+
+
+class TestTranscript:
+    def test_append_order_matters(self):
+        t1, t2 = Transcript(), Transcript()
+        t1.append(b"a"); t1.append(b"b")
+        t2.append(b"b"); t2.append(b"a")
+        assert t1.snapshot() != t2.snapshot()
+
+    def test_snapshot_is_concatenation(self):
+        t = Transcript()
+        t.append(b"ab"); t.append(b"cd")
+        assert t.snapshot() == b"abcd"
+
+
+class TestSessionKeys:
+    def test_from_premaster_matches_kdf(self):
+        keys = SessionKeys.from_premaster(b"pre", R_S, R_O, {"g1": b"k" * 32})
+        assert keys.k2 == kdf.derive_k2(b"pre", R_S, R_O)
+        assert keys.k3["g1"] == kdf.derive_k3(keys.k2, b"k" * 32, R_S, R_O)
+
+    def test_no_groups_no_k3(self):
+        keys = SessionKeys.from_premaster(b"pre", R_S, R_O)
+        assert keys.k3 == {}
+
+    def test_mac_s3_match_finds_group(self):
+        keys = SessionKeys.from_premaster(
+            b"pre", R_S, R_O, {"g1": b"1" * 32, "g2": b"2" * 32}
+        )
+        mac = kdf.subject_finished(keys.k3["g2"], b"transcript")
+        assert keys.verify_subject_mac3(mac, b"transcript") == "g2"
+
+    def test_mac_s3_no_match(self):
+        keys = SessionKeys.from_premaster(b"pre", R_S, R_O, {"g1": b"1" * 32})
+        other = SessionKeys.from_premaster(b"pre", R_S, R_O, {"gx": b"x" * 32})
+        mac = kdf.subject_finished(other.k3["gx"], b"t")
+        assert keys.verify_subject_mac3(mac, b"t") is None
+
+    def test_constant_work_no_early_exit(self):
+        """Fellow vs non-fellow verification costs the same HMAC count —
+        part of the Case 9 timing defence."""
+        group_keys = {f"g{i}": bytes([i]) * 32 for i in range(4)}
+        keys = SessionKeys.from_premaster(b"pre", R_S, R_O, group_keys)
+        mac_hit = kdf.subject_finished(keys.k3["g0"], b"t")   # matches first
+        mac_miss = b"\x00" * 32                                # matches none
+
+        with meter.metered() as hit_tally:
+            assert keys.verify_subject_mac3(mac_hit, b"t") == "g0"
+        with meter.metered() as miss_tally:
+            assert keys.verify_subject_mac3(mac_miss, b"t") is None
+        assert hit_tally.total("hmac") == miss_tally.total("hmac") == 4

@@ -1,0 +1,111 @@
+"""Version ladder behaviour: what v2.0 leaks and v3.0 closes (§VI-B)."""
+
+import pytest
+
+from repro.attacks.channel import run_exchange
+from repro.attacks.distinguisher import res2_length_spread, subject_advantage
+from repro.protocol.object import ObjectEngine
+from repro.protocol.subject import SubjectEngine
+from repro.protocol.versions import Version
+
+
+class TestVersionFlags:
+    def test_v1_no_level3(self):
+        assert not Version.V1_0.supports_level3
+        assert Version.V2_0.supports_level3
+
+    def test_only_v3_indistinguishable(self):
+        assert Version.V3_0.indistinguishable
+        assert not Version.V2_0.indistinguishable
+
+
+class TestV1:
+    def test_v1_discovers_level2(self, staff, media):
+        capture = run_exchange(SubjectEngine(staff, Version.V1_0),
+                               ObjectEngine(media, Version.V1_0))
+        assert capture.outcome.level_seen == 2
+
+    def test_v1_que2_never_carries_mac3(self, fellow, media):
+        capture = run_exchange(SubjectEngine(fellow, Version.V1_0),
+                               ObjectEngine(media, Version.V1_0))
+        assert capture.que2.mac_s3 is None
+
+    def test_v1_cannot_reach_level3(self, fellow, kiosk):
+        """Under v1.0 the kiosk can only ever serve its Level 2 face."""
+        capture = run_exchange(SubjectEngine(fellow, Version.V1_0),
+                               ObjectEngine(kiosk, Version.V1_0))
+        assert capture.outcome.level_seen == 2
+
+
+class TestV2Leaks:
+    def test_que2_structure_differs(self, fellow, staff, media, kiosk):
+        """v2.0: MAC_S3 present iff the subject seeks Level 3 — a perfect
+        structural distinguisher (advantage 1.0)."""
+        l3 = [run_exchange(SubjectEngine(fellow, Version.V2_0),
+                           ObjectEngine(kiosk, Version.V2_0)) for _ in range(4)]
+        l2 = [run_exchange(SubjectEngine(staff, Version.V2_0),
+                           ObjectEngine(media, Version.V2_0)) for _ in range(4)]
+        assert subject_advantage(l3, l2) == 1.0
+
+    def test_v2_still_secures_sensitive_attributes(self, fellow, kiosk):
+        """v2.0's actual guarantee (sensitive attribute secrecy) holds."""
+        capture = run_exchange(SubjectEngine(fellow, Version.V2_0),
+                               ObjectEngine(kiosk, Version.V2_0))
+        assert capture.outcome.level_seen == 3
+
+
+class TestV3Closure:
+    def test_que2_always_carries_mac3(self, staff, visitor, media):
+        """Even subjects with no sensitive attribute send MAC_S3 (cover-up)."""
+        for creds in (staff, visitor):
+            capture = run_exchange(SubjectEngine(creds, Version.V3_0),
+                                   ObjectEngine(media, Version.V3_0))
+            if capture.que2 is not None:
+                assert capture.que2.mac_s3 is not None
+
+    def test_advantage_zero(self, fellow, staff, media, kiosk):
+        l3 = [run_exchange(SubjectEngine(fellow, Version.V3_0),
+                           ObjectEngine(kiosk, Version.V3_0)) for _ in range(4)]
+        l2 = [run_exchange(SubjectEngine(staff, Version.V3_0),
+                           ObjectEngine(media, Version.V3_0)) for _ in range(4)]
+        assert subject_advantage(l3, l2) == 0.0
+
+    def test_res2_constant_length_per_object(self, backend):
+        """v3.0 pads every variant of one object to equal ciphertext
+        length, so which variant was served cannot be read off the wire."""
+        obj = backend.register_object(
+            "pad-kiosk", {"type": "kiosk"}, level=3,
+            functions=("mag",),
+            variants=[("true", ("a-very-long-magazine-dispensing-function-name",))],
+            covert_functions={"sensitive:serves-support": ("x",)},
+        )
+        fellow = backend.register_subject(
+            "pad-fellow", {"position": "student"}, ("sensitive:needs-support",)
+        )
+        plain = backend.register_subject("pad-plain", {"position": "student"})
+        captures = [
+            run_exchange(SubjectEngine(fellow, Version.V3_0), ObjectEngine(obj, Version.V3_0)),
+            run_exchange(SubjectEngine(plain, Version.V3_0), ObjectEngine(obj, Version.V3_0)),
+        ]
+        assert captures[0].outcome.level_seen == 3
+        assert captures[1].outcome.level_seen == 2
+        assert res2_length_spread(captures) == 0
+
+    def test_v2_res2_lengths_leak(self, backend):
+        """Contrast: without padding (v2.0) different variants produce
+        different ciphertext lengths when profile sizes differ enough."""
+        obj = backend.register_object(
+            "leak-kiosk", {"type": "kiosk"}, level=3,
+            functions=("mag",),
+            variants=[("true", ("a-very-long-magazine-dispensing-function-name-" + "x" * 40,))],
+            covert_functions={"sensitive:serves-support": ("y",)},
+        )
+        fellow = backend.register_subject(
+            "leak-fellow", {"position": "student"}, ("sensitive:needs-support",)
+        )
+        plain = backend.register_subject("leak-plain", {"position": "student"})
+        captures = [
+            run_exchange(SubjectEngine(fellow, Version.V2_0), ObjectEngine(obj, Version.V2_0)),
+            run_exchange(SubjectEngine(plain, Version.V2_0), ObjectEngine(obj, Version.V2_0)),
+        ]
+        assert res2_length_spread(captures) > 0
