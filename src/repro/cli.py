@@ -56,12 +56,17 @@ def _cmd_demo(_args: argparse.Namespace) -> int:
 
 
 def _cmd_experiments(args: argparse.Namespace) -> int:
-    from repro.experiments.runner import ALL, run_all
+    from repro.experiments.runner import ALL, run_all, validate_names
 
     if args.list:
         print("\n".join(sorted(ALL)))
         return 0
-    print(run_all(args.names or None))
+    unknown = validate_names(args.names)
+    if unknown:
+        print(f"unknown experiments: {', '.join(sorted(unknown))}", file=sys.stderr)
+        print(f"available: {', '.join(sorted(ALL))}", file=sys.stderr)
+        return 2
+    print(run_all(args.names or None, jobs=args.jobs))
     return 0
 
 
@@ -150,6 +155,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp = sub.add_parser("experiments", help="regenerate paper tables/figures")
     p_exp.add_argument("names", nargs="*", help="experiment names (default: all)")
     p_exp.add_argument("--list", action="store_true", help="list experiment names")
+    p_exp.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="process-pool width for independent experiments")
 
     p_sim = sub.add_parser("simulate", help="discovery-time simulation")
     p_sim.add_argument("--level", type=int, default=2, choices=(1, 2, 3))

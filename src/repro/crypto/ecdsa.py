@@ -85,11 +85,20 @@ class VerifyingKey:
             return False
 
     def to_bytes(self) -> bytes:
-        """Serialize as an uncompressed SEC1 point (0x04 || X || Y)."""
-        return self._key.public_bytes(
-            serialization.Encoding.X962,
-            serialization.PublicFormat.UncompressedPoint,
-        )
+        """Serialize as an uncompressed SEC1 point (0x04 || X || Y).
+
+        Memoized: the encoding is deterministic and the serialized key
+        doubles as a cache key on the handshake hot path (the profile
+        verification cache keys on it every QUE2/RES2).
+        """
+        cached = self.__dict__.get("_bytes_cache")
+        if cached is None:
+            cached = self._key.public_bytes(
+                serialization.Encoding.X962,
+                serialization.PublicFormat.UncompressedPoint,
+            )
+            object.__setattr__(self, "_bytes_cache", cached)
+        return cached
 
     @classmethod
     def from_bytes(cls, data: bytes, strength: int = DEFAULT_STRENGTH) -> "VerifyingKey":

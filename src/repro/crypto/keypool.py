@@ -1,0 +1,166 @@
+"""Ephemeral-key precompute pool — ECDH keygen off the handshake path.
+
+Every Level 2/3 discovery costs each side one ephemeral ECDH key pair
+(§V). The keys are *one-shot* — nothing about them depends on the peer —
+so they can be generated ahead of time and handed out when a handshake
+needs one, exactly the precomputation trick PriSrv-style discovery
+systems use to stay deployable at enterprise scale. The pool:
+
+* hands each pre-generated key out **at most once** (``pop`` under a
+  lock), so forward secrecy is untouched — a session's premaster still
+  derives from a key used in that session only;
+* refills eagerly in a background daemon thread whenever stock drops
+  below the low-water mark (and can be primed synchronously for
+  benchmarks and latency-critical bring-up);
+* keeps §IX-B op accounting intact: the consuming handshake records the
+  ``ecdh_gen`` op at handout (see
+  :meth:`~repro.crypto.ecdh.EphemeralECDH.from_precomputed`), while the
+  refill thread meters nothing — plus ``ecdh_pool_hit`` /
+  ``ecdh_pool_miss`` counters so benchmarks can tell warm from cold.
+
+The protocol engines draw from the module-default pool via
+:func:`ecdh_keypair`; :func:`configure` tunes or disables it (a disabled
+pool degrades to plain on-demand generation).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import Counter
+
+from cryptography.hazmat.primitives.asymmetric import ec
+
+from repro.crypto import meter
+from repro.crypto.ecdh import EphemeralECDH
+from repro.crypto.ecdsa import DEFAULT_STRENGTH, _curve_for
+
+
+class EphemeralKeyPool:
+    """A thread-safe stock of pre-generated ephemeral ECDH private keys."""
+
+    def __init__(
+        self,
+        batch_size: int = 32,
+        low_water: int = 4,
+        background_refill: bool = True,
+    ) -> None:
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.batch_size = batch_size
+        self.low_water = low_water
+        self.background_refill = background_refill
+        self._stock: dict[int, list[ec.EllipticCurvePrivateKey]] = {}
+        self._lock = threading.Lock()
+        #: Strengths with a refill thread currently running.
+        self._refilling: set[int] = set()
+        self.hits: Counter[int] = Counter()
+        self.misses: Counter[int] = Counter()
+
+    # -- stocking ------------------------------------------------------------------
+
+    def prime(self, n: int, strength: int = DEFAULT_STRENGTH) -> None:
+        """Synchronously generate *n* keys at *strength* (bench/bring-up)."""
+        curve = _curve_for(strength)
+        fresh = [ec.generate_private_key(curve) for _ in range(n)]
+        with self._lock:
+            self._stock.setdefault(strength, []).extend(fresh)
+
+    def _refill(self, strength: int) -> None:
+        try:
+            curve = _curve_for(strength)
+            fresh = [ec.generate_private_key(curve) for _ in range(self.batch_size)]
+            with self._lock:
+                self._stock.setdefault(strength, []).extend(fresh)
+        finally:
+            with self._lock:
+                self._refilling.discard(strength)
+
+    def _maybe_refill(self, strength: int, stock_len: int) -> None:
+        """Kick a background refill if stock is low (caller holds the lock)."""
+        if not self.background_refill:
+            return
+        if stock_len > self.low_water or strength in self._refilling:
+            return
+        self._refilling.add(strength)
+        thread = threading.Thread(
+            target=self._refill, args=(strength,), name=f"keypool-refill-{strength}",
+            daemon=True,
+        )
+        thread.start()
+
+    # -- handout -------------------------------------------------------------------
+
+    def get(self, strength: int = DEFAULT_STRENGTH) -> EphemeralECDH:
+        """Hand out one single-use key pair; generate inline on a miss."""
+        with self._lock:
+            stock = self._stock.get(strength)
+            private = stock.pop() if stock else None
+            self._maybe_refill(strength, len(stock) if stock else 0)
+            if private is not None:
+                self.hits[strength] += 1
+            else:
+                self.misses[strength] += 1
+        if private is None:
+            meter.record("ecdh_pool_miss", strength)
+            return EphemeralECDH(strength)
+        meter.record("ecdh_pool_hit", strength)
+        return EphemeralECDH.from_precomputed(private, strength)
+
+    # -- introspection -------------------------------------------------------------
+
+    def stock(self, strength: int = DEFAULT_STRENGTH) -> int:
+        with self._lock:
+            return len(self._stock.get(strength, ()))
+
+    def drain(self) -> None:
+        """Discard all stocked keys and reset the hit/miss tallies."""
+        with self._lock:
+            self._stock.clear()
+            self.hits.clear()
+            self.misses.clear()
+
+
+# -- module-default pool --------------------------------------------------------
+
+_default_pool = EphemeralKeyPool()
+_pool_enabled = True
+
+
+def default_pool() -> EphemeralKeyPool:
+    return _default_pool
+
+
+def configure(
+    enabled: bool | None = None,
+    batch_size: int | None = None,
+    low_water: int | None = None,
+    background_refill: bool | None = None,
+) -> EphemeralKeyPool:
+    """Tune the module-default pool; returns it for chaining."""
+    global _pool_enabled
+    if enabled is not None:
+        _pool_enabled = enabled
+    if batch_size is not None:
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        _default_pool.batch_size = batch_size
+    if low_water is not None:
+        _default_pool.low_water = low_water
+    if background_refill is not None:
+        _default_pool.background_refill = background_refill
+    return _default_pool
+
+
+def pool_enabled() -> bool:
+    return _pool_enabled
+
+
+def ecdh_keypair(strength: int = DEFAULT_STRENGTH) -> EphemeralECDH:
+    """What the protocol engines call for their ephemeral pair.
+
+    Draws from the default pool when enabled; otherwise plain on-demand
+    generation (identical behavior and metering to the pre-pool code).
+    """
+    if not _pool_enabled:
+        return EphemeralECDH(strength)
+    return _default_pool.get(strength)

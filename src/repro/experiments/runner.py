@@ -2,11 +2,25 @@
 
 ``python -m repro.experiments.runner`` regenerates all of §IX; the same
 entry point produces the body of EXPERIMENTS.md.
+
+The ~20 experiments are independent of one another (each builds its own
+backend and fleet), so ``--jobs N`` fans them out across a process pool.
+Section *ordering* is deterministic regardless of completion order — the
+report is assembled in request order — so parallel output is identical
+to sequential output for deterministic experiments. Per-experiment
+wall-clock timings are printed to **stderr** (the report on stdout stays
+comparable across modes). ``--sequential`` is the escape hatch that
+forces in-process, one-at-a-time execution no matter what ``--jobs``
+says; ``--list`` prints the available experiment names.
 """
 
 from __future__ import annotations
 
+import argparse
+import os
 import sys
+import time
+from concurrent.futures import ProcessPoolExecutor
 
 from repro.experiments import (
     capacity,
@@ -64,21 +78,103 @@ ALL = {
 }
 
 
-def run_all(selected: list[str] | None = None) -> str:
-    names = selected or list(ALL)
-    sections = []
+def _run_one(name: str) -> tuple[str, float]:
+    """Render one experiment section; module-level so it pickles to workers."""
+    t0 = time.perf_counter()
+    section = ALL[name]()
+    return section, time.perf_counter() - t0
+
+
+def validate_names(names: list[str]) -> list[str]:
+    """The subset of *names* that are not known experiments."""
+    return [name for name in names if name not in ALL]
+
+
+def run_all_timed(
+    selected: list[str] | None = None, jobs: int = 1
+) -> tuple[list[str], list[float]]:
+    """Run experiments; returns (sections, per-experiment seconds).
+
+    Both lists follow the order of *selected* (or registry order) — a
+    process pool changes completion order, never report order.
+    """
+    names = list(selected) if selected else list(ALL)
     for name in names:
         if name not in ALL:
             raise KeyError(f"unknown experiment {name!r}; choose from {sorted(ALL)}")
-        sections.append(ALL[name]())
+    if jobs > 1 and len(names) > 1:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(names))) as pool:
+            results = list(pool.map(_run_one, names))
+    else:
+        results = [_run_one(name) for name in names]
+    return [section for section, _ in results], [elapsed for _, elapsed in results]
+
+
+def run_all(selected: list[str] | None = None, jobs: int = 1) -> str:
+    sections, _ = run_all_timed(selected, jobs)
     return "\n\n".join(sections)
 
 
+def _print_timings(names: list[str], seconds: list[float], total: float) -> None:
+    width = max(len(n) for n in names)
+    print("\nPer-experiment wall-clock", file=sys.stderr)
+    for name, elapsed in zip(names, seconds):
+        print(f"  {name.ljust(width)}  {elapsed:8.3f}s", file=sys.stderr)
+    print(f"  {'TOTAL'.ljust(width)}  {total:8.3f}s", file=sys.stderr)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.runner",
+        description="Regenerate the paper-vs-measured experiment report.",
+    )
+    parser.add_argument("names", nargs="*", help="experiment names (default: all)")
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="run experiments in an N-process pool (0 = one per CPU; default 1)",
+    )
+    parser.add_argument(
+        "--sequential", action="store_true",
+        help="force in-process sequential execution (overrides --jobs)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", dest="list_names",
+        help="list available experiment names and exit",
+    )
+    return parser
+
+
 def main(argv: list[str] | None = None) -> int:
-    args = argv if argv is not None else sys.argv[1:]
-    print(run_all(args or None))
+    args = build_parser().parse_args(argv if argv is not None else sys.argv[1:])
+    if args.list_names:
+        print("\n".join(sorted(ALL)))
+        return 0
+    unknown = validate_names(args.names)
+    if unknown:
+        print(
+            f"unknown experiment{'s' if len(unknown) > 1 else ''}: "
+            + ", ".join(sorted(unknown)),
+            file=sys.stderr,
+        )
+        print("available experiments:", file=sys.stderr)
+        for name in sorted(ALL):
+            print(f"  {name}", file=sys.stderr)
+        return 2
+    jobs = 1 if args.sequential else args.jobs
+    if jobs == 0:
+        jobs = os.cpu_count() or 1
+    names = args.names or list(ALL)
+    t0 = time.perf_counter()
+    sections, seconds = run_all_timed(names, jobs)
+    total = time.perf_counter() - t0
+    print("\n\n".join(sections))
+    _print_timings(names, seconds, total)
     return 0
 
 
 if __name__ == "__main__":
-    raise SystemExit(main())
+    try:
+        raise SystemExit(main())
+    except BrokenPipeError:
+        # stdout consumer (e.g. `| head`) went away; not an error.
+        raise SystemExit(0) from None

@@ -75,14 +75,22 @@ class Certificate:
         )
 
     def tbs(self) -> bytes:
-        """The to-be-signed portion."""
-        return self._tbs_bytes(
-            self.subject_id, self.issuer_id, self.public_key,
-            self.serial, self.not_before, self.not_after, self.strength,
-        )
+        """The to-be-signed portion (memoized; the instance is immutable)."""
+        cached = self.__dict__.get("_tbs_cache")
+        if cached is None:
+            cached = self._tbs_bytes(
+                self.subject_id, self.issuer_id, self.public_key,
+                self.serial, self.not_before, self.not_after, self.strength,
+            )
+            object.__setattr__(self, "_tbs_cache", cached)
+        return cached
 
     def to_bytes(self) -> bytes:
-        return self.tbs() + self.signature
+        cached = self.__dict__.get("_bytes_cache")
+        if cached is None:
+            cached = self.tbs() + self.signature
+            object.__setattr__(self, "_bytes_cache", cached)
+        return cached
 
     @classmethod
     def from_bytes(cls, data: bytes) -> "Certificate":
@@ -112,7 +120,7 @@ class Certificate:
             raise CertificateError(f"malformed certificate: {exc}") from exc
         if not signature:
             raise CertificateError("certificate missing signature")
-        return cls(
+        cert = cls(
             subject_id=subject_id,
             issuer_id=issuer_id,
             public_key=public_key,
@@ -122,6 +130,11 @@ class Certificate:
             strength=strength,
             signature=signature,
         )
+        # The encoding is canonical: the received bytes are the
+        # serialization, so verification never re-encodes the TBS.
+        object.__setattr__(cert, "_tbs_cache", bytes(data[:offset]))
+        object.__setattr__(cert, "_bytes_cache", bytes(data))
+        return cert
 
     # -- verification -------------------------------------------------------------
 
@@ -200,12 +213,17 @@ class CertificateChain:
         return top.issuer_id == root_id and top.verify_signature(root_key)
 
     def to_bytes(self) -> bytes:
+        cached = self.__dict__.get("_bytes_cache")
+        if cached is not None:
+            return cached
         parts = [struct.pack(">B", len(self.certificates))]
         for cert in self.certificates:
             blob = cert.to_bytes()
             parts.append(struct.pack(">I", len(blob)))
             parts.append(blob)
-        return b"".join(parts)
+        encoded = b"".join(parts)
+        object.__setattr__(self, "_bytes_cache", encoded)
+        return encoded
 
     @classmethod
     def from_bytes(cls, data: bytes) -> "CertificateChain":
@@ -220,4 +238,8 @@ class CertificateChain:
                 offset += length
         except (struct.error, CertificateError) as exc:
             raise CertificateError(f"malformed chain: {exc}") from exc
-        return cls(tuple(certs))
+        if offset != len(data):
+            raise CertificateError(f"malformed chain: {len(data) - offset} trailing bytes")
+        chain = cls(tuple(certs))
+        object.__setattr__(chain, "_bytes_cache", bytes(data))
+        return chain

@@ -1,20 +1,42 @@
-"""Chain verification with intermediate caching.
+"""Chain verification with intermediate, leaf, and whole-chain caching.
 
 In steady state a device keeps seeing the same intermediate-CA
 certificates (there are only a handful of admin servers), so caching
 verified intermediates means each handshake costs exactly **one**
 certificate verification — which is how the paper's per-discovery op
 counts (1 sign + 3 verifies on each side, §IX-B) come out.
+
+Two further caches take the *warm* path below even that:
+
+* a **leaf result cache**: a returning subject presents the same leaf
+  certificate every round, so its signature check is remembered, keyed
+  by (leaf bytes, issuer key);
+* a **chain-bytes cache** in :meth:`ChainVerifier.verify_chain_bytes`:
+  the exact wire bytes of a fully verified chain map straight to the
+  parsed leaf, skipping deserialization too.
+
+Both caches remember only *successes*, re-check the chain's validity
+window on every hit (an expired certificate never rides a stale cache
+entry), and never see revocation — the engines check the revocation
+list *after* chain verification, so a revoked-but-cached subject is
+still rejected. Hits meter the logical ``ecdsa_verify`` (one per warm
+handshake, exactly the §IX-B count) plus ``cert_verify_cached``.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
+
+from repro.crypto import meter
 from repro.crypto.ecdsa import VerifyingKey
 from repro.pki.certificate import Certificate, CertificateChain, CertificateError
 
+#: LRU bound for the per-verifier leaf and chain-bytes caches.
+LEAF_CACHE_MAX = 1024
+
 
 class ChainVerifier:
-    """Verifies chains against one trusted root, caching intermediates."""
+    """Verifies chains against one trusted root, caching verified results."""
 
     def __init__(self, root_id: str, root_key: VerifyingKey) -> None:
         self.root_id = root_id
@@ -22,14 +44,40 @@ class ChainVerifier:
         #: Verified intermediate certs, keyed by their serialized bytes;
         #: value is the intermediate's public key for child verification.
         self._verified: dict[bytes, VerifyingKey] = {}
+        #: Verified leaf signatures: (leaf bytes, issuer key bytes) -> None.
+        self._leaf_ok: OrderedDict[tuple[bytes, bytes], None] = OrderedDict()
+        #: Fully verified chains: wire bytes -> (leaf, window_lo, window_hi).
+        self._chain_ok: OrderedDict[bytes, tuple[Certificate, int, int]] = OrderedDict()
+
+    def clear_caches(self) -> None:
+        """Forget every cached verification (tests and cold benchmarks)."""
+        self._verified.clear()
+        self._leaf_ok.clear()
+        self._chain_ok.clear()
 
     def verify_chain_bytes(self, data: bytes, now: int = 1) -> Certificate | None:
         """Parse + verify a serialized chain; return the leaf or None."""
+        hit = self._chain_ok.get(data)
+        if hit is not None:
+            leaf, lo, hi = hit
+            if lo <= now <= hi:
+                self._chain_ok.move_to_end(data)
+                meter.record("ecdsa_verify", leaf.strength)
+                meter.record("cert_verify_cached", leaf.strength)
+                return leaf
+            # Outside the validity window: fall through to the full walk
+            # (which re-checks valid_at and fails) without touching the
+            # entry — the window may cover a later `now`.
         try:
             chain = CertificateChain.from_bytes(data)
         except CertificateError:
             return None
-        return self.verify(chain, now)
+        leaf = self.verify(chain, now)
+        if leaf is not None:
+            lo = max(cert.not_before for cert in chain.certificates)
+            hi = min(cert.not_after for cert in chain.certificates)
+            self._remember(self._chain_ok, bytes(data), (leaf, lo, hi))
+        return leaf
 
     def verify(self, chain: CertificateChain, now: int = 1) -> Certificate | None:
         """Verify the chain; return the leaf certificate on success."""
@@ -50,8 +98,15 @@ class ChainVerifier:
             if leaf.issuer_id != certs[1].subject_id:
                 return None
 
+        leaf_key = (leaf.to_bytes(), issuer_key.to_bytes())
+        if leaf_key in self._leaf_ok:
+            self._leaf_ok.move_to_end(leaf_key)
+            meter.record("ecdsa_verify", leaf.strength)
+            meter.record("cert_verify_cached", leaf.strength)
+            return leaf
         if not leaf.verify_signature(issuer_key):
             return None
+        self._remember(self._leaf_ok, leaf_key, None)
         return leaf
 
     def _issuer_key(
@@ -75,6 +130,12 @@ class ChainVerifier:
         self._verified[cache_key] = first.public_key
         return first.public_key
 
+    @staticmethod
+    def _remember(cache: OrderedDict, key, value) -> None:
+        cache[key] = value
+        while len(cache) > LEAF_CACHE_MAX:
+            cache.popitem(last=False)
+
     def warm_up(self, chain: CertificateChain, now: int = 1) -> None:
         """Pre-verify a chain so later calls hit the cache (bench setup)."""
-        self.verify(chain, now)
+        self.verify_chain_bytes(chain.to_bytes(), now)

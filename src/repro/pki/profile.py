@@ -15,13 +15,38 @@ by a secret-group key. Those pairings live in
 from __future__ import annotations
 
 import struct
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 from repro.attributes.model import AttributeSet
+from repro.crypto import meter
 from repro.crypto.ecdsa import SigningKey, VerifyingKey
 
 #: Paper-nominal PROF wire size (§IX-A: "PROF_X averagely has 200 B").
 NOMINAL_PROF_WIRE = 200
+
+#: LRU bound for the admin-signature verification cache.
+VERIFY_CACHE_MAX = 4096
+
+# Verification results keyed by (admin key bytes, profile body, signature).
+# The mapping is a pure function of its key, so both positive and negative
+# results are cacheable; on a hit the *logical* ecdsa_verify op is still
+# metered (§IX-B accounting stays identical warm or cold) along with a
+# profile_verify_cached marker so benchmarks can tell the paths apart.
+_verify_cache: OrderedDict[tuple[bytes, bytes, bytes], bool] = OrderedDict()
+_verify_lock = threading.Lock()
+
+
+def clear_verify_cache() -> None:
+    """Empty the profile-verification cache (tests and cold benchmarks)."""
+    with _verify_lock:
+        _verify_cache.clear()
+
+
+def verify_cache_len() -> int:
+    with _verify_lock:
+        return len(_verify_cache)
 
 
 class ProfileError(Exception):
@@ -44,7 +69,19 @@ class Profile:
     signature: bytes = b""
 
     def body_bytes(self) -> bytes:
-        """Canonical unsigned encoding (what the admin signs)."""
+        """Canonical unsigned encoding (what the admin signs).
+
+        Memoized on the (frozen, immutable) instance: RES2 framing and
+        padding re-serialize every PROF variant per handshake otherwise.
+        """
+        cached = self.__dict__.get("_body_cache")
+        if cached is not None:
+            return cached
+        encoded = self._encode_body()
+        object.__setattr__(self, "_body_cache", encoded)
+        return encoded
+
+    def _encode_body(self) -> bytes:
         eid = self.entity_id.encode()
         var = self.variant.encode()
         attrs = self.attributes.to_bytes()
@@ -64,7 +101,11 @@ class Profile:
     def to_bytes(self) -> bytes:
         if not self.signature:
             raise ProfileError("profile is unsigned; use sign_profile() first")
-        return self.body_bytes() + self.signature
+        cached = self.__dict__.get("_bytes_cache")
+        if cached is None:
+            cached = self.body_bytes() + self.signature
+            object.__setattr__(self, "_bytes_cache", cached)
+        return cached
 
     @classmethod
     def from_bytes(cls, data: bytes) -> "Profile":
@@ -92,19 +133,46 @@ class Profile:
             raise ProfileError(f"malformed profile: {exc}") from exc
         if not signature:
             raise ProfileError("profile missing signature")
-        return cls(
+        profile = cls(
             entity_id=entity_id,
             attributes=attributes,
             functions=functions,
             variant=variant,
             signature=signature,
         )
+        # The wire encoding is canonical, so the received bytes *are* the
+        # serialization — stash them so verify/to_bytes never re-encode.
+        object.__setattr__(profile, "_body_cache", bytes(data[:offset]))
+        object.__setattr__(profile, "_bytes_cache", bytes(data))
+        return profile
 
     def verify(self, admin_key: VerifyingKey) -> bool:
-        """Check the admin's signature; the integrity guarantee of Level 1."""
+        """Check the admin's signature; the integrity guarantee of Level 1.
+
+        Results are served from a process-wide LRU keyed by the exact
+        (admin key, body, signature) bytes: a returning subject's PROF_S
+        (or a re-served PROF_O variant) costs one dict lookup instead of
+        an ECDSA verification. Hits still meter the logical
+        ``ecdsa_verify`` op plus ``profile_verify_cached``.
+        """
         if not self.signature:
             return False
-        return admin_key.verify(self.signature, self.body_bytes())
+        body = self.body_bytes()
+        key = (admin_key.to_bytes(), body, self.signature)
+        with _verify_lock:
+            hit = _verify_cache.get(key)
+            if hit is not None:
+                _verify_cache.move_to_end(key)
+        if hit is not None:
+            meter.record("ecdsa_verify", admin_key.strength)
+            meter.record("profile_verify_cached", admin_key.strength)
+            return hit
+        ok = admin_key.verify(self.signature, body)
+        with _verify_lock:
+            _verify_cache[key] = ok
+            while len(_verify_cache) > VERIFY_CACHE_MAX:
+                _verify_cache.popitem(last=False)
+        return ok
 
 
 def sign_profile(profile: Profile, admin_key: SigningKey) -> Profile:

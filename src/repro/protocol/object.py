@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from repro.backend.registration import ObjectCredentials
 from repro.crypto import aead
 from repro.crypto.ecdh import EphemeralECDH
+from repro.crypto.keypool import ecdh_keypair
 from repro.crypto.primitives import constant_time_equal, fresh_nonce
 from repro.pki.chain import ChainVerifier
 from repro.pki.profile import Profile, ProfileError
@@ -73,6 +74,10 @@ class ObjectEngine:
         #: Protocol failures, recorded for tests/diagnostics (the engine
         #: stays silent on the wire — §III service information secrecy).
         self.errors: list[Exception] = []
+        #: Hot-path memos; keyed on credential-object identities so a
+        #: backend push that swaps a profile/variant list invalidates them.
+        self._res1_l1_cache: tuple[int, Res1Level1] | None = None
+        self._padded_len_cache: tuple[tuple, int] | None = None
 
     # -- phase 1 ------------------------------------------------------------------
 
@@ -84,9 +89,9 @@ class ObjectEngine:
         self._remember_nonce(que1.r_s)
 
         if self.creds.level == 1:
-            return Res1Level1(self.creds.public_profile.to_bytes())
+            return self._res1_level1()
 
-        session = _ObjectSession(r_s=que1.r_s, r_o=fresh_nonce(), ecdh=EphemeralECDH(self.creds.strength))
+        session = _ObjectSession(r_s=que1.r_s, r_o=fresh_nonce(), ecdh=ecdh_keypair(self.creds.strength))
         kexm = session.ecdh.kexm
         signature = self.creds.signing_key.sign(que1.r_s + session.r_o + kexm)
         res1 = Res1(
@@ -199,6 +204,17 @@ class ObjectEngine:
 
     # -- helpers ------------------------------------------------------------------
 
+    def _res1_level1(self) -> Res1Level1:
+        """The (constant) Level 1 broadcast answer, serialized once.
+
+        Re-signed/replaced profiles (backend pushes) are new objects, so
+        keying on the profile's identity invalidates naturally.
+        """
+        profile = self.creds.public_profile
+        if self._res1_l1_cache is None or self._res1_l1_cache[0] != id(profile):
+            self._res1_l1_cache = (id(profile), Res1Level1(profile.to_bytes()))
+        return self._res1_l1_cache[1]
+
     def _match_level2_variant(self, subject_profile: Profile) -> Profile | None:
         """First variant whose predicate the subject's attributes satisfy."""
         for variant in self.creds.level2_variants:
@@ -224,12 +240,24 @@ class ObjectEngine:
         return framed
 
     def padded_payload_length(self) -> int:
-        """Constant plaintext size: the longest variant this object holds."""
-        sizes = [len(v.profile.to_bytes()) for v in self.creds.level2_variants]
-        sizes += [len(p.to_bytes()) for _, p in self.creds.level3_variants.values()]
-        if not sizes:
-            sizes = [len(self.creds.public_profile.to_bytes())]
-        return 4 + max(sizes)
+        """Constant plaintext size: the longest variant this object holds.
+
+        Memoized per variant-set: the key is the identity tuple of the
+        variant profiles, so backend pushes that add/remove/replace a
+        variant (new profile objects or a changed list) recompute it.
+        """
+        key = (
+            tuple(id(v.profile) for v in self.creds.level2_variants),
+            tuple(id(p) for _, p in self.creds.level3_variants.values()),
+            id(self.creds.public_profile),
+        )
+        if self._padded_len_cache is None or self._padded_len_cache[0] != key:
+            sizes = [len(v.profile.to_bytes()) for v in self.creds.level2_variants]
+            sizes += [len(p.to_bytes()) for _, p in self.creds.level3_variants.values()]
+            if not sizes:
+                sizes = [len(self.creds.public_profile.to_bytes())]
+            self._padded_len_cache = (key, 4 + max(sizes))
+        return self._padded_len_cache[1]
 
     def _remember_nonce(self, r_s: bytes) -> None:
         self._seen_nonces[r_s] = None

@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 
 from repro.backend.registration import SubjectCredentials
 from repro.crypto import aead
-from repro.crypto.ecdh import EphemeralECDH
+from repro.crypto.keypool import ecdh_keypair
 from repro.crypto.primitives import constant_time_equal, fresh_nonce
 from repro.pki.chain import ChainVerifier
 from repro.pki.profile import Profile, ProfileError
@@ -142,7 +142,7 @@ class SubjectEngine:
             self._record(AuthenticationError(f"bad RES1 signature from {peer_id}"))
             return None
 
-        ecdh = EphemeralECDH(self.creds.strength)
+        ecdh = ecdh_keypair(self.creds.strength)
         try:
             pre_k = ecdh.derive_premaster(res1.kexm)
         except ValueError as exc:

@@ -1,0 +1,134 @@
+"""Ephemeral-key pool: single-use handout, accounting, thread safety."""
+
+import threading
+
+import pytest
+
+from repro.crypto import meter
+from repro.crypto.keypool import EphemeralKeyPool, configure, default_pool, ecdh_keypair
+
+
+@pytest.fixture
+def pool():
+    return EphemeralKeyPool(batch_size=8, background_refill=False)
+
+
+class TestHandout:
+    def test_primed_handout_hits(self, pool):
+        pool.prime(3)
+        assert pool.stock() == 3
+        pool.get()
+        assert pool.stock() == 2
+        assert pool.hits[128] == 1 and pool.misses[128] == 0
+
+    def test_empty_pool_misses_and_still_works(self, pool):
+        pair = pool.get()
+        assert pool.misses[128] == 1
+        # a miss-generated pair is fully functional
+        peer = pool.get()
+        assert pair.derive_premaster(peer.kexm) == peer.derive_premaster(pair.kexm)
+
+    def test_no_key_reuse_across_sessions(self, pool):
+        """Forward secrecy: every handout is a distinct one-shot key."""
+        pool.prime(16)
+        kexms = {pool.get().kexm for _ in range(16)}
+        assert len(kexms) == 16
+        assert pool.stock() == 0
+
+    def test_pooled_and_fresh_keys_interoperate(self, pool):
+        pool.prime(1)
+        pooled = pool.get()
+        fresh = pool.get()  # miss -> inline generation
+        assert pooled.derive_premaster(fresh.kexm) == fresh.derive_premaster(pooled.kexm)
+
+    def test_strengths_are_separate_stocks(self, pool):
+        pool.prime(2, strength=128)
+        pool.prime(1, strength=192)
+        assert pool.stock(128) == 2 and pool.stock(192) == 1
+        assert pool.get(192).kexm != b""
+        assert pool.stock(128) == 2 and pool.stock(192) == 0
+
+
+class TestAccounting:
+    def test_hit_records_logical_ecdh_gen(self, pool):
+        """§IX-B accounting intact: the consuming context is charged the
+        keygen op whether or not the key came from the pool."""
+        pool.prime(1)
+        with meter.metered() as tally:
+            pool.get()
+        assert tally.counts[("ecdh_gen", 128)] == 1
+        assert tally.counts[("ecdh_pool_hit", 128)] == 1
+
+    def test_miss_records_gen_and_miss_marker(self, pool):
+        with meter.metered() as tally:
+            pool.get()
+        assert tally.counts[("ecdh_gen", 128)] == 1
+        assert tally.counts[("ecdh_pool_miss", 128)] == 1
+
+    def test_prime_records_nothing(self, pool):
+        """Precomputation is off-path: it must not meter ops anywhere."""
+        with meter.metered() as tally:
+            pool.prime(4)
+        assert tally.snapshot() == {}
+
+
+class TestRefill:
+    def test_background_refill_restocks(self):
+        pool = EphemeralKeyPool(batch_size=4, low_water=4, background_refill=True)
+        pool.get()  # miss; triggers a refill thread
+        for _ in range(200):
+            if pool.stock() == 4:
+                break
+            threading.Event().wait(0.01)
+        assert pool.stock() == 4
+
+    def test_no_refill_when_disabled(self, pool):
+        pool.get()
+        threading.Event().wait(0.05)
+        assert pool.stock() == 0
+
+    def test_thread_safe_handout(self):
+        pool = EphemeralKeyPool(background_refill=False)
+        pool.prime(64)
+        seen, lock = [], threading.Lock()
+
+        def worker():
+            for _ in range(16):
+                kexm = pool.get().kexm
+                with lock:
+                    seen.append(kexm)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(seen) == 64 == len(set(seen))  # no duplicate handouts
+        assert pool.stock() == 0 and sum(pool.hits.values()) == 64
+
+
+class TestModuleDefault:
+    def test_engines_entry_point_respects_disable(self):
+        configure(enabled=False)
+        try:
+            with meter.metered() as tally:
+                ecdh_keypair()
+            # disabled pool == plain on-demand generation: no pool markers
+            assert tally.counts[("ecdh_gen", 128)] == 1
+            assert tally.total("ecdh_pool_hit") == 0
+            assert tally.total("ecdh_pool_miss") == 0
+        finally:
+            configure(enabled=True)
+
+    def test_default_pool_primed_handout(self):
+        pool = default_pool()
+        pool.drain()
+        pool.prime(1)
+        with meter.metered() as tally:
+            ecdh_keypair()
+        assert tally.counts[("ecdh_pool_hit", 128)] == 1
+        pool.drain()
+
+    def test_configure_validates_batch_size(self):
+        with pytest.raises(ValueError):
+            configure(batch_size=0)

@@ -1,0 +1,70 @@
+"""Meter fast path and the explicit enable/disable/reset API."""
+
+from repro.crypto import meter
+
+
+class TestFastPath:
+    def test_record_is_noop_when_disabled(self):
+        assert not meter.is_enabled()
+        meter.record("ecdsa_sign", 128)  # must not raise, must not count anywhere
+        assert meter.global_meter() is None
+
+    def test_enabled_inside_metered_block_only(self):
+        assert not meter.is_enabled()
+        with meter.metered():
+            assert meter.is_enabled()
+        assert not meter.is_enabled()
+
+    def test_nested_blocks_keep_flag_until_outermost_exit(self):
+        with meter.metered():
+            with meter.metered():
+                assert meter.is_enabled()
+            assert meter.is_enabled()
+        assert not meter.is_enabled()
+
+
+class TestGlobalMeter:
+    def test_enable_collects_until_disable(self):
+        tally = meter.enable()
+        try:
+            meter.record("ecdsa_sign", 128)
+            meter.record("hmac", 0, n=3)
+            assert tally.counts[("ecdsa_sign", 128)] == 1
+            assert tally.counts[("hmac", 0)] == 3
+        finally:
+            assert meter.disable() is tally
+        meter.record("ecdsa_sign", 128)  # post-disable: dropped
+        assert tally.counts[("ecdsa_sign", 128)] == 1
+
+    def test_reset_clears_totals(self):
+        tally = meter.enable()
+        try:
+            meter.record("aes")
+            meter.reset()
+            assert tally.snapshot() == {}
+        finally:
+            meter.disable()
+
+    def test_reset_without_enable_is_noop(self):
+        meter.reset()
+        assert meter.global_meter() is None
+
+    def test_metered_block_shadows_then_folds_into_global(self):
+        tally = meter.enable()
+        try:
+            with meter.metered() as inner:
+                meter.record("ecdsa_verify", 128)
+            assert inner.counts[("ecdsa_verify", 128)] == 1
+            # folded into the global meter on block exit
+            assert tally.counts[("ecdsa_verify", 128)] == 1
+        finally:
+            meter.disable()
+
+    def test_enable_accepts_existing_meter(self):
+        mine = meter.OpMeter()
+        assert meter.enable(mine) is mine
+        try:
+            meter.record("hmac")
+            assert mine.total("hmac") == 1
+        finally:
+            meter.disable()

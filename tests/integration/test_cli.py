@@ -49,9 +49,12 @@ class TestCli:
         out = capsys.readouterr().out
         assert "subjects" in out and "sees" in out
 
-    def test_unknown_experiment_rejected(self):
-        with pytest.raises(KeyError):
-            main(["experiments", "fig99"])
+    def test_unknown_experiment_rejected(self, capsys):
+        assert main(["experiments", "fig99"]) == 2
+        captured = capsys.readouterr()
+        assert captured.out == ""  # no partial report before the rejection
+        assert "unknown experiments: fig99" in captured.err
+        assert "table1" in captured.err  # valid names suggested
 
     def test_missing_command_rejected(self):
         with pytest.raises(SystemExit):

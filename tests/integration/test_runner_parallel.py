@@ -1,0 +1,62 @@
+"""Parallel experiment runner: output equivalence, CLI surface, timings."""
+
+import pytest
+
+from repro.experiments import runner
+
+#: Deterministic experiments (no wall-clock sampling in their output) —
+#: the subset on which parallel output must be byte-identical.
+DETERMINISTIC = ["table1", "msg_overhead", "version_overhead", "headline"]
+
+
+class TestOutputEquivalence:
+    def test_parallel_report_is_byte_identical(self):
+        sequential = runner.run_all(DETERMINISTIC, jobs=1)
+        parallel = runner.run_all(DETERMINISTIC, jobs=2)
+        assert parallel == sequential
+
+    def test_section_order_follows_request_order(self):
+        forward = runner.run_all(DETERMINISTIC[:2], jobs=2)
+        reverse = runner.run_all(DETERMINISTIC[1::-1], jobs=2)
+        a, b = forward.split("\n\n", 1)[0], reverse.split("\n\n", 1)[0]
+        assert a != b  # first section tracks the requested order
+
+    def test_timed_variant_reports_one_duration_per_experiment(self):
+        sections, seconds = runner.run_all_timed(DETERMINISTIC[:2], jobs=2)
+        assert len(sections) == len(seconds) == 2
+        assert all(s > 0 for s in seconds)
+
+
+class TestValidation:
+    def test_unknown_name_raises_before_any_work(self):
+        with pytest.raises(KeyError, match="unknown experiment 'nope'"):
+            runner.run_all(["table1", "nope"])
+
+    def test_validate_names_returns_only_unknowns(self):
+        assert runner.validate_names(["table1", "bogus", "headline"]) == ["bogus"]
+        assert runner.validate_names(list(runner.ALL)) == []
+
+
+class TestCli:
+    def test_list_flag_prints_names_and_exits_zero(self, capsys):
+        assert runner.main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert out.splitlines() == sorted(runner.ALL)
+
+    def test_unknown_name_exits_2_with_suggestions(self, capsys):
+        assert runner.main(["tabel1"]) == 2
+        captured = capsys.readouterr()
+        assert captured.out == ""  # no partial report on stdout
+        assert "unknown experiment: tabel1" in captured.err
+        assert "table1" in captured.err  # available names listed
+
+    def test_report_on_stdout_timings_on_stderr(self, capsys):
+        assert runner.main(["table1"]) == 0
+        captured = capsys.readouterr()
+        assert "Table I" in captured.out
+        assert "Per-experiment wall-clock" in captured.err
+        assert "TOTAL" in captured.err
+
+    def test_sequential_flag_overrides_jobs(self, capsys):
+        assert runner.main(["table1", "--jobs", "4", "--sequential"]) == 0
+        assert "Table I" in capsys.readouterr().out

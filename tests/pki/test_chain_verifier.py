@@ -83,3 +83,83 @@ class TestCaching:
         c_inter = issue_certificate("root", fake_root, "region", rogue.public_key, 9)
         c_leaf = issue_certificate("region", rogue, "dev", entity.public_key, 10)
         assert verifier.verify(CertificateChain((c_leaf, c_inter))) is None
+
+
+class TestLeafAndChainCaches:
+    def test_leaf_hit_still_meters_logical_verify(self, pki):
+        """A returning leaf costs a lookup, but §IX-B still counts 1 verify
+        — plus the cert_verify_cached marker distinguishing warm from cold."""
+        root, _, _, chain = pki
+        verifier = ChainVerifier("root", root.public_key)
+        verifier.verify(chain)
+        with meter.metered() as tally:
+            assert verifier.verify(chain) is not None
+        assert tally.total("ecdsa_verify") == 1
+        assert tally.total("cert_verify_cached") == 1
+
+    def test_cold_verify_has_no_cached_marker(self, pki):
+        root, _, _, chain = pki
+        verifier = ChainVerifier("root", root.public_key)
+        with meter.metered() as tally:
+            assert verifier.verify(chain) is not None
+        assert tally.total("cert_verify_cached") == 0
+
+    def test_chain_bytes_hit_skips_parsing(self, pki):
+        root, _, _, chain = pki
+        verifier = ChainVerifier("root", root.public_key)
+        data = chain.to_bytes()
+        assert verifier.verify_chain_bytes(data) is not None
+        with meter.metered() as tally:
+            leaf = verifier.verify_chain_bytes(data)
+        assert leaf is not None and leaf.subject_id == "dev"
+        assert tally.total("ecdsa_verify") == 1
+        assert tally.total("cert_verify_cached") == 1
+
+    def test_cached_chain_rejected_outside_validity_window(self, pki):
+        """Expiry invalidation: a warm cache entry never outlives the
+        certificate's validity window."""
+        root, inter, entity, _ = pki
+        c_inter = issue_certificate("root", root, "region", inter.public_key, 21)
+        c_leaf = issue_certificate(
+            "region", inter, "dev", entity.public_key, 22, not_after=100
+        )
+        chain = CertificateChain((c_leaf, c_inter))
+        verifier = ChainVerifier("root", root.public_key)
+        data = chain.to_bytes()
+        assert verifier.verify_chain_bytes(data, now=50) is not None
+        assert verifier.verify_chain_bytes(data, now=101) is None
+        assert verifier.verify(chain, now=101) is None
+        # still valid again for an in-window `now` (clock skew replays)
+        assert verifier.verify_chain_bytes(data, now=99) is not None
+
+    def test_not_yet_valid_cached_chain_rejected(self, pki):
+        root, inter, entity, _ = pki
+        c_inter = issue_certificate("root", root, "region", inter.public_key, 23)
+        c_leaf = issue_certificate(
+            "region", inter, "dev", entity.public_key, 24, not_before=10
+        )
+        chain = CertificateChain((c_leaf, c_inter))
+        verifier = ChainVerifier("root", root.public_key)
+        data = chain.to_bytes()
+        assert verifier.verify_chain_bytes(data, now=20) is not None
+        assert verifier.verify_chain_bytes(data, now=5) is None
+
+    def test_failures_are_not_cached(self, pki):
+        root, inter, entity, _ = pki
+        rogue = generate_signing_key()
+        c_inter = issue_certificate("root", root, "region", inter.public_key, 25)
+        c_leaf = issue_certificate("region", rogue, "dev", entity.public_key, 26)
+        bad_chain = CertificateChain((c_leaf, c_inter)).to_bytes()
+        verifier = ChainVerifier("root", root.public_key)
+        assert verifier.verify_chain_bytes(bad_chain) is None
+        assert verifier.verify_chain_bytes(bad_chain) is None  # still rejected
+
+    def test_clear_caches_forces_full_reverify(self, pki):
+        root, _, _, chain = pki
+        verifier = ChainVerifier("root", root.public_key)
+        verifier.warm_up(chain)
+        verifier.clear_caches()
+        with meter.metered() as tally:
+            assert verifier.verify(chain) is not None
+        assert tally.total("ecdsa_verify") == 2  # leaf + intermediate again
+        assert tally.total("cert_verify_cached") == 0

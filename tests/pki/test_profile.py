@@ -3,8 +3,15 @@
 import pytest
 
 from repro.attributes.model import AttributeSet
+from repro.crypto import meter
 from repro.crypto.ecdsa import generate_signing_key
-from repro.pki.profile import Profile, ProfileError, sign_profile
+from repro.pki.profile import (
+    Profile,
+    ProfileError,
+    clear_verify_cache,
+    sign_profile,
+    verify_cache_len,
+)
 
 
 @pytest.fixture(scope="module")
@@ -64,3 +71,70 @@ class TestSerialization:
     def test_garbage_rejected(self):
         with pytest.raises(ProfileError):
             Profile.from_bytes(b"\xff\xff")
+
+    def test_serialization_memoized(self, admin):
+        prof = sign_profile(Profile("dev", AttributeSet(type="lock"), ("open",)), admin)
+        assert prof.to_bytes() is prof.to_bytes()
+        assert prof.body_bytes() is prof.body_bytes()
+
+    def test_parsed_profile_keeps_wire_bytes(self, admin):
+        prof = sign_profile(Profile("dev", AttributeSet(type="lock")), admin)
+        data = prof.to_bytes()
+        assert Profile.from_bytes(data).to_bytes() == data
+
+
+class TestVerifyCache:
+    def test_hit_records_logical_verify_and_marker(self, admin):
+        clear_verify_cache()
+        prof = sign_profile(Profile("dev", AttributeSet(type="cam")), admin)
+        assert prof.verify(admin.public_key)
+        with meter.metered() as tally:
+            assert prof.verify(admin.public_key)
+        assert tally.total("ecdsa_verify") == 1
+        assert tally.total("profile_verify_cached") == 1
+
+    def test_cold_verify_has_no_marker(self, admin):
+        clear_verify_cache()
+        prof = sign_profile(Profile("dev", AttributeSet(type="cam")), admin)
+        with meter.metered() as tally:
+            assert prof.verify(admin.public_key)
+        assert tally.total("profile_verify_cached") == 0
+        assert tally.total("ecdsa_verify") == 1
+
+    def test_reparsed_bytes_share_the_cache_entry(self, admin):
+        """The cache keys on serialized bytes, so a fresh parse of the same
+        wire PROF (a returning subject) is a hit."""
+        clear_verify_cache()
+        prof = sign_profile(Profile("dev", AttributeSet(type="cam")), admin)
+        prof.verify(admin.public_key)
+        reparsed = Profile.from_bytes(prof.to_bytes())
+        with meter.metered() as tally:
+            assert reparsed.verify(admin.public_key)
+        assert tally.total("profile_verify_cached") == 1
+
+    def test_negative_results_cached(self, admin):
+        clear_verify_cache()
+        other = generate_signing_key()
+        prof = sign_profile(Profile("dev", AttributeSet()), admin)
+        assert not prof.verify(other.public_key)
+        with meter.metered() as tally:
+            assert not prof.verify(other.public_key)  # still rejected from cache
+        assert tally.total("profile_verify_cached") == 1
+
+    def test_cache_keyed_by_admin_key(self, admin):
+        """A hit under one verifying key never answers for another key."""
+        clear_verify_cache()
+        other = generate_signing_key()
+        prof = sign_profile(Profile("dev", AttributeSet()), admin)
+        assert prof.verify(admin.public_key)
+        assert not prof.verify(other.public_key)
+        assert verify_cache_len() == 2
+
+    def test_clear_resets_to_cold(self, admin):
+        prof = sign_profile(Profile("dev", AttributeSet()), admin)
+        prof.verify(admin.public_key)
+        clear_verify_cache()
+        assert verify_cache_len() == 0
+        with meter.metered() as tally:
+            assert prof.verify(admin.public_key)
+        assert tally.total("profile_verify_cached") == 0
