@@ -1,0 +1,167 @@
+"""Session-resumption fast path — gates and the committed baseline.
+
+``python benchmarks/bench_resumption.py`` measures a warm full 4-way
+handshake against a resumed RQUE/RRES re-discovery on real code and
+writes ``BENCH_resumption.json``.  The committed gates (asserted by the
+test functions here, not by absolute timings):
+
+* resumed re-discovery is **>= 60% faster** than the warm full handshake;
+* the resumption path meters **zero public-key operations** on both
+  sides (0 signs, 0 verifies, 0 ECDH);
+* the full path's §IX-B op counts are unchanged by the resumption layer
+  (1 sign + 3 verifies + 1 ECDH gen + 1 derive per side).
+"""
+
+import json
+import platform
+import statistics
+import time
+from pathlib import Path
+
+from repro.crypto import keypool
+from repro.crypto.costmodel import NEXUS6, RASPBERRY_PI3
+from repro.experiments.common import make_level_fleet
+from repro.experiments.resumption import PUBLIC_KEY_OPS, public_key_ops
+from repro.pki import profile as profile_mod
+from repro.protocol.discovery import run_round, run_warm_round
+from repro.protocol.messages import level23_exchange_nominal, resumed_exchange_nominal
+from repro.protocol.object import ObjectEngine
+from repro.protocol.subject import SubjectEngine
+
+BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_resumption.json"
+
+
+def _warm_fleet(level: int = 2):
+    """Engines with resumption on, every cache primed, pool stocked."""
+    subject_creds, object_creds, _ = make_level_fleet(1, level)
+    subject = SubjectEngine(subject_creds)
+    objects = {
+        c.object_id: ObjectEngine(c, issue_tickets=True) for c in object_creds
+    }
+    run_round(subject, objects)  # prime chain/profile caches, earn a ticket
+    return subject, objects
+
+
+def measure_warm_vs_resumed(iterations: int = 40, level: int = 2) -> dict:
+    """Median wall-clock: warm full handshake vs resumed re-discovery.
+
+    Both paths run on the same warmed engines; the key pool is primed
+    with background refill off so full-handshake timings never include a
+    key generation (the steady state BENCH_headline.json measures).
+    Every resumed round redeems the previous ticket and banks the
+    refreshed one, so the fast path sustains across iterations.
+    """
+    pool = keypool.configure(enabled=True, background_refill=False, low_water=0)
+    pool.drain()
+    pool.prime(2 * (iterations + 4))
+    try:
+        subject, objects = _warm_fleet(level)
+        run_round(subject, objects)
+
+        full = []
+        for _ in range(iterations):
+            t0 = time.perf_counter()
+            run_round(subject, objects)
+            full.append(time.perf_counter() - t0)
+
+        assert all(subject.has_ticket(oid) for oid in objects)
+        resumed = []
+        for _ in range(iterations):
+            t0 = time.perf_counter()
+            result = run_warm_round(subject, objects)
+            resumed.append(time.perf_counter() - t0)
+            assert len(result.services) == 1
+    finally:
+        keypool.configure(enabled=True, background_refill=True, low_water=4)
+
+    full_ms = statistics.median(full) * 1000.0
+    resumed_ms = statistics.median(resumed) * 1000.0
+    return {
+        "iterations": iterations,
+        "warm_full_ms": round(full_ms, 4),
+        "resumed_ms": round(resumed_ms, 4),
+        "reduction_pct": round(100.0 * (1.0 - resumed_ms / full_ms), 1),
+    }
+
+
+def measure_op_counts(level: int = 2) -> dict:
+    """Metered op profile of one warm full round and one resumed round."""
+    subject, objects = _warm_fleet(level)
+    (object_id,) = objects
+    full = run_round(subject, objects)
+    resumed = run_warm_round(subject, objects)
+
+    def side(ops) -> dict:
+        return {op: ops.total(op) for op in PUBLIC_KEY_OPS}
+
+    return {
+        "full": {
+            "subject": side(full.subject_ops),
+            "object": side(full.object_ops[object_id]),
+        },
+        "resumed": {
+            "subject_pk_ops": public_key_ops(resumed.subject_ops),
+            "object_pk_ops": public_key_ops(resumed.object_ops[object_id]),
+            "object_accepts": resumed.object_ops[object_id].total("resumption_accept"),
+        },
+        "paper_hw_ms": {
+            "full_subject": round(NEXUS6.meter_cost_ms(full.subject_ops), 2),
+            "full_object": round(
+                RASPBERRY_PI3.meter_cost_ms(full.object_ops[object_id]), 2
+            ),
+            "resumed_subject": round(NEXUS6.meter_cost_ms(resumed.subject_ops), 2),
+            "resumed_object": round(
+                RASPBERRY_PI3.meter_cost_ms(resumed.object_ops[object_id]), 2
+            ),
+        },
+    }
+
+
+# -- gates (run under pytest; JSON structure, never absolute timings) ----------
+
+
+def test_resumed_rediscovery_at_least_60pct_faster():
+    result = measure_warm_vs_resumed(iterations=25)
+    assert result["reduction_pct"] >= 60.0, result
+
+
+def test_resumed_path_has_zero_public_key_ops():
+    ops = measure_op_counts()
+    assert ops["resumed"]["subject_pk_ops"] == 0
+    assert ops["resumed"]["object_pk_ops"] == 0
+    assert ops["resumed"]["object_accepts"] == 1
+
+
+def test_full_path_op_counts_unchanged_by_resumption_layer():
+    ops = measure_op_counts()
+    expected = {"ecdsa_sign": 1, "ecdsa_verify": 3, "ecdh_gen": 1, "ecdh_derive": 1}
+    assert ops["full"]["subject"] == expected
+    assert ops["full"]["object"] == expected
+
+
+def test_level3_resumption_same_gates():
+    ops = measure_op_counts(level=3)
+    assert ops["resumed"]["subject_pk_ops"] == 0
+    assert ops["resumed"]["object_pk_ops"] == 0
+
+
+def write_baseline(path: Path = BASELINE_PATH) -> dict:
+    profile_mod.clear_verify_cache()
+    baseline = {
+        "generated_by": "benchmarks/bench_resumption.py",
+        "generated_on": time.strftime("%Y-%m-%d"),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "wallclock": measure_warm_vs_resumed(),
+        "ops": measure_op_counts(),
+        "wire_nominal_B": {
+            "full_level23": level23_exchange_nominal(),
+            "resumed": resumed_exchange_nominal(),
+        },
+    }
+    path.write_text(json.dumps(baseline, indent=2) + "\n")
+    return baseline
+
+
+if __name__ == "__main__":
+    print(json.dumps(write_baseline(), indent=2))

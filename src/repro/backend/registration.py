@@ -93,6 +93,13 @@ class ObjectCredentials:
     revoked_subjects: set[str] = field(default_factory=set)
     admin_public: VerifyingKey | None = None
     root_id: str = ROOT_ID
+    #: Bumped by every backend push that changes what this object would
+    #: serve (policy add/remove, revocation, group rekey).  Resumption
+    #: tickets embed the epoch they were issued under; a mismatch makes
+    #: the object reject the ticket, forcing the subject back through the
+    #: full handshake against the fresh state
+    #: (:mod:`repro.protocol.resumption`).
+    resumption_epoch: int = 0
 
 
 class Backend:

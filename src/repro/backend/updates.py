@@ -81,6 +81,7 @@ class ChurnEngine:
             issued = self.backend.issued_objects.get(record.object_id)
             if issued is not None:
                 issued.revoked_subjects.add(subject_id)
+                issued.resumption_epoch += 1
 
         notified_subjects: set[str] = set()
         for rekey in self.backend.groups.remove_everywhere(subject_id):
@@ -168,6 +169,7 @@ class ChurnEngine:
                 self.backend.root_key,
             )
             issued.level2_variants.append(ObjectVariant(policy.subject_pred, prof))
+            issued.resumption_epoch += 1
             notified.add(record.object_id)
         report = UpdateReport(
             operation="add_policy",
@@ -189,6 +191,7 @@ class ChurnEngine:
                 v for v in issued.level2_variants if v.profile.variant != variant_name
             ]
             if len(issued.level2_variants) != before:
+                issued.resumption_epoch += 1
                 notified.add(issued.object_id)
         report = UpdateReport(
             operation="remove_policy",
@@ -212,6 +215,7 @@ class ChurnEngine:
             if creds_o is not None and group_id in creds_o.level3_variants:
                 _, prof = creds_o.level3_variants[group_id]
                 creds_o.level3_variants[group_id] = (group.key, prof)
+                creds_o.resumption_epoch += 1
 
     # -- accounting --------------------------------------------------------------------
 

@@ -154,6 +154,7 @@ class UpdateReceiver:
             self.errors.append(UpdateWireError("revocation sent to a non-object"))
             return False
         self.object_creds.revoked_subjects.add(message.payload.decode())
+        self.object_creds.resumption_epoch += 1
         return True
 
     def _apply_rekey(self, message: UpdateMessage) -> bool:
@@ -179,6 +180,7 @@ class UpdateReceiver:
         if self.object_creds is not None and group_id in self.object_creds.level3_variants:
             _, prof = self.object_creds.level3_variants[group_id]
             self.object_creds.level3_variants[group_id] = (new_key, prof)
+            self.object_creds.resumption_epoch += 1
         return True
 
 

@@ -36,7 +36,18 @@ STRENGTHS = (112, 128, 192, 256)
 #: the logical op they annotate, so they carry no cost of their own —
 #: the logical op already prices the work in calibrated mode.
 CACHE_MARKER_OPS = frozenset(
-    {"profile_verify_cached", "cert_verify_cached", "ecdh_pool_hit", "ecdh_pool_miss"}
+    {
+        "profile_verify_cached",
+        "cert_verify_cached",
+        "ecdh_pool_hit",
+        "ecdh_pool_miss",
+        # Session-resumption fast path (repro.protocol.resumption): the
+        # real work (AEAD, HMAC) meters separately; these only mark which
+        # path ran.
+        "resumption_ticket_issued",
+        "resumption_accept",
+        "resumption_reject",
+    }
 )
 
 

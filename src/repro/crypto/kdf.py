@@ -23,6 +23,14 @@ LABEL_KEY = b"session key"
 LABEL_SUBJECT = b"subject finished"
 LABEL_OBJECT = b"object finished"
 
+#: Labels for the session-resumption schedule (repro.protocol.resumption).
+#: They extend the paper's HMAC-PRF convention, TLS-1.3-style: a completed
+#: handshake yields a *resumption master secret* both sides derive, from
+#: which a later RQUE/RRES exchange derives a fresh session key using only
+#: symmetric operations.
+LABEL_RESUMPTION = b"resumption master"
+LABEL_BINDER = b"rque binder"
+
 
 def premaster_to_session(pre_k: bytes, r_s: bytes, r_o: bytes) -> bytes:
     """Derive the Level 2 session key ``K2`` from the premaster secret."""
@@ -57,3 +65,37 @@ def subject_finished(session_key: bytes, transcript: bytes) -> bytes:
 def object_finished(session_key: bytes, transcript: bytes) -> bytes:
     """The object's finished MAC (``MAC_{O,2}`` or ``MAC_{O,3}``)."""
     return finished_mac(session_key, LABEL_OBJECT, transcript)
+
+
+# -- session resumption (repro.protocol.resumption) ----------------------------
+
+
+def resumption_master(session_key: bytes, transcript: bytes) -> bytes:
+    """The resumption master secret of a completed handshake.
+
+    ``HMAC(K_i, "resumption master" || Hash(*))`` where ``K_i`` is the
+    session key the handshake ended with (K2 or K3) and ``*`` the full
+    transcript — so the secret is bound to one specific handshake and
+    carries the fellow/non-fellow distinction implicitly: a Level 3
+    session's master can only have been derived by someone who held K3.
+    """
+    return hmac_sha256(session_key, LABEL_RESUMPTION + sha256(transcript))
+
+
+def derive_resumed_key(master: bytes, r_s: bytes, r_o: bytes) -> bytes:
+    """The resumed session key ``K2' = HMAC(master, label || R_S || R_O)``.
+
+    Fresh nonces from both sides keep every resumed session's key unique
+    even though no public-key operation is performed.
+    """
+    return hmac_sha256(master, LABEL_KEY + r_s + r_o)
+
+
+def rque_binder(master: bytes, ticket: bytes, r_s: bytes) -> bytes:
+    """The RQUE binder MAC: proof the sender owns the ticket's master.
+
+    ``HMAC(master, "rque binder" || Hash(ticket || R_S))`` — the TLS 1.3
+    PSK-binder idea: without it, anyone who captured a ticket blob could
+    replay it and observe whether the object answers.
+    """
+    return hmac_sha256(master, LABEL_BINDER + sha256(ticket + r_s))

@@ -25,6 +25,7 @@ pool degrades to plain on-demand generation).
 
 from __future__ import annotations
 
+import os
 import threading
 from collections import Counter
 
@@ -119,11 +120,32 @@ class EphemeralKeyPool:
             self.hits.clear()
             self.misses.clear()
 
+    def reset_after_fork(self) -> None:
+        """Reinitialize in a forked child — fresh lock, empty stock.
+
+        A child must not hand out keys generated in the parent: both
+        processes would draw the same "single-use" private keys, and two
+        independent sessions would share an ephemeral secret.  The lock
+        and the refill-thread bookkeeping are parent state too (a thread
+        mid-refill does not survive the fork, and a lock held at fork
+        time would deadlock the child), so everything resets.
+        """
+        self._lock = threading.Lock()
+        self._stock = {}
+        self._refilling = set()
+        self.hits = Counter()
+        self.misses = Counter()
+
 
 # -- module-default pool --------------------------------------------------------
 
 _default_pool = EphemeralKeyPool()
 _pool_enabled = True
+
+# Fork safety: ProcessPoolExecutor workers (repro.experiments.runner) and
+# anything else that forks must not inherit the parent's pooled keys.
+if hasattr(os, "register_at_fork"):  # absent on non-POSIX platforms
+    os.register_at_fork(after_in_child=lambda: _default_pool.reset_after_fork())
 
 
 def default_pool() -> EphemeralKeyPool:

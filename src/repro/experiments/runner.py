@@ -28,6 +28,7 @@ from repro.experiments import (
     mixed_fleet,
     multi_group,
     radio_comparison,
+    resumption,
     security_report,
     timing_attack,
     scalability_sweep,
@@ -65,6 +66,8 @@ ALL = {
     "version_overhead": lambda: version_overhead.run().render(),
     # extension: §II-A's radio diversity quantified
     "radio_comparison": lambda: radio_comparison.run().render(),
+    # extension: the RQUE/RRES fast path vs the full handshake
+    "resumption": lambda: resumption.run().render(),
     # the 3-in-1 concurrency claim on a mixed fleet
     "mixed_fleet": lambda: mixed_fleet.run().render(),
     # §VI-C: one round per secret group, cost per sensitive attribute
@@ -90,18 +93,54 @@ def validate_names(names: list[str]) -> list[str]:
     return [name for name in names if name not in ALL]
 
 
+#: Below this many experiments, process-pool startup outweighs the overlap.
+MIN_PARALLEL_EXPERIMENTS = 3
+
+
+def effective_jobs(jobs: int, n_experiments: int) -> int:
+    """The job count actually worth using; falls back to sequential.
+
+    A process pool only pays off with real parallel hardware and enough
+    work to amortize worker startup: on a single-CPU host the workers
+    time-slice one core and the pool is pure overhead (the
+    ``speedup < 1`` regression BENCH_headline.json caught).  The
+    decision is logged to stderr so report output stays comparable.
+    """
+    if jobs <= 1:
+        return jobs
+    cpus = os.cpu_count() or 1
+    if cpus <= 1:
+        print(
+            f"runner: --jobs {jobs} requested but only {cpus} CPU available; "
+            "falling back to sequential",
+            file=sys.stderr,
+        )
+        return 1
+    if n_experiments < MIN_PARALLEL_EXPERIMENTS:
+        print(
+            f"runner: only {n_experiments} experiment(s) selected "
+            f"(< {MIN_PARALLEL_EXPERIMENTS}); falling back to sequential",
+            file=sys.stderr,
+        )
+        return 1
+    return jobs
+
+
 def run_all_timed(
     selected: list[str] | None = None, jobs: int = 1
 ) -> tuple[list[str], list[float]]:
     """Run experiments; returns (sections, per-experiment seconds).
 
     Both lists follow the order of *selected* (or registry order) — a
-    process pool changes completion order, never report order.
+    process pool changes completion order, never report order.  ``jobs``
+    above 1 is a *request*: :func:`effective_jobs` drops back to
+    sequential when a pool cannot win.
     """
     names = list(selected) if selected else list(ALL)
     for name in names:
         if name not in ALL:
             raise KeyError(f"unknown experiment {name!r}; choose from {sorted(ALL)}")
+    jobs = effective_jobs(jobs, len(names))
     if jobs > 1 and len(names) > 1:
         with ProcessPoolExecutor(max_workers=min(jobs, len(names))) as pool:
             results = list(pool.map(_run_one, names))

@@ -29,7 +29,7 @@ from repro.crypto.costmodel import DeviceProfile
 from repro.crypto.meter import metered
 from repro.net.radio import LinkModel, Radio
 from repro.net.simulator import Simulator
-from repro.protocol.messages import Que1, Que2, Res1, Res1Level1, Res2
+from repro.protocol.messages import Que1, Que2, Res1, Res1Level1, Res2, Rque, Rres
 from repro.protocol.object import ObjectEngine
 from repro.protocol.subject import SubjectEngine
 
@@ -64,6 +64,10 @@ def message_size(message, mode: SizeMode) -> int:
         return Que2.nominal_size(with_mac3=message.mac_s3 is not None)
     if isinstance(message, Res2):
         return Res2.nominal_size()
+    if isinstance(message, Rque):
+        return Rque.nominal_size()
+    if isinstance(message, Rres):
+        return Rres.nominal_size()
     raise TypeError(f"unknown message {type(message).__name__}")
 
 
@@ -277,6 +281,8 @@ class GroundNetwork:
                 return lambda m, s: self._to_replies(engine.handle_que1(m, s), s)
             if isinstance(message, Que2):
                 return lambda m, s: self._to_replies(engine.handle_que2(m, s), s)
+            if isinstance(message, Rque):
+                return lambda m, s: self._to_replies(engine.handle_rque(m, s), s)
             if isinstance(message, Command) and node.command_handler is not None:
                 handler = node.command_handler
                 return lambda m, s: self._to_replies(handler.handle(m, s), s)
@@ -288,6 +294,8 @@ class GroundNetwork:
                 return lambda m, s: self._to_replies(engine.handle_res1(m, s), s)
             if isinstance(message, Res2):
                 return lambda m, s: (engine.handle_res2(m, s), [])[1]
+            if isinstance(message, Rres):
+                return lambda m, s: (engine.handle_rres(m, s), [])[1]
             if isinstance(message, Response) and node.command_client is not None:
                 client = node.command_client
 

@@ -89,6 +89,51 @@ def run_round(
     return result
 
 
+def run_warm_round(
+    subject: SubjectEngine,
+    objects: dict[str, ObjectEngine],
+    group_id: str | None = None,
+    result: DiscoveryResult | None = None,
+) -> DiscoveryResult:
+    """A re-discovery round: resumption fast path where tickets exist.
+
+    For every object the subject holds a ticket for, run the 2-message
+    ``RQUE -> RRES`` exchange (symmetric ops only).  Objects with no
+    ticket — and any whose resumption failed (expired/replayed ticket,
+    backend push bumped the epoch, rotated ticket key…) — transparently
+    fall back to the full 4-way handshake via :func:`run_round`.
+    """
+    result = result or DiscoveryResult()
+
+    fallback: dict[str, ObjectEngine] = {}
+    for object_id, engine in objects.items():
+        if not subject.has_ticket(object_id):
+            fallback[object_id] = engine
+            continue
+        with metered() as subject_meter:
+            rque = subject.start_resumption(object_id)
+        result.subject_ops.merge(subject_meter)
+        assert rque is not None  # has_ticket() held and nothing raced us
+        with metered() as object_meter:
+            rres = engine.handle_rque(rque, subject.creds.subject_id)
+        result.object_ops.setdefault(object_id, OpMeter()).merge(object_meter)
+        service = None
+        if rres is not None:
+            with metered() as subject_meter:
+                service = subject.handle_rres(rres, object_id)
+            result.subject_ops.merge(subject_meter)
+        if service is not None:
+            result.services.append(service)
+        else:
+            fallback[object_id] = engine
+
+    if fallback:
+        run_round(subject, fallback, group_id, result)
+    else:
+        result.subject_errors.extend(subject.errors)
+    return result
+
+
 def discover(
     subject_creds: SubjectCredentials,
     object_creds: list[ObjectCredentials],

@@ -38,6 +38,10 @@ TYPE_RES1_L1 = 0x02
 TYPE_RES1 = 0x03
 TYPE_QUE2 = 0x04
 TYPE_RES2 = 0x05
+# Session-resumption fast path (repro.protocol.resumption): RQUE/RRES
+# replace QUE1..RES2 on re-discovery of an already-met Level 2/3 object.
+TYPE_RQUE = 0x06
+TYPE_RRES = 0x07
 
 # Nominal §IX-A field sizes at 128-bit strength.
 NOMINAL = {
@@ -48,6 +52,10 @@ NOMINAL = {
     "prof": 200,
     "mac": 32,
     "enc_prof": 248,    # 16 IV + 200 PROF + 32 MAC
+    # Sealed resumption ticket: 16 IV + 240 (224-byte padded body + CBC
+    # pad) + 32 MAC.  Not a paper field — the resumption layer is an
+    # extension — but accounted in the same nominal style.
+    "ticket": 288,
 }
 
 
@@ -250,6 +258,76 @@ class Res2:
         return NOMINAL["enc_prof"] + NOMINAL["mac"]
 
 
+@dataclass(frozen=True)
+class Rque:
+    """Resumption query: sealed ticket + fresh nonce + binder MAC.
+
+    The binder is ``HMAC(master, "rque binder" || Hash(ticket || R_S))``
+    (:func:`repro.crypto.kdf.rque_binder`): only the subject the ticket
+    was issued to holds the resumption master secret, so a captured
+    ticket blob alone cannot elicit an answer.
+    """
+
+    ticket: bytes
+    r_s: bytes
+    binder: bytes
+
+    def __post_init__(self) -> None:
+        if len(self.r_s) != NONCE_LEN:
+            raise MessageFormatError(f"R_S must be {NONCE_LEN} bytes")
+        if len(self.binder) != MAC_LEN:
+            raise MessageFormatError(f"binder must be {MAC_LEN} bytes")
+
+    def to_bytes(self) -> bytes:
+        return bytes([TYPE_RQUE]) + _pack_fields(self.ticket, self.r_s, self.binder)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Rque":
+        if not data or data[0] != TYPE_RQUE:
+            raise MessageFormatError("not an RQUE")
+        ticket, r_s, binder = _unpack_fields(data[1:], 3, "RQUE")
+        return cls(ticket, r_s, binder)
+
+    @staticmethod
+    def nominal_size() -> int:
+        return NOMINAL["ticket"] + NOMINAL["nonce"] + NOMINAL["mac"]
+
+
+@dataclass(frozen=True)
+class Rres:
+    """Resumption response: object nonce + encrypted PROF variant + MAC.
+
+    Shaped exactly like a RES2 with a nonce prepended; the ciphertext is
+    padded to the object's constant payload length, so a Level 3 covert
+    answer and a Level 2 answer are the same number of bytes on the wire
+    (§VI-B's indistinguishability, preserved on the fast path).
+    """
+
+    r_o: bytes
+    ciphertext: bytes
+    mac_o: bytes
+
+    def __post_init__(self) -> None:
+        if len(self.r_o) != NONCE_LEN:
+            raise MessageFormatError(f"R_O must be {NONCE_LEN} bytes")
+        if len(self.mac_o) != MAC_LEN:
+            raise MessageFormatError(f"MAC_O must be {MAC_LEN} bytes")
+
+    def to_bytes(self) -> bytes:
+        return bytes([TYPE_RRES]) + _pack_fields(self.r_o, self.ciphertext, self.mac_o)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Rres":
+        if not data or data[0] != TYPE_RRES:
+            raise MessageFormatError("not an RRES")
+        r_o, ciphertext, mac_o = _unpack_fields(data[1:], 3, "RRES")
+        return cls(r_o, ciphertext, mac_o)
+
+    @staticmethod
+    def nominal_size() -> int:
+        return NOMINAL["nonce"] + NOMINAL["enc_prof"] + NOMINAL["mac"]
+
+
 def parse_message(data: bytes):
     """Dispatch raw bytes to the right message class."""
     if not data:
@@ -260,6 +338,8 @@ def parse_message(data: bytes):
         TYPE_RES1: Res1,
         TYPE_QUE2: Que2,
         TYPE_RES2: Res2,
+        TYPE_RQUE: Rque,
+        TYPE_RRES: Rres,
     }
     cls = table.get(data[0])
     if cls is None:
@@ -280,3 +360,12 @@ def level23_exchange_nominal() -> int:
         + Que2.nominal_size(with_mac3=True)
         + Res2.nominal_size()
     )
+
+
+def resumed_exchange_nominal() -> int:
+    """Total nominal bytes of a resumed re-discovery: RQUE + RRES = 656.
+
+    Less than a third of the 2088-byte full Level 2/3 exchange — the
+    certificate chains, KEXMs and signatures all stay home.
+    """
+    return Rque.nominal_size() + Rres.nominal_size()

@@ -14,7 +14,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 
 from repro.backend.registration import ObjectCredentials
-from repro.crypto import aead
+from repro.crypto import aead, kdf, meter
 from repro.crypto.ecdh import EphemeralECDH
 from repro.crypto.keypool import ecdh_keypair
 from repro.crypto.primitives import constant_time_equal, fresh_nonce
@@ -28,7 +28,16 @@ from repro.protocol.errors import (
     SessionError,
     VisibilityError,
 )
-from repro.protocol.messages import Que1, Que2, Res1, Res1Level1, Res2
+from repro.protocol.messages import Que1, Que2, Res1, Res1Level1, Res2, Rque, Rres
+from repro.protocol.resumption import (
+    SEALED_TICKET_LEN,
+    TICKET_LIFETIME,
+    ReplayLedger,
+    TicketError,
+    TicketKeyring,
+    TicketPayload,
+    fresh_ticket_id,
+)
 from repro.protocol.session import EstablishedSession, SessionKeys, Transcript
 from repro.protocol.versions import Version
 
@@ -55,7 +64,14 @@ class ObjectEngine:
         creds: ObjectCredentials,
         version: Version = Version.V3_0,
         now: int = 1,
+        issue_tickets: bool = False,
+        ticket_lifetime: int = TICKET_LIFETIME,
     ) -> None:
+        """``issue_tickets`` opts a Level 2/3 object into session
+        resumption (repro.protocol.resumption).  Off by default: ticket
+        issuance adds real (metered) symmetric work to RES2, and the
+        paper-anchored cost figures (Fig. 6(b), §IX-B) describe the
+        ticket-free handshake."""
         if creds.admin_public is None:
             raise ValueError("object credentials missing the admin public key")
         self.creds = creds
@@ -64,6 +80,12 @@ class ObjectEngine:
         self.verifier = ChainVerifier(creds.root_id, creds.admin_public)
         self._seen_nonces: OrderedDict[bytes, None] = OrderedDict()
         self._sessions: OrderedDict[str, _ObjectSession] = OrderedDict()
+        #: Session-resumption state (repro.protocol.resumption): rotating
+        #: ticket key, single-use ledger, and the issuance switch.
+        self.issue_tickets = issue_tickets and creds.level in (2, 3)
+        self.ticket_lifetime = ticket_lifetime
+        self.ticket_keyring = TicketKeyring()
+        self.replay_ledger = ReplayLedger()
         #: Completed handshakes, keyed by authenticated subject identity,
         #: for the access layer.
         self.established: dict[str, EstablishedSession] = {}
@@ -187,7 +209,17 @@ class ObjectEngine:
             session_key = keys.k2
             payload = variant
 
-        plaintext = self._frame_payload(payload)
+        level = 3 if matched_group is not None else 2
+        ticket = self._issue_ticket(
+            subject_id=subject_id,
+            level=level,
+            group_id=matched_group or "",
+            variant=payload.variant or "",
+            session_key=session_key,
+            transcript=res2_transcript,
+            cert_not_after=leaf.not_after,
+        )
+        plaintext = self._frame_payload(payload, ticket)
         ciphertext = aead.encrypt(session_key, plaintext)
         mac_o = keys.object_mac(session_key, res2_transcript)
         res2 = Res2(ciphertext=ciphertext, mac_o=mac_o)
@@ -196,11 +228,134 @@ class ObjectEngine:
         self.established[subject_id] = EstablishedSession(
             peer_id=subject_id,
             key=session_key,
-            level=3 if matched_group is not None else 2,
+            level=level,
             functions=payload.functions,
             group_id=matched_group,
         )
         return res2
+
+    # -- session resumption (RQUE -> RRES; symmetric ops only) ---------------------
+
+    def handle_rque(self, rque: Rque, peer_id: str) -> Rres | None:
+        """Answer a resumption query from its ticket alone — 0 public-key ops.
+
+        Every failure path is silence (None), indistinguishable from the
+        full handshake's failure behavior; the subject falls back to the
+        4-way handshake.  The accept path performs the same symmetric-op
+        sequence for Level 2 and covert Level 3 tickets.
+        """
+        body = self.ticket_keyring.open(rque.ticket)
+        if body is None:
+            meter.record("resumption_reject")
+            self._record(AuthenticationError(f"unopenable ticket from {peer_id}"))
+            return None
+        if body.epoch != self.creds.resumption_epoch:
+            meter.record("resumption_reject")
+            self._record(FreshnessError(
+                f"stale ticket epoch {body.epoch} != {self.creds.resumption_epoch}"
+            ))
+            return None
+        if body.expiry <= self.now:
+            meter.record("resumption_reject")
+            self._record(FreshnessError(f"expired ticket from {peer_id}"))
+            return None
+        if body.peer_id in self.creds.revoked_subjects:
+            meter.record("resumption_reject")
+            self._record(RevokedError(f"ticket from revoked subject {body.peer_id}"))
+            return None
+        expected_binder = kdf.rque_binder(body.master, rque.ticket, rque.r_s)
+        if not constant_time_equal(expected_binder, rque.binder):
+            meter.record("resumption_reject")
+            self._record(AuthenticationError(f"bad RQUE binder from {peer_id}"))
+            return None
+        if not self.replay_ledger.redeem(body.ticket_id):
+            meter.record("resumption_reject")
+            self._record(FreshnessError(f"replayed ticket from {peer_id}"))
+            return None
+
+        payload = self._ticket_variant(body)
+        if payload is None:
+            meter.record("resumption_reject")
+            self._record(VisibilityError(
+                f"ticket variant {body.variant!r} no longer served"
+            ))
+            return None
+
+        r_o = fresh_nonce()
+        session_key = kdf.derive_resumed_key(body.master, rque.r_s, r_o)
+        transcript = rque.to_bytes() + r_o
+        ticket = self._issue_ticket(
+            subject_id=body.peer_id,
+            level=body.level,
+            group_id=body.group_id,
+            variant=body.variant,
+            session_key=session_key,
+            transcript=transcript,
+            cert_not_after=body.expiry,
+        )
+        plaintext = self._frame_payload(payload, ticket)
+        ciphertext = aead.encrypt(session_key, plaintext)
+        mac_o = kdf.object_finished(session_key, transcript + ciphertext)
+        meter.record("resumption_accept")
+        self.peer_identity[peer_id] = body.peer_id
+        self.established[body.peer_id] = EstablishedSession(
+            peer_id=body.peer_id,
+            key=session_key,
+            level=body.level,
+            functions=payload.functions,
+            group_id=body.group_id or None,
+        )
+        return Rres(r_o=r_o, ciphertext=ciphertext, mac_o=mac_o)
+
+    def _ticket_variant(self, body: TicketPayload) -> Profile | None:
+        """The PROF variant a valid ticket entitles its holder to."""
+        if body.level == 3:
+            entry = self.creds.level3_variants.get(body.group_id)
+            return entry[1] if entry is not None else None
+        for variant in self.creds.level2_variants:
+            if (variant.profile.variant or "") == body.variant:
+                return variant.profile
+        return None
+
+    def _issue_ticket(
+        self,
+        subject_id: str,
+        level: int,
+        group_id: str,
+        variant: str,
+        session_key: bytes,
+        transcript: bytes,
+        cert_not_after: int,
+    ) -> bytes | None:
+        """Seal a single-use resumption ticket for a finished session.
+
+        The resumption master secret is derived from the session key and
+        transcript, so the subject computes the identical value without
+        the ticket ever carrying it in the clear outside the AEAD.
+        Returns None (no ticket) when issuance is off or the body does
+        not fit its fixed frame — resumption is an optimization, never a
+        correctness dependency.
+        """
+        if not self.issue_tickets:
+            return None
+        expiry = min(self.now + self.ticket_lifetime, cert_not_after)
+        body = TicketPayload(
+            ticket_id=fresh_ticket_id(),
+            peer_id=subject_id,
+            level=level,
+            group_id=group_id,
+            variant=variant,
+            master=kdf.resumption_master(session_key, transcript),
+            expiry=expiry,
+            epoch=self.creds.resumption_epoch,
+        )
+        try:
+            sealed = self.ticket_keyring.seal(body)
+        except TicketError as exc:
+            self._record(exc)
+            return None
+        meter.record("resumption_ticket_issued")
+        return sealed
 
     # -- helpers ------------------------------------------------------------------
 
@@ -222,16 +377,21 @@ class ObjectEngine:
                 return variant.profile
         return None
 
-    def _frame_payload(self, profile: Profile) -> bytes:
-        """Length-frame and (v3.0) pad the PROF variant to constant size.
+    def _frame_payload(self, profile: Profile, ticket: bytes | None = None) -> bytes:
+        """Length-frame the PROF variant (+ optional resumption ticket)
+        and (v3.0) pad to constant size.
 
         "O appends minimum meaningless bytes to each of its PROF_O
         variants before transmission to make them identically long"
         (§VI-B) — otherwise ciphertext length leaks which variant (and
-        hence which level) was served.
+        hence which level) was served.  The sealed ticket has one fixed
+        length, so appending it preserves the constant-size guarantee; a
+        zero ticket-length field (or bare padding) means "no ticket".
         """
         body = profile.to_bytes()
         framed = len(body).to_bytes(4, "big") + body
+        if ticket is not None:
+            framed += len(ticket).to_bytes(4, "big") + ticket
         if self.version is not Version.V3_0:
             return framed
         target = self.padded_payload_length()
@@ -240,7 +400,8 @@ class ObjectEngine:
         return framed
 
     def padded_payload_length(self) -> int:
-        """Constant plaintext size: the longest variant this object holds.
+        """Constant plaintext size: the longest variant this object holds,
+        plus the fixed-length resumption-ticket slot when tickets are on.
 
         Memoized per variant-set: the key is the identity tuple of the
         variant profiles, so backend pushes that add/remove/replace a
@@ -250,13 +411,17 @@ class ObjectEngine:
             tuple(id(v.profile) for v in self.creds.level2_variants),
             tuple(id(p) for _, p in self.creds.level3_variants.values()),
             id(self.creds.public_profile),
+            self.issue_tickets,
         )
         if self._padded_len_cache is None or self._padded_len_cache[0] != key:
             sizes = [len(v.profile.to_bytes()) for v in self.creds.level2_variants]
             sizes += [len(p.to_bytes()) for _, p in self.creds.level3_variants.values()]
             if not sizes:
                 sizes = [len(self.creds.public_profile.to_bytes())]
-            self._padded_len_cache = (key, 4 + max(sizes))
+            target = 4 + max(sizes)
+            if self.issue_tickets:
+                target += 4 + SEALED_TICKET_LEN
+            self._padded_len_cache = (key, target)
         return self._padded_len_cache[1]
 
     def _remember_nonce(self, r_s: bytes) -> None:

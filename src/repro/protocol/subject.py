@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.backend.registration import SubjectCredentials
-from repro.crypto import aead
+from repro.crypto import aead, kdf, meter
 from repro.crypto.keypool import ecdh_keypair
 from repro.crypto.primitives import constant_time_equal, fresh_nonce
 from repro.pki.chain import ChainVerifier
@@ -22,7 +22,8 @@ from repro.protocol.errors import (
     MessageFormatError,
     SessionError,
 )
-from repro.protocol.messages import Que1, Que2, Res1, Res1Level1, Res2
+from repro.protocol.messages import Que1, Que2, Res1, Res1Level1, Res2, Rque, Rres
+from repro.protocol.resumption import StoredTicket
 from repro.protocol.session import EstablishedSession, SessionKeys, Transcript
 from repro.protocol.versions import Version
 
@@ -57,6 +58,17 @@ class _SubjectSession:
     done: bool = False
 
 
+@dataclass
+class _ResumeState:
+    """One in-flight RQUE, awaiting its RRES."""
+
+    r_s: bytes
+    rque_bytes: bytes
+    master: bytes
+    level: int
+    group_id: str | None
+
+
 class SubjectEngine:
     """One subject device's discovery state machine."""
 
@@ -79,6 +91,11 @@ class SubjectEngine:
         self.discovered: list[DiscoveredService] = []
         #: Completed handshakes, keyed by object id, for the access layer.
         self.established: dict[str, EstablishedSession] = {}
+        #: Resumption tickets issued by objects, keyed by object id
+        #: (repro.protocol.resumption).  Single-use: popped on send.
+        self.tickets: dict[str, StoredTicket] = {}
+        #: In-flight RQUE state, keyed by object id.
+        self._pending_resume: dict[str, _ResumeState] = {}
 
     # -- round control -----------------------------------------------------------
 
@@ -233,9 +250,10 @@ class SubjectEngine:
             self._record(AuthenticationError(f"RES2 decrypt failed from {peer_id}: {exc}"))
             return None
 
-        profile = self._unframe_payload(plaintext, peer_id)
-        if profile is None:
+        unframed = self._unframe_payload(plaintext, peer_id)
+        if unframed is None:
             return None
+        profile, ticket = unframed
         if not profile.verify(self.creds.admin_public):
             self._record(AuthenticationError(f"bad PROF_O signature from {peer_id}"))
             return None
@@ -254,21 +272,127 @@ class SubjectEngine:
             functions=profile.functions,
             group_id=via_group,
         )
+        if ticket is not None:
+            self.tickets[session.object_id] = StoredTicket(
+                ticket=ticket,
+                master=kdf.resumption_master(session_key, session.res2_transcript),
+                level=level,
+                group_id=via_group,
+            )
         return service
 
-    def _unframe_payload(self, plaintext: bytes, peer_id: str) -> Profile | None:
+    def _unframe_payload(
+        self, plaintext: bytes, peer_id: str
+    ) -> tuple[Profile, bytes | None] | None:
+        """Parse ``len || PROF [|| len || ticket] || padding``.
+
+        A zero ticket-length field — which is also what bare v3.0 zero
+        padding looks like — means the object issued no ticket.
+        """
         if len(plaintext) < 4:
-            self._record(MessageFormatError(f"short RES2 payload from {peer_id}"))
+            self._record(MessageFormatError(f"short payload from {peer_id}"))
             return None
         length = int.from_bytes(plaintext[:4], "big")
         if 4 + length > len(plaintext):
-            self._record(MessageFormatError(f"bad RES2 framing from {peer_id}"))
+            self._record(MessageFormatError(f"bad payload framing from {peer_id}"))
             return None
         try:
-            return Profile.from_bytes(plaintext[4 : 4 + length])
+            profile = Profile.from_bytes(plaintext[4 : 4 + length])
         except ProfileError as exc:
             self._record(MessageFormatError(f"{peer_id}: {exc}"))
             return None
+        ticket: bytes | None = None
+        rest = plaintext[4 + length :]
+        if len(rest) >= 4:
+            ticket_len = int.from_bytes(rest[:4], "big")
+            if ticket_len and 4 + ticket_len <= len(rest):
+                ticket = rest[4 : 4 + ticket_len]
+        return profile, ticket
+
+    # -- session resumption (RQUE -> RRES; symmetric ops only) ---------------------
+
+    def has_ticket(self, object_id: str) -> bool:
+        return object_id in self.tickets
+
+    def start_resumption(self, object_id: str) -> Rque | None:
+        """Open the 2-message fast path toward a previously discovered object.
+
+        Pops the stored ticket (single-use on our side too: if the RRES
+        never arrives or fails, the next round falls back to the full
+        handshake rather than replaying a ticket the object would reject
+        anyway).  Returns None when we hold no ticket for *object_id*.
+        """
+        stored = self.tickets.pop(object_id, None)
+        if stored is None:
+            return None
+        r_s = fresh_nonce()
+        binder = kdf.rque_binder(stored.master, stored.ticket, r_s)
+        rque = Rque(ticket=stored.ticket, r_s=r_s, binder=binder)
+        self._pending_resume[object_id] = _ResumeState(
+            r_s=r_s,
+            rque_bytes=rque.to_bytes(),
+            master=stored.master,
+            level=stored.level,
+            group_id=stored.group_id,
+        )
+        return rque
+
+    def handle_rres(self, rres: Rres, peer_id: str) -> DiscoveredService | None:
+        """Finish a resumption: derive K2', authenticate, decrypt, re-ticket.
+
+        No public-key operation happens here — not even a cached
+        ``Profile.verify`` (whose hits still meter the logical
+        ``ecdsa_verify``).  Authenticity chains through the resumption
+        master: only the object that completed the original, fully
+        authenticated handshake can compute K2' and the finished MAC, and
+        the PROF it re-serves was admin-signature-checked back then.
+        """
+        state = self._pending_resume.pop(peer_id, None)
+        if state is None:
+            self._record(SessionError(f"RRES without pending RQUE from {peer_id}"))
+            return None
+
+        session_key = kdf.derive_resumed_key(state.master, state.r_s, rres.r_o)
+        transcript = state.rque_bytes + rres.r_o
+        expected_mac = kdf.object_finished(session_key, transcript + rres.ciphertext)
+        if not constant_time_equal(expected_mac, rres.mac_o):
+            self._record(AuthenticationError(f"bad RRES MAC_O from {peer_id}"))
+            return None
+        try:
+            plaintext = aead.decrypt(session_key, rres.ciphertext)
+        except aead.AeadError as exc:
+            self._record(AuthenticationError(f"RRES decrypt failed from {peer_id}: {exc}"))
+            return None
+
+        unframed = self._unframe_payload(plaintext, peer_id)
+        if unframed is None:
+            return None
+        profile, ticket = unframed
+        if profile.entity_id != peer_id:
+            self._record(AuthenticationError(
+                f"PROF_O identity {profile.entity_id!r} != resumed peer {peer_id!r}"
+            ))
+            return None
+
+        service = DiscoveredService(peer_id, state.level, profile, state.group_id)
+        self.discovered.append(service)
+        self.established[peer_id] = EstablishedSession(
+            peer_id=peer_id,
+            key=session_key,
+            level=state.level,
+            functions=profile.functions,
+            group_id=state.group_id,
+        )
+        if ticket is not None:
+            # The refresh ticket's master is bound to the RQUE||R_O
+            # transcript — the same value the object derived at issuance.
+            self.tickets[peer_id] = StoredTicket(
+                ticket=ticket,
+                master=kdf.resumption_master(session_key, transcript),
+                level=state.level,
+                group_id=state.group_id,
+            )
+        return service
 
     # -- bookkeeping ---------------------------------------------------------------------
 

@@ -132,3 +132,38 @@ class TestModuleDefault:
     def test_configure_validates_batch_size(self):
         with pytest.raises(ValueError):
             configure(batch_size=0)
+
+
+class TestForkSafety:
+    """ProcessPoolExecutor workers must not inherit pooled parent keys."""
+
+    def test_reset_after_fork_clears_everything(self, pool):
+        pool.prime(5)
+        pool.get()
+        old_lock = pool._lock
+        pool.reset_after_fork()
+        assert pool.stock() == 0
+        assert pool.hits == {} and pool.misses == {}
+        assert pool._refilling == set()
+        assert pool._lock is not old_lock
+
+    def test_forked_child_starts_with_empty_default_pool(self):
+        os = pytest.importorskip("os")
+        if not hasattr(os, "fork"):
+            pytest.skip("no os.fork on this platform")
+        parent_pool = default_pool()
+        parent_pool.drain()
+        parent_pool.prime(4)
+        try:
+            pid = os.fork()
+            if pid == 0:
+                # Child: the at-fork hook must have emptied the stock —
+                # drawing here must be a miss, never a parent key.
+                ok = default_pool().stock() == 0
+                os._exit(0 if ok else 1)
+            _, status = os.waitpid(pid, 0)
+            assert os.waitstatus_to_exitcode(status) == 0
+            # The parent's stock is untouched by the child's reset.
+            assert parent_pool.stock() == 4
+        finally:
+            parent_pool.drain()

@@ -38,6 +38,36 @@ class TestConcurrentDiscovery:
         assert len(burst.subject_completion) == 4
         assert len(staggered.subject_completion) == 4
 
+    def test_resumed_rediscovery_completes_and_is_faster(self):
+        """Warm mode: every subject re-discovers every object over the
+        air via RQUE/RRES, and the 2-message exchange beats the 4-way
+        handshake's makespan."""
+        subjects, objects = build_floor(3, 4)
+        first = simulate_concurrent_discovery(subjects, objects, seed=3)
+        subjects2, objects2 = build_floor(3, 4)
+        again = simulate_concurrent_discovery(
+            subjects2, objects2, seed=3, resumption=True
+        )
+        assert len(again.subject_completion) == 3
+        assert all(n == 4 for n in again.discovered_counts.values())
+        assert again.makespan < first.makespan
+
+    def test_resumption_flag_without_tickets_degrades_to_full(self):
+        """A pure Level 1 fleet yields no tickets; warm mode must still
+        complete via the broadcast round."""
+        from repro.backend import Backend
+
+        backend = Backend()
+        subject = backend.register_subject("warm-s", {"position": "staff"})
+        thermo = backend.register_object(
+            "warm-t", {"type": "thermometer"}, level=1,
+            functions=("read_temperature",),
+        )
+        timeline = simulate_concurrent_discovery(
+            [subject], [thermo], resumption=True
+        )
+        assert timeline.discovered_counts == {"warm-s": 1}
+
     def test_objects_keep_sessions_separate(self):
         """Every subject gets her own variant payload — no cross-session
         bleed when an object serves many subjects at once."""
