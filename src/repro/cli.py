@@ -10,6 +10,8 @@ Commands:
 * ``campus`` — generate a synthetic enterprise and print its
   visibility statistics.
 * ``table1`` — the updating-overhead comparison at chosen (N, alpha).
+* ``lint`` — protocol-invariant static analysis over the tree
+  (docs/static-analysis.md); non-zero exit on new findings.
 """
 
 from __future__ import annotations
@@ -144,6 +146,12 @@ def _cmd_table1(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint.engine import run_lint
+
+    return run_lint(args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Argus reproduction CLI"
@@ -180,6 +188,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_audit.add_argument("--exposure", type=float, default=0.9)
     p_audit.add_argument("--seed", type=int, default=2020)
 
+    p_lint = sub.add_parser(
+        "lint", help="protocol-invariant static analysis (docs/static-analysis.md)"
+    )
+    from repro.lint.engine import add_arguments as _add_lint_arguments
+
+    _add_lint_arguments(p_lint)
+
     p_t1 = sub.add_parser("table1", help="updating-overhead comparison")
     p_t1.add_argument("--n", type=int, default=1000)
     p_t1.add_argument("--alpha", type=int, default=9000)
@@ -196,6 +211,7 @@ _HANDLERS = {
     "campus": _cmd_campus,
     "audit": _cmd_audit,
     "table1": _cmd_table1,
+    "lint": _cmd_lint,
 }
 
 

@@ -18,13 +18,16 @@ the 8-byte PKCS7 delta there.
 
 from __future__ import annotations
 
-import hmac as _hmac
-
 from cryptography.hazmat.primitives import padding
 from cryptography.hazmat.primitives.ciphers import Cipher, algorithms, modes
 
 from repro.crypto import meter
-from repro.crypto.primitives import hkdf_like_prf, hmac_sha256, random_bytes
+from repro.crypto.primitives import (
+    constant_time_equal,
+    hkdf_like_prf,
+    hmac_sha256,
+    random_bytes,
+)
 
 IV_LEN = 16
 TAG_LEN = 32
@@ -72,7 +75,7 @@ def decrypt(session_key: bytes, blob: bytes) -> bytes:
     enc_key, mac_key = _expand_keys(session_key)
     iv, body, tag = blob[:IV_LEN], blob[IV_LEN:-TAG_LEN], blob[-TAG_LEN:]
     expected = hmac_sha256(mac_key, iv + body)
-    if not _hmac.compare_digest(tag, expected):
+    if not constant_time_equal(tag, expected):
         raise AeadError("MAC verification failed")
     if len(body) % BLOCK_LEN != 0:
         raise AeadError("ciphertext body not block-aligned")

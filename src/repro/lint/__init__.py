@@ -1,0 +1,29 @@
+"""``argus-lint``: protocol-invariant static analysis for this repo.
+
+The Argus security argument rests on a handful of code-level invariants
+that ordinary tests cannot guard forever — constant-time MAC comparison
+(§VII Case 9), CSPRNG-only key material, the §IX-B public-key-op
+accounting, and the v3.0 indistinguishability discipline (§VI-B:
+constant-length responses, no membership-dependent early exits).  Each
+invariant is encoded as an AST rule (:mod:`repro.lint.rules`) and run
+over the tree by :mod:`repro.lint.engine`; CI and the tier-1 suite
+(``tests/lint/test_clean_tree.py``) fail on any new finding.
+
+Public surface:
+
+* :func:`repro.lint.engine.lint_paths` / :func:`lint_source` — run rules.
+* :func:`repro.lint.engine.run_lint` — the ``argus-repro lint`` command.
+* :class:`repro.lint.findings.Finding` — one rule violation.
+* :data:`repro.lint.rules.ALL_RULES` — the registered rule set.
+
+See ``docs/static-analysis.md`` for the rule catalogue, suppression and
+baseline mechanics, and how to add a rule.
+"""
+
+from __future__ import annotations
+
+from repro.lint.findings import Finding
+from repro.lint.engine import lint_paths, lint_source, run_lint
+from repro.lint.rules import ALL_RULES
+
+__all__ = ["ALL_RULES", "Finding", "lint_paths", "lint_source", "run_lint"]

@@ -1,0 +1,202 @@
+"""Rule framework: module context, AST helpers, and the rule base class.
+
+A rule is a class with a ``RULE_ID``, a one-line ``SUMMARY``, and a
+``check(context)`` method yielding :class:`~repro.lint.findings.Finding`
+objects.  The engine builds one :class:`ModuleContext` per file (source,
+parsed AST, parent links, dotted module name) and hands it to every
+rule, so rules stay cheap and side-effect free.
+
+Suppressions are per physical line: a trailing
+``# argus-lint: disable=RULE-A,RULE-B`` (or ``disable=all``) comment on
+the line a finding points at silences it.  Suppressions are applied by
+the engine, not by rules.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.lint.findings import Finding
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*argus-lint:\s*disable=([A-Za-z0-9_\-]+(?:\s*,\s*[A-Za-z0-9_\-]+)*)"
+)
+
+#: Marker comment opening an indistinguishability region: placed on (or on
+#: the line directly above) a ``def``, it marks that whole function as a
+#: responder region for the INDIST-RETURN rule.
+INDIST_MARKER_RE = re.compile(r"#\s*lint:\s*indistinguishable\b")
+
+
+def module_name_for(path: str) -> str:
+    """Dotted module name for *path*, anchored at the ``repro`` package.
+
+    ``src/repro/crypto/aead.py`` -> ``repro.crypto.aead``; files outside
+    a ``repro`` tree fall back to their stem so rules scoped to Argus
+    packages simply never match them.
+    """
+    parts = path.replace("\\", "/").split("/")
+    if "repro" in parts:
+        parts = parts[len(parts) - 1 - parts[::-1].index("repro") :]
+    else:
+        parts = parts[-1:]
+    if parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][:-3]
+    if parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+@dataclass
+class ModuleContext:
+    """Everything a rule may look at for one source file."""
+
+    path: str
+    source: str
+    tree: ast.AST
+    module: str
+    lines: list[str] = field(default_factory=list)
+    _parents: dict[ast.AST, ast.AST] = field(default_factory=dict)
+
+    @classmethod
+    def build(cls, path: str, source: str) -> "ModuleContext":
+        tree = ast.parse(source, filename=path)
+        ctx = cls(
+            path=path,
+            source=source,
+            tree=tree,
+            module=module_name_for(path),
+            lines=source.splitlines(),
+        )
+        for parent in ast.walk(tree):
+            for child in ast.iter_child_nodes(parent):
+                ctx._parents[child] = parent
+        return ctx
+
+    def parent(self, node: ast.AST) -> ast.AST | None:
+        return self._parents.get(node)
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        current = self._parents.get(node)
+        while current is not None:
+            yield current
+            current = self._parents.get(current)
+
+    def in_package(self, *packages: str) -> bool:
+        """True iff this module lives in (or under) any named package."""
+        return any(
+            self.module == pkg or self.module.startswith(pkg + ".")
+            for pkg in packages
+        )
+
+    def line(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+    def suppressed_rules(self, lineno: int) -> set[str]:
+        """Rule ids disabled on the given physical line ('ALL' wildcard)."""
+        match = _SUPPRESS_RE.search(self.line(lineno))
+        if match is None:
+            return set()
+        return {part.strip().upper() for part in match.group(1).split(",")}
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        disabled = self.suppressed_rules(finding.line)
+        return bool(disabled) and (
+            "ALL" in disabled or finding.rule_id.upper() in disabled
+        )
+
+    def marked_functions(self, marker: re.Pattern[str] = INDIST_MARKER_RE) -> list[ast.AST]:
+        """Function defs whose ``def`` line (or the line above) carries *marker*."""
+        marked: list[ast.AST] = []
+        for node in ast.walk(self.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if marker.search(self.line(node.lineno)) or marker.search(
+                    self.line(node.lineno - 1)
+                ):
+                    marked.append(node)
+        return marked
+
+
+class Rule:
+    """Base class for lint rules; subclasses register via ``rules/__init__``."""
+
+    RULE_ID: str = ""
+    SUMMARY: str = ""
+
+    def check(self, context: ModuleContext) -> Iterable[Finding]:  # pragma: no cover
+        raise NotImplementedError
+
+    def finding(self, context: ModuleContext, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            path=context.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule_id=self.RULE_ID,
+            message=message,
+        )
+
+
+# -- shared AST vocabulary ---------------------------------------------------------
+
+
+def terminal_name(node: ast.AST) -> str | None:
+    """The rightmost identifier of a Name/Attribute/Call expression.
+
+    ``keys.subject_mac(...)`` -> ``subject_mac``; ``que2.mac_s2`` ->
+    ``mac_s2``; ``x`` -> ``x``; anything else -> None.
+    """
+    if isinstance(node, ast.Call):
+        return terminal_name(node.func)
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def name_tokens(identifier: str) -> list[str]:
+    """Lower-cased underscore-split tokens of an identifier."""
+    return [tok for tok in identifier.lower().split("_") if tok]
+
+
+def is_constant_expr(node: ast.AST) -> bool:
+    """True for literal expressions (including e.g. ``b"\\x00" * 12``)."""
+    if isinstance(node, ast.Constant):
+        return True
+    if isinstance(node, ast.UnaryOp):
+        return is_constant_expr(node.operand)
+    if isinstance(node, ast.BinOp):
+        return is_constant_expr(node.left) and is_constant_expr(node.right)
+    if isinstance(node, (ast.Tuple, ast.List)):
+        return all(is_constant_expr(elt) for elt in node.elts)
+    return False
+
+
+def bound_names(node: ast.AST) -> set[str]:
+    """Every name bound (assigned, looped over, bound by ``with``/walrus)
+    anywhere inside *node*'s subtree."""
+    out: set[str] = set()
+
+    def collect_target(target: ast.AST) -> None:
+        for sub in ast.walk(target):
+            if isinstance(sub, ast.Name):
+                out.add(sub.id)
+
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Assign):
+            for target in sub.targets:
+                collect_target(target)
+        elif isinstance(sub, (ast.AugAssign, ast.AnnAssign, ast.NamedExpr)):
+            collect_target(sub.target)
+        elif isinstance(sub, (ast.For, ast.AsyncFor)):
+            collect_target(sub.target)
+        elif isinstance(sub, (ast.With, ast.AsyncWith)):
+            for item in sub.items:
+                if item.optional_vars is not None:
+                    collect_target(item.optional_vars)
+    return out

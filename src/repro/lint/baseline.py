@@ -1,0 +1,86 @@
+"""Baseline handling: grandfathered findings that do not fail the build.
+
+A baseline is a checked-in JSON file listing findings that predate a
+rule (by line-independent fingerprint: rule id, path, message).  The
+engine subtracts baselined findings from the failure count, so a new
+rule can land before every legacy violation is fixed — while any *new*
+violation still breaks CI.  The shipped baseline is empty: every
+violation the initial rule set surfaced was fixed, not grandfathered.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.lint.findings import Finding
+
+#: Default baseline location, relative to the working directory.
+DEFAULT_BASELINE = "lint-baseline.json"
+
+_VERSION = 1
+
+
+class BaselineError(Exception):
+    """The baseline file is unreadable or malformed."""
+
+
+@dataclass
+class Baseline:
+    """A multiset of grandfathered finding fingerprints."""
+
+    entries: Counter = field(default_factory=Counter)
+
+    @classmethod
+    def load(cls, path: str | Path | None) -> "Baseline":
+        """Load *path*; a missing or None path yields an empty baseline."""
+        if path is None:
+            return cls()
+        path = Path(path)
+        if not path.exists():
+            return cls()
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise BaselineError(f"cannot read baseline {path}: {exc}") from exc
+        if not isinstance(data, dict) or "findings" not in data:
+            raise BaselineError(f"baseline {path} lacks a 'findings' list")
+        entries: Counter = Counter()
+        for item in data["findings"]:
+            try:
+                entries[(item["rule"], item["path"], item["message"])] += 1
+            except (TypeError, KeyError) as exc:
+                raise BaselineError(f"malformed baseline entry {item!r}") from exc
+        return cls(entries)
+
+    def split(self, findings: list[Finding]) -> tuple[list[Finding], list[Finding]]:
+        """Partition *findings* into (new, baselined).
+
+        Each baseline entry absorbs at most as many findings as its
+        multiplicity, so fixing one of two identical violations and
+        introducing another elsewhere still fails.
+        """
+        remaining = Counter(self.entries)
+        new: list[Finding] = []
+        old: list[Finding] = []
+        for finding in sorted(findings):
+            if remaining[finding.fingerprint] > 0:
+                remaining[finding.fingerprint] -= 1
+                old.append(finding)
+            else:
+                new.append(finding)
+        return new, old
+
+    @staticmethod
+    def write(path: str | Path, findings: list[Finding]) -> None:
+        """Write a baseline grandfathering exactly *findings*."""
+        payload = {
+            "version": _VERSION,
+            "findings": [
+                {"rule": f.rule_id, "path": f.path, "message": f.message}
+                for f in sorted(findings)
+            ],
+        }
+        Path(path).write_text(json.dumps(payload, indent=2) + "\n")

@@ -1,0 +1,177 @@
+"""The linter driver: collect files, run rules, filter, report, exit.
+
+``argus-repro lint [paths...]`` (see :func:`add_arguments` /
+:func:`run_lint`) lints ``src/`` by default, applies per-line
+suppressions and the checked-in baseline, prints a text or JSON report
+and exits non-zero iff any *new* finding remains — the contract CI and
+``tests/lint/test_clean_tree.py`` enforce.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.lint.base import ModuleContext, Rule
+from repro.lint.baseline import DEFAULT_BASELINE, Baseline, BaselineError
+from repro.lint.findings import Finding
+from repro.lint.report import RENDERERS, LintResult
+from repro.lint.rules import ALL_RULES
+
+#: Directories never descended into.
+_SKIP_DIRS = {"__pycache__", ".git", ".venv", "node_modules"}
+
+
+def collect_files(paths: Iterable[str | Path]) -> list[Path]:
+    """Expand *paths* (files or directories) into a sorted .py file list."""
+    out: set[Path] = set()
+    for path in paths:
+        path = Path(path)
+        if path.is_dir():
+            for candidate in path.rglob("*.py"):
+                if not any(part in _SKIP_DIRS for part in candidate.parts):
+                    out.add(candidate)
+        elif path.suffix == ".py":
+            out.add(path)
+    return sorted(out)
+
+
+def _instantiate(rules: Sequence[type[Rule]] | None) -> list[Rule]:
+    return [cls() for cls in (rules if rules is not None else ALL_RULES)]
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    rules: Sequence[type[Rule]] | None = None,
+    apply_suppressions: bool = True,
+) -> list[Finding]:
+    """Lint one source string as if it lived at *path* (package scoping
+    and suppression comments both derive from it)."""
+    context = ModuleContext.build(path, source)
+    findings: list[Finding] = []
+    for rule in _instantiate(rules):
+        for finding in rule.check(context):
+            if apply_suppressions and context.is_suppressed(finding):
+                continue
+            findings.append(finding)
+    return sorted(findings)
+
+
+def lint_paths(
+    paths: Iterable[str | Path],
+    rules: Sequence[type[Rule]] | None = None,
+    relative_to: str | Path | None = None,
+) -> tuple[list[Finding], int, int]:
+    """Lint every file under *paths*.
+
+    Returns ``(findings, suppressed_count, checked_files)``.  Finding
+    paths are made relative to *relative_to* (default: the current
+    directory) when possible, so baselines stay machine-independent.
+    """
+    root = Path(relative_to) if relative_to is not None else Path.cwd()
+    rule_objects = _instantiate(rules)
+    findings: list[Finding] = []
+    suppressed = 0
+    files = collect_files(paths)
+    for file in files:
+        try:
+            display = str(file.resolve().relative_to(root.resolve()))
+        except ValueError:
+            display = str(file)
+        try:
+            source = file.read_text()
+            context = ModuleContext.build(display, source)
+        except (OSError, SyntaxError, ValueError) as exc:
+            findings.append(
+                Finding(
+                    path=display,
+                    line=1,
+                    col=1,
+                    rule_id="PARSE-ERROR",
+                    message=f"cannot lint file: {exc}",
+                )
+            )
+            continue
+        for rule in rule_objects:
+            for finding in rule.check(context):
+                if context.is_suppressed(finding):
+                    suppressed += 1
+                else:
+                    findings.append(finding)
+    return sorted(findings), suppressed, len(files)
+
+
+def run(
+    paths: Iterable[str | Path],
+    baseline_path: str | Path | None = DEFAULT_BASELINE,
+    rules: Sequence[type[Rule]] | None = None,
+    relative_to: str | Path | None = None,
+) -> LintResult:
+    """Full pipeline: lint, subtract the baseline, package the result."""
+    findings, suppressed, checked = lint_paths(paths, rules, relative_to)
+    baseline = Baseline.load(baseline_path)
+    new, baselined = baseline.split(findings)
+    return LintResult(
+        new=new, baselined=baselined, suppressed=suppressed, checked_files=checked
+    )
+
+
+# -- CLI plumbing (the ``argus-repro lint`` subcommand) ----------------------------
+
+
+def add_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files/directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format", choices=sorted(RENDERERS), default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline", default=DEFAULT_BASELINE, metavar="FILE",
+        help=f"baseline file of grandfathered findings (default: {DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore the baseline file entirely",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="write all current findings to the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="list rule ids and exit"
+    )
+
+
+def run_lint(args: argparse.Namespace, out=None) -> int:
+    """Execute the lint subcommand; returns the process exit code."""
+    out = out if out is not None else sys.stdout
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.RULE_ID:18s} {rule.SUMMARY}", file=out)
+        return 0
+    missing = [p for p in args.paths if not Path(p).exists()]
+    if missing:
+        print(f"argus-lint: no such path: {', '.join(missing)}", file=sys.stderr)
+        return 2
+    baseline_path = None if args.no_baseline else args.baseline
+    try:
+        if args.write_baseline:
+            findings, _, _ = lint_paths(args.paths)
+            Baseline.write(args.baseline, findings)
+            print(
+                f"argus-lint: wrote {len(findings)} finding(s) to {args.baseline}",
+                file=out,
+            )
+            return 0
+        result = run(args.paths, baseline_path)
+    except BaselineError as exc:
+        print(f"argus-lint: {exc}", file=sys.stderr)
+        return 2
+    print(RENDERERS[args.format](result), file=out)
+    return result.exit_code

@@ -1,0 +1,38 @@
+"""The unit of linter output: one rule violation at one source location."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """A single rule violation.
+
+    Ordered by location so reports are stable across runs; the
+    ``fingerprint`` deliberately omits the line/column so a baseline
+    entry survives unrelated edits that merely shift code up or down.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule_id: str = field(compare=False)
+    message: str = field(compare=False)
+
+    @property
+    def fingerprint(self) -> tuple[str, str, str]:
+        """Line-independent identity used for baseline matching."""
+        return (self.rule_id, self.path, self.message)
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule_id,
+            "message": self.message,
+        }

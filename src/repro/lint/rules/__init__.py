@@ -1,0 +1,30 @@
+"""The Argus rule catalogue.
+
+Each module holds one rule class; adding a rule means adding a module
+and listing the class here.  Rule ids are SCREAMING-KEBAB and stable:
+suppression comments and baseline entries reference them.
+"""
+
+from __future__ import annotations
+
+from repro.lint.rules.ct_compare import CtCompareRule
+from repro.lint.rules.crypto_rand import CryptoRandRule
+from repro.lint.rules.indist_return import IndistReturnRule
+from repro.lint.rules.meter_accounting import MeterAccountingRule
+from repro.lint.rules.nonce_reuse import NonceReuseRule
+from repro.lint.rules.secret_leak import SecretLeakRule
+
+#: Every registered rule, in report order.
+ALL_RULES = (
+    CtCompareRule,
+    CryptoRandRule,
+    SecretLeakRule,
+    MeterAccountingRule,
+    IndistReturnRule,
+    NonceReuseRule,
+)
+
+#: id -> rule class, for ``--list-rules`` and fixture tests.
+RULES_BY_ID = {rule.RULE_ID: rule for rule in ALL_RULES}
+
+__all__ = ["ALL_RULES", "RULES_BY_ID"]

@@ -1,0 +1,56 @@
+"""CRYPTO-RAND: no Mersenne-Twister randomness near key material.
+
+Key material, freshness nonces (``R_S``/``R_O``) and cover-up keys must
+come from a CSPRNG — ``secrets``, ``os.urandom``, or the project wrapper
+:func:`repro.crypto.primitives.random_bytes`.  The ``random`` module is
+therefore banned outright in the crypto, protocol and PKI packages; a
+predictable nonce would let the §VII replay/impostor attackers forge
+freshness, and a predictable cover-up key breaks v3.0's
+indistinguishability argument.
+
+Seeded ``random.Random`` remains legal in the simulation packages
+(``repro.net``, ``repro.backend``, ``repro.baselines``): reproducible
+topologies and churn schedules are a feature there, and nothing in those
+modules feeds the key schedule.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.lint.base import ModuleContext, Rule
+from repro.lint.findings import Finding
+
+#: Packages in which the ``random`` module is forbidden.
+SCOPED_PACKAGES = ("repro.crypto", "repro.protocol", "repro.pki")
+
+_MESSAGE = (
+    "the 'random' module is forbidden in {pkg}; draw key/nonce material "
+    "from secrets, os.urandom or repro.crypto.primitives.random_bytes"
+)
+
+
+class CryptoRandRule(Rule):
+    RULE_ID = "CRYPTO-RAND"
+    SUMMARY = (
+        "'random' module imported inside repro.crypto/repro.protocol/"
+        "repro.pki; CSPRNG sources only"
+    )
+
+    def check(self, context: ModuleContext) -> Iterable[Finding]:
+        if not context.in_package(*SCOPED_PACKAGES):
+            return
+        package = context.module.rsplit(".", 1)[0] if "." in context.module else context.module
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random" or alias.name.startswith("random."):
+                        yield self.finding(context, node, _MESSAGE.format(pkg=package))
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random" or (node.module or "").startswith("random."):
+                    yield self.finding(context, node, _MESSAGE.format(pkg=package))
+                elif node.module == "numpy" and any(
+                    alias.name == "random" for alias in node.names
+                ):
+                    yield self.finding(context, node, _MESSAGE.format(pkg=package))

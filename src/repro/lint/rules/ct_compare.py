@@ -1,0 +1,79 @@
+"""CT-COMPARE: MAC/tag/key equality must be constant-time.
+
+§VII Case 9: the paper's timing attacker already gets a (bounded) signal
+from response-time variance; a short-circuiting ``==`` on a MAC or key
+would hand her a byte-by-byte oracle instead.  Inside the security-
+critical packages every comparison of MAC/tag/digest/key-named operands
+must go through :func:`repro.crypto.primitives.constant_time_equal`
+(itself the one blessed ``hmac.compare_digest`` call site).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable, Iterator
+
+from repro.lint.base import ModuleContext, Rule, name_tokens, terminal_name
+from repro.lint.findings import Finding
+
+#: Packages in which variable-time comparison of secret material is banned.
+SCOPED_PACKAGES = ("repro.crypto", "repro.protocol", "repro.pki")
+
+#: Identifier tokens that mark an operand as secret material.
+_SENSITIVE_TOKEN_RE = re.compile(
+    r"^(h?mac\w{0,2}|tags?|digests?|keys?|secrets?|master|binder|k2|k3|prek)$"
+)
+
+
+def _is_sensitive_operand(node: ast.AST) -> bool:
+    name = terminal_name(node)
+    if name is None or name.isupper():
+        # SCREAMING_SNAKE identifiers are length/constant definitions
+        # (MAC_LEN, TAG_LEN), not secret values.
+        return False
+    return any(_SENSITIVE_TOKEN_RE.match(tok) for tok in name_tokens(name))
+
+
+def _is_len_call(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "len"
+    )
+
+
+class CtCompareRule(Rule):
+    RULE_ID = "CT-COMPARE"
+    SUMMARY = (
+        "== / != on MAC/tag/digest/key operands in repro.crypto, "
+        "repro.protocol or repro.pki; use primitives.constant_time_equal"
+    )
+
+    def check(self, context: ModuleContext) -> Iterable[Finding]:
+        if not context.in_package(*SCOPED_PACKAGES):
+            return
+        yield from self._scan(context)
+
+    def _scan(self, context: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            # Length checks (len(tag) != MAC_LEN) are not secret-dependent.
+            if any(_is_len_call(op) for op in operands):
+                continue
+            lefts = [node.left, *node.comparators[:-1]]
+            for left, op, right in zip(lefts, node.ops, node.comparators):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if _is_sensitive_operand(left) or _is_sensitive_operand(right):
+                    offender = terminal_name(left) or terminal_name(right)
+                    yield self.finding(
+                        context,
+                        node,
+                        f"variable-time comparison of {offender!r}; use "
+                        "repro.crypto.primitives.constant_time_equal (or "
+                        "hmac.compare_digest) for secret material",
+                    )
+                    break

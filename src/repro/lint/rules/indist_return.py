@@ -1,0 +1,93 @@
+"""INDIST-RETURN: no membership-dependent early exits in responder regions.
+
+v3.0's core discipline (§VI-B): a responder must behave *identically* —
+same message lengths, same work, same control flow — whether it is
+serving a Level 2 variant or a covert Level 3 variant, because the
+decision is derived from secret-group membership.  An early ``return``
+or ``raise`` taken under a branch conditioned on membership-derived
+values (``matched_group``, ``group_id``, covert variants, ``K3``,
+levels), *before* the constant-length padding / time-equalization calls
+have run, reintroduces exactly the structural side channel the
+distinguisher (:mod:`repro.attacks.distinguisher`) measures.
+
+Responder regions are opted in explicitly: a ``# lint: indistinguishable``
+comment on (or directly above) a ``def`` marks that whole function.
+Within a marked function the rule flags ``return``/``raise`` statements
+nested under an ``if`` whose test mentions a membership-derived name,
+when they occur before the first padding/equalization call
+(``*_frame_payload``, ``padded_payload_length``, ``equalize*``,
+``pad*``).  Exits after the padding call — or exits conditioned only on
+authentication/freshness failures, which are silence for *every* subject
+— are legal.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable, Iterator
+
+from repro.lint.base import ModuleContext, Rule, name_tokens, terminal_name
+from repro.lint.findings import Finding
+
+#: Identifier tokens treated as derived from secret-group membership.
+_TAINT_TOKEN_RE = re.compile(r"^(matched|group|groups|covert|level3|level|k3)$")
+
+#: Calls that establish the constant-shape response (padding / timing).
+_PAD_CALL_RE = re.compile(r"(frame_payload|padded_payload|equalize|pad_to|padding)")
+
+
+def _mentions_taint(test: ast.AST) -> str | None:
+    for sub in ast.walk(test):
+        name = terminal_name(sub) if isinstance(sub, (ast.Name, ast.Attribute)) else None
+        if name is None:
+            continue
+        for tok in name_tokens(name):
+            if _TAINT_TOKEN_RE.match(tok):
+                return name
+    return None
+
+
+def _first_pad_lineno(func: ast.AST) -> int | None:
+    linenos = [
+        node.lineno
+        for node in ast.walk(func)
+        if isinstance(node, ast.Call)
+        and (name := terminal_name(node.func)) is not None
+        and _PAD_CALL_RE.search(name)
+    ]
+    return min(linenos) if linenos else None
+
+
+class IndistReturnRule(Rule):
+    RULE_ID = "INDIST-RETURN"
+    SUMMARY = (
+        "early return/raise under a group-membership-derived branch before "
+        "padding/equalization in a '# lint: indistinguishable' region"
+    )
+
+    def check(self, context: ModuleContext) -> Iterable[Finding]:
+        for func in context.marked_functions():
+            yield from self._check_region(context, func)
+
+    def _check_region(self, context: ModuleContext, func: ast.AST) -> Iterator[Finding]:
+        pad_lineno = _first_pad_lineno(func)
+        for node in ast.walk(func):
+            if not isinstance(node, ast.If):
+                continue
+            tainted = _mentions_taint(node.test)
+            if tainted is None:
+                continue
+            for sub in ast.walk(node):
+                if not isinstance(sub, (ast.Return, ast.Raise)):
+                    continue
+                if pad_lineno is not None and sub.lineno > pad_lineno:
+                    continue
+                kind = "return" if isinstance(sub, ast.Return) else "raise"
+                yield self.finding(
+                    context,
+                    sub,
+                    f"early {kind} under branch on membership-derived "
+                    f"{tainted!r} before padding/equalization; restructure so "
+                    "both faces reach the constant-shape response path (§VI-B)",
+                )

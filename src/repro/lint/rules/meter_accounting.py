@@ -1,0 +1,62 @@
+"""METER-ACCOUNTING: raw crypto primitives stay inside ``repro.crypto``.
+
+The §IX-B evaluation (and the simulator's calibrated timing mode) trusts
+the op meter: every ECDSA sign/verify, ECDH generate/derive, AES and
+HMAC operation is *recorded where it happens* by the wrappers in
+``repro.crypto`` (:mod:`~repro.crypto.ecdsa`, :mod:`~repro.crypto.ecdh`,
+:mod:`~repro.crypto.aead`, :mod:`~repro.crypto.primitives`).  A call
+that bypasses those wrappers — importing ``cryptography.hazmat``,
+``hashlib`` or ``hmac`` directly from protocol/backend/experiment code —
+still works, but its cost silently vanishes from the paper's op
+accounting and from calibrated simulations.  This rule pins all raw
+primitive use to the ``repro.crypto`` package.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.lint.base import ModuleContext, Rule
+from repro.lint.findings import Finding
+
+#: The one package allowed to touch raw primitives (it owns the meter).
+CRYPTO_PACKAGE = "repro.crypto"
+
+#: Top-level modules whose direct use bypasses the §IX-B op accounting.
+RAW_MODULES = ("cryptography", "hashlib", "hmac")
+
+_MESSAGE = (
+    "direct use of {mod!r} outside repro.crypto bypasses the op meter; "
+    "call the metered wrappers (repro.crypto.primitives / ecdsa / ecdh / "
+    "aead) so §IX-B op counts stay honest"
+)
+
+
+def _raw_module(dotted: str | None) -> str | None:
+    if not dotted:
+        return None
+    top = dotted.split(".", 1)[0]
+    return top if top in RAW_MODULES else None
+
+
+class MeterAccountingRule(Rule):
+    RULE_ID = "METER-ACCOUNTING"
+    SUMMARY = (
+        "raw ECDSA/ECDH/AEAD/hash primitive imported outside repro.crypto; "
+        "use the metered wrappers"
+    )
+
+    def check(self, context: ModuleContext) -> Iterable[Finding]:
+        if not context.module.startswith("repro.") or context.in_package(CRYPTO_PACKAGE):
+            return
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    mod = _raw_module(alias.name)
+                    if mod is not None:
+                        yield self.finding(context, node, _MESSAGE.format(mod=mod))
+            elif isinstance(node, ast.ImportFrom):
+                mod = _raw_module(node.module)
+                if mod is not None and node.level == 0:
+                    yield self.finding(context, node, _MESSAGE.format(mod=mod))

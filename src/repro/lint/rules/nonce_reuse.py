@@ -1,0 +1,114 @@
+"""NONCE-REUSE: AEAD seal calls must take a fresh nonce/IV every time.
+
+The AEAD layer (:mod:`repro.crypto.aead`) draws a fresh random IV inside
+``encrypt`` precisely so callers cannot get this wrong; this rule guards
+the pattern that would break it during a refactor — passing an
+explicit nonce/IV that is a compile-time constant, or hoisting nonce
+generation out of the loop that seals many messages.  CBC with a
+repeated IV leaks plaintext-prefix equality; CTR/GCM with a repeated
+nonce is catastrophic (keystream reuse / tag forgery).
+
+Flagged shapes:
+
+* ``modes.CBC(b"\\x00" * 16)`` — constant IV fed to a cipher-mode
+  constructor (also CTR/GCM/OFB/CFB).
+* ``seal(..., nonce=NONCE)`` / ``encrypt(..., iv=...)`` — constant
+  keyword nonce on a seal/encrypt call.
+* a nonce variable assigned *outside* a loop but used by a seal call
+  *inside* it (loop-invariant nonce ⇒ reuse across iterations).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable, Iterator
+
+from repro.lint.base import (
+    ModuleContext,
+    Rule,
+    bound_names,
+    is_constant_expr,
+    terminal_name,
+)
+from repro.lint.findings import Finding
+
+#: Cipher-mode constructors whose first argument is the IV/nonce.
+_MODE_CTORS = {"CBC", "CTR", "GCM", "OFB", "CFB"}
+
+#: Call names that seal plaintext and may take an explicit nonce.
+_SEAL_NAME_RE = re.compile(r"(^|_)(encrypt|seal)$")
+
+#: Argument names/identifiers that denote a nonce or IV.
+_NONCE_NAME_RE = re.compile(r"^(nonce|iv|nonce_bytes|iv_bytes)$", re.IGNORECASE)
+
+
+def _nonce_argument(call: ast.Call) -> ast.AST | None:
+    """The expression passed as this call's nonce/IV, if identifiable."""
+    func_name = terminal_name(call.func)
+    if func_name in _MODE_CTORS and call.args:
+        return call.args[0]
+    if func_name is not None and _SEAL_NAME_RE.search(func_name):
+        for kw in call.keywords:
+            if kw.arg is not None and _NONCE_NAME_RE.match(kw.arg):
+                return kw.value
+        for arg in call.args:
+            name = terminal_name(arg)
+            if name is not None and _NONCE_NAME_RE.match(name):
+                return arg
+    return None
+
+
+class NonceReuseRule(Rule):
+    RULE_ID = "NONCE-REUSE"
+    SUMMARY = (
+        "AEAD seal called with a constant or loop-invariant nonce/IV "
+        "expression"
+    )
+
+    def check(self, context: ModuleContext) -> Iterable[Finding]:
+        yield from self._scan(context)
+
+    def _scan(self, context: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            nonce = _nonce_argument(node)
+            if nonce is None:
+                continue
+            if is_constant_expr(nonce):
+                yield self.finding(
+                    context,
+                    node,
+                    "constant nonce/IV passed to an AEAD seal; derive a "
+                    "fresh value per message (primitives.random_bytes)",
+                )
+                continue
+            reused = self._loop_invariant(context, node, nonce)
+            if reused is not None:
+                yield self.finding(
+                    context,
+                    node,
+                    f"nonce/IV {reused!r} is assigned outside the enclosing "
+                    "loop and reused across iterations; generate it inside "
+                    "the loop",
+                )
+
+    def _loop_invariant(
+        self, context: ModuleContext, call: ast.Call, nonce: ast.AST
+    ) -> str | None:
+        if not isinstance(nonce, ast.Name):
+            return None
+        loop = next(
+            (
+                anc
+                for anc in context.ancestors(call)
+                if isinstance(anc, (ast.For, ast.AsyncFor, ast.While))
+            ),
+            None,
+        )
+        if loop is None:
+            return None
+        if nonce.id in bound_names(loop):
+            return None
+        return nonce.id

@@ -1,0 +1,109 @@
+"""SECRET-LEAK: secret-named values must not reach logs or messages.
+
+Session keys, resumption masters, sealed tickets and private keys are
+"service information" in the paper's §III sense — the whole protocol
+exists to keep them off any observable surface.  This rule flags
+secret-named variables flowing into the observable sinks a refactor most
+easily reintroduces: ``print``, ``logging`` calls, f-string exception
+messages, and ``__repr__``/``__str__`` bodies.
+
+A name is secret-named when one of its underscore tokens is key/secret/
+master/ticket/private/prek (``session_key``, ``self._key``,
+``ticket``, …).  SCREAMING_SNAKE identifiers are exempt — those are
+length and limit constants (``TICKET_BODY_LEN``), not secret values —
+and so are wrapped values like ``len(ticket)``, which reveal only size.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable, Iterator
+
+from repro.lint.base import ModuleContext, Rule, name_tokens, terminal_name
+from repro.lint.findings import Finding
+
+#: Packages holding secret material worth guarding.
+SCOPED_PACKAGES = ("repro.crypto", "repro.protocol", "repro.pki", "repro.access")
+
+_SECRET_TOKEN_RE = re.compile(
+    r"^(keys?|secrets?|master|tickets?|private|prek|k2|k3|keyring)$"
+)
+
+_LOG_METHODS = {"debug", "info", "warning", "error", "exception", "critical", "log"}
+_LOG_OBJECT_RE = re.compile(r"^(log|logger|logging)$")
+
+
+def _is_secret_expr(node: ast.AST) -> bool:
+    if not isinstance(node, (ast.Name, ast.Attribute)):
+        return False
+    name = terminal_name(node)
+    if name is None or name.isupper():
+        return False
+    return any(_SECRET_TOKEN_RE.match(tok) for tok in name_tokens(name))
+
+
+def _secret_in_format_string(node: ast.AST) -> ast.AST | None:
+    """A secret expression directly formatted inside an f-string, if any."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.FormattedValue) and _is_secret_expr(sub.value):
+            return sub.value
+    return None
+
+
+def _leaking_arg(call: ast.Call) -> ast.AST | None:
+    for arg in [*call.args, *[kw.value for kw in call.keywords]]:
+        if _is_secret_expr(arg):
+            return arg
+        if isinstance(arg, ast.JoinedStr):
+            secret = _secret_in_format_string(arg)
+            if secret is not None:
+                return secret
+    return None
+
+
+def _is_log_call(call: ast.Call) -> bool:
+    func = call.func
+    if isinstance(func, ast.Name):
+        return func.id == "print"
+    if isinstance(func, ast.Attribute) and func.attr in _LOG_METHODS:
+        base = terminal_name(func.value)
+        return base is not None and bool(_LOG_OBJECT_RE.match(base.lower()))
+    return False
+
+
+class SecretLeakRule(Rule):
+    RULE_ID = "SECRET-LEAK"
+    SUMMARY = (
+        "secret-named value flows into print/logging/exception message/"
+        "__repr__ in a security-critical package"
+    )
+
+    def check(self, context: ModuleContext) -> Iterable[Finding]:
+        if not context.in_package(*SCOPED_PACKAGES):
+            return
+        yield from self._scan(context)
+
+    def _scan(self, context: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.Call) and _is_log_call(node):
+                secret = _leaking_arg(node)
+                if secret is not None:
+                    yield self._leak(context, secret, "a print/logging call")
+            elif isinstance(node, ast.Raise) and isinstance(node.exc, ast.Call):
+                secret = _leaking_arg(node.exc)
+                if secret is not None:
+                    yield self._leak(context, secret, "an exception message")
+            elif isinstance(node, ast.FunctionDef) and node.name in ("__repr__", "__str__"):
+                for sub in ast.walk(node):
+                    if isinstance(sub, ast.FormattedValue) and _is_secret_expr(sub.value):
+                        yield self._leak(context, sub.value, f"{node.name}()")
+                        break
+
+    def _leak(self, context: ModuleContext, secret: ast.AST, sink: str) -> Finding:
+        return self.finding(
+            context,
+            secret,
+            f"secret-named value {terminal_name(secret)!r} flows into {sink}; "
+            "log lengths or redacted identifiers instead",
+        )

@@ -8,6 +8,8 @@ node attributes ``role`` in {"subject", "object", "relay"}.
 
 from __future__ import annotations
 
+import random
+
 import networkx as nx
 
 SUBJECT = "S"
@@ -82,9 +84,7 @@ def random_building(
     agnostic (any connected layout works; hop counts just fall out of
     the generated tree).
     """
-    import random as _random
-
-    rng = _random.Random(seed)
+    rng = random.Random(seed)
     graph = nx.Graph()
     graph.add_node(SUBJECT, role="subject")
     backbone = [SUBJECT]

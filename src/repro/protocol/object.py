@@ -129,12 +129,18 @@ class ObjectEngine:
 
     # -- phase 2 ------------------------------------------------------------------
 
+    # lint: indistinguishable
     def handle_que2(self, que2: Que2, peer_id: str) -> Res2 | None:
         """Authenticate the subject and return the visible PROF variant.
 
         Every failure path returns None (silence): an unauthorized or
         unauthenticated subject must not learn whether this object had
         anything to show her.
+
+        Marked ``# lint: indistinguishable``: once ``matched_group`` is
+        known, control flow must not exit early on membership-derived
+        branches before the constant-length framing in
+        :meth:`_frame_payload` (§VI-B; enforced by INDIST-RETURN).
         """
         session = self._sessions.get(peer_id)
         if session is None or session.finished:
@@ -196,18 +202,20 @@ class ObjectEngine:
 
         res2_transcript = mac_transcript + que2.mac_s2 + (que2.mac_s3 or b"")
 
-        # 6. Variant selection: the double-faced role (§VI-B).
+        # 6. Variant selection: the double-faced role (§VI-B).  Both faces
+        # fall through to one exit check so no return sits under a
+        # membership-derived branch (INDIST-RETURN).
+        payload: Profile | None
         if matched_group is not None:
             _, covert_profile = self.creds.level3_variants[matched_group]
             session_key = keys.k3[matched_group]
             payload = covert_profile
         else:
-            variant = self._match_level2_variant(profile)
-            if variant is None:
-                self._record(VisibilityError(f"no variant visible to {subject_id}"))
-                return None
             session_key = keys.k2
-            payload = variant
+            payload = self._match_level2_variant(profile)
+        if payload is None:
+            self._record(VisibilityError(f"no variant visible to {subject_id}"))
+            return None
 
         level = 3 if matched_group is not None else 2
         ticket = self._issue_ticket(
@@ -236,13 +244,17 @@ class ObjectEngine:
 
     # -- session resumption (RQUE -> RRES; symmetric ops only) ---------------------
 
+    # lint: indistinguishable
     def handle_rque(self, rque: Rque, peer_id: str) -> Rres | None:
         """Answer a resumption query from its ticket alone — 0 public-key ops.
 
         Every failure path is silence (None), indistinguishable from the
         full handshake's failure behavior; the subject falls back to the
         4-way handshake.  The accept path performs the same symmetric-op
-        sequence for Level 2 and covert Level 3 tickets.
+        sequence for Level 2 and covert Level 3 tickets — a marked
+        INDIST-RETURN region: rejections may depend on ticket validity
+        (every subject hits those identically) but never on the level or
+        group the ticket encodes.
         """
         body = self.ticket_keyring.open(rque.ticket)
         if body is None:
@@ -407,13 +419,13 @@ class ObjectEngine:
         variant profiles, so backend pushes that add/remove/replace a
         variant (new profile objects or a changed list) recompute it.
         """
-        key = (
+        memo_id = (
             tuple(id(v.profile) for v in self.creds.level2_variants),
             tuple(id(p) for _, p in self.creds.level3_variants.values()),
             id(self.creds.public_profile),
             self.issue_tickets,
         )
-        if self._padded_len_cache is None or self._padded_len_cache[0] != key:
+        if self._padded_len_cache is None or self._padded_len_cache[0] != memo_id:
             sizes = [len(v.profile.to_bytes()) for v in self.creds.level2_variants]
             sizes += [len(p.to_bytes()) for _, p in self.creds.level3_variants.values()]
             if not sizes:
@@ -421,7 +433,7 @@ class ObjectEngine:
             target = 4 + max(sizes)
             if self.issue_tickets:
                 target += 4 + SEALED_TICKET_LEN
-            self._padded_len_cache = (key, target)
+            self._padded_len_cache = (memo_id, target)
         return self._padded_len_cache[1]
 
     def _remember_nonce(self, r_s: bytes) -> None:

@@ -166,8 +166,14 @@ class TicketKeyring:
     def seal(self, payload: TicketPayload) -> bytes:
         return aead.encrypt(self._current, payload.to_bytes())
 
+    # lint: indistinguishable
     def open(self, blob: bytes) -> TicketPayload | None:
-        """Decrypt a sealed ticket; None if no keyring key opens it."""
+        """Decrypt a sealed ticket; None if no keyring key opens it.
+
+        A marked INDIST-RETURN region: the fixed-size ticket body means
+        every open attempt does identical AEAD work, and nothing here may
+        branch on the level/group the payload encodes (§VI-B).
+        """
         for key in (self._current, self._previous):
             if key is None:
                 continue

@@ -163,7 +163,11 @@ class TestForkSafety:
                 os._exit(0 if ok else 1)
             _, status = os.waitpid(pid, 0)
             assert os.waitstatus_to_exitcode(status) == 0
-            # The parent's stock is untouched by the child's reset.
-            assert parent_pool.stock() == 4
+            # The parent's stock is untouched by the child's reset.  A
+            # background refill kicked off by an earlier test can still
+            # be topping the shared default pool up, so the stock may
+            # legitimately exceed what prime() left — only a drop below
+            # it would indicate the child's reset leaked into the parent.
+            assert parent_pool.stock() >= 4
         finally:
             parent_pool.drain()

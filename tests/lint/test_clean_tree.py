@@ -1,0 +1,41 @@
+"""Tier-1 gate: the shipped tree is lint-clean with an *empty* baseline.
+
+This is the enforcement half of the tentpole: every invariant rule runs
+over ``src/`` exactly as CI's ``argus-repro lint`` does, and any new
+finding fails the suite.  The baseline must stay empty — pre-existing
+violations were fixed, not grandfathered — so this test also pins that
+policy.
+"""
+
+import json
+from pathlib import Path
+
+from repro.lint.engine import run
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+class TestCleanTree:
+    def test_src_is_lint_clean(self):
+        result = run(
+            [REPO_ROOT / "src"],
+            REPO_ROOT / "lint-baseline.json",
+            relative_to=REPO_ROOT,
+        )
+        assert result.checked_files > 100  # the whole package was scanned
+        rendered = "\n".join(f.render() for f in result.new)
+        assert not result.new, f"new lint findings:\n{rendered}"
+
+    def test_shipped_baseline_is_empty(self):
+        baseline = json.loads((REPO_ROOT / "lint-baseline.json").read_text())
+        assert baseline["findings"] == []
+
+    def test_no_stray_suppressions(self):
+        """Suppression comments need a paper trail; the shipped tree has
+        none, so any new one shows up in review via this count."""
+        result = run(
+            [REPO_ROOT / "src"],
+            REPO_ROOT / "lint-baseline.json",
+            relative_to=REPO_ROOT,
+        )
+        assert result.suppressed == 0

@@ -1,0 +1,186 @@
+"""Framework mechanics: suppressions, baselines, reporters, CLI exit codes."""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.lint.baseline import Baseline, BaselineError
+from repro.lint.engine import collect_files, lint_paths, lint_source, run
+from repro.lint.findings import Finding
+from repro.lint.report import LintResult, render_json, render_text
+
+BAD_CT = textwrap.dedent(
+    """
+    def check(expected_mac, given_mac):
+        return expected_mac == given_mac
+    """
+)
+
+CRYPTO_PATH = "src/repro/crypto/fixture.py"
+
+
+class TestSuppression:
+    def test_disable_comment_silences_rule(self):
+        src = BAD_CT.replace(
+            "return expected_mac == given_mac",
+            "return expected_mac == given_mac  # argus-lint: disable=CT-COMPARE",
+        )
+        assert not lint_source(src, CRYPTO_PATH)
+
+    def test_disable_all_wildcard(self):
+        src = BAD_CT.replace(
+            "return expected_mac == given_mac",
+            "return expected_mac == given_mac  # argus-lint: disable=all",
+        )
+        assert not lint_source(src, CRYPTO_PATH)
+
+    def test_disable_other_rule_does_not_silence(self):
+        src = BAD_CT.replace(
+            "return expected_mac == given_mac",
+            "return expected_mac == given_mac  # argus-lint: disable=CRYPTO-RAND",
+        )
+        assert lint_source(src, CRYPTO_PATH)
+
+    def test_suppression_is_per_line(self):
+        src = (
+            "# argus-lint: disable=CT-COMPARE\n" + BAD_CT
+        )  # comment on a different line: finding stays
+        assert lint_source(src, CRYPTO_PATH)
+
+
+class TestBaseline:
+    def _finding(self, message="m", line=3):
+        return Finding(
+            path=CRYPTO_PATH, line=line, col=1, rule_id="CT-COMPARE", message=message
+        )
+
+    def test_baselined_finding_does_not_fail(self, tmp_path):
+        crypto_dir = tmp_path / "src" / "repro" / "crypto"
+        crypto_dir.mkdir(parents=True)
+        (crypto_dir / "fixture.py").write_text(BAD_CT)
+        baseline_file = tmp_path / "lint-baseline.json"
+
+        findings, _, _ = lint_paths([crypto_dir], relative_to=tmp_path)
+        assert len(findings) == 1
+        Baseline.write(baseline_file, findings)
+
+        result = run([crypto_dir], baseline_file, relative_to=tmp_path)
+        assert not result.failed
+        assert len(result.baselined) == 1 and not result.new
+
+    def test_new_finding_still_fails_with_baseline(self, tmp_path):
+        crypto_dir = tmp_path / "src" / "repro" / "crypto"
+        crypto_dir.mkdir(parents=True)
+        (crypto_dir / "fixture.py").write_text(BAD_CT)
+        baseline_file = tmp_path / "lint-baseline.json"
+        findings, _, _ = lint_paths([crypto_dir], relative_to=tmp_path)
+        Baseline.write(baseline_file, findings)
+
+        (crypto_dir / "fresh.py").write_text(
+            BAD_CT.replace("expected_mac", "other_tag")
+        )
+        result = run([crypto_dir], baseline_file, relative_to=tmp_path)
+        assert result.failed
+        assert len(result.new) == 1 and len(result.baselined) == 1
+
+    def test_baseline_multiplicity_is_bounded(self):
+        baseline = Baseline.load(None)
+        f = self._finding()
+        baseline.entries[f.fingerprint] = 1
+        new, old = baseline.split([f, self._finding(line=9)])
+        assert len(old) == 1 and len(new) == 1
+
+    def test_missing_baseline_is_empty(self, tmp_path):
+        assert not Baseline.load(tmp_path / "absent.json").entries
+
+    def test_malformed_baseline_raises(self, tmp_path):
+        bad = tmp_path / "b.json"
+        bad.write_text("[1, 2]")
+        with pytest.raises(BaselineError):
+            Baseline.load(bad)
+
+
+class TestReporters:
+    def _result(self):
+        return LintResult(
+            new=[Finding(path="a.py", line=1, col=1, rule_id="CT-COMPARE", message="x")],
+            baselined=[],
+            suppressed=2,
+            checked_files=3,
+        )
+
+    def test_text_report(self):
+        text = render_text(self._result())
+        assert "a.py:1:1: CT-COMPARE x" in text
+        assert "1 new finding(s)" in text and "2 suppressed" in text
+
+    def test_json_report(self):
+        payload = json.loads(render_json(self._result()))
+        assert payload["failed"] is True
+        assert payload["new"][0]["rule"] == "CT-COMPARE"
+        assert payload["checked_files"] == 3
+
+    def test_exit_codes(self):
+        assert self._result().exit_code == 1
+        assert LintResult().exit_code == 0
+
+
+class TestCli:
+    def test_lint_clean_dir_exits_zero(self, tmp_path, capsys):
+        good = tmp_path / "ok.py"
+        good.write_text("x = 1\n")
+        assert cli_main(["lint", str(good)]) == 0
+        assert "0 new finding(s)" in capsys.readouterr().out
+
+    def test_lint_bad_file_exits_nonzero(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        crypto_dir = tmp_path / "src" / "repro" / "crypto"
+        crypto_dir.mkdir(parents=True)
+        (crypto_dir / "fixture.py").write_text(BAD_CT)
+        assert cli_main(["lint", "src"]) == 1
+        assert "CT-COMPARE" in capsys.readouterr().out
+
+    def test_lint_missing_path_exits_two(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert cli_main(["lint", "does-not-exist"]) == 2
+
+    def test_write_baseline_roundtrip(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        crypto_dir = tmp_path / "src" / "repro" / "crypto"
+        crypto_dir.mkdir(parents=True)
+        (crypto_dir / "fixture.py").write_text(BAD_CT)
+        assert cli_main(["lint", "src", "--write-baseline"]) == 0
+        assert (tmp_path / "lint-baseline.json").exists()
+        # Grandfathered now — and --no-baseline resurfaces it.
+        assert cli_main(["lint", "src"]) == 0
+        assert cli_main(["lint", "src", "--no-baseline"]) == 1
+
+    def test_list_rules(self, capsys):
+        assert cli_main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("CT-COMPARE", "NONCE-REUSE", "INDIST-RETURN"):
+            assert rule_id in out
+
+    def test_json_format(self, tmp_path, capsys):
+        good = tmp_path / "ok.py"
+        good.write_text("x = 1\n")
+        assert cli_main(["lint", str(good), "--format", "json"]) == 0
+        assert json.loads(capsys.readouterr().out)["failed"] is False
+
+
+class TestCollect:
+    def test_skips_pycache(self, tmp_path):
+        (tmp_path / "__pycache__").mkdir()
+        (tmp_path / "__pycache__" / "junk.py").write_text("x = 1\n")
+        (tmp_path / "real.py").write_text("x = 1\n")
+        files = collect_files([tmp_path])
+        assert [f.name for f in files] == ["real.py"]
+
+    def test_syntax_error_reported_not_crashed(self, tmp_path):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def broken(:\n")
+        findings, _, checked = lint_paths([bad], relative_to=tmp_path)
+        assert checked == 1
+        assert findings and findings[0].rule_id == "PARSE-ERROR"

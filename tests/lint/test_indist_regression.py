@@ -1,0 +1,67 @@
+"""Regression: the INDIST-RETURN-driven restructure changed no behavior.
+
+The rule forced ``ObjectEngine.handle_que2``'s variant selection into a
+single-exit shape (both faces fall through to one ``payload is None``
+check).  These tests pin the §VI-B properties around that edit: the
+structural distinguisher still measures zero advantage under v3.0, RES2
+lengths stay constant per object, and the no-visible-variant silence
+path still works for both protocol versions.
+"""
+
+from repro.attacks.channel import run_exchange
+from repro.attacks.distinguisher import res2_length_spread, subject_advantage
+from repro.protocol.errors import VisibilityError
+from repro.protocol.object import ObjectEngine
+from repro.protocol.subject import SubjectEngine
+from repro.protocol.versions import Version
+
+
+class TestDistinguisherStillBlind:
+    def test_v3_advantage_is_zero(self, fellow, staff, media, kiosk):
+        l3 = [run_exchange(SubjectEngine(fellow, Version.V3_0),
+                           ObjectEngine(kiosk, Version.V3_0)) for _ in range(4)]
+        l2 = [run_exchange(SubjectEngine(staff, Version.V3_0),
+                           ObjectEngine(media, Version.V3_0)) for _ in range(4)]
+        assert subject_advantage(l3, l2) == 0.0
+
+    def test_v3_res2_length_spread_zero_across_faces(self, fellow, staff, kiosk):
+        captures = [
+            run_exchange(SubjectEngine(fellow, Version.V3_0), ObjectEngine(kiosk, Version.V3_0)),
+            run_exchange(SubjectEngine(staff, Version.V3_0), ObjectEngine(kiosk, Version.V3_0)),
+        ]
+        assert captures[0].outcome.level_seen == 3
+        assert captures[1].outcome.level_seen == 2
+        assert res2_length_spread(captures) == 0
+
+    def test_v2_advantage_still_one(self, fellow, staff, media, kiosk):
+        """The ablation survives: v2.0 still leaks, proving the
+        restructure did not accidentally equalize the wrong layer."""
+        l3 = [run_exchange(SubjectEngine(fellow, Version.V2_0),
+                           ObjectEngine(kiosk, Version.V2_0)) for _ in range(4)]
+        l2 = [run_exchange(SubjectEngine(staff, Version.V2_0),
+                           ObjectEngine(media, Version.V2_0)) for _ in range(4)]
+        assert subject_advantage(l3, l2) == 1.0
+
+
+class TestNoVariantSilencePath:
+    """The early return that moved: a subject matching *no* variant gets
+    silence, recorded as VisibilityError — same as before the edit."""
+
+    def test_visitor_gets_silence_and_visibility_error(self, visitor, media):
+        obj = ObjectEngine(media, Version.V3_0)
+        capture = run_exchange(SubjectEngine(visitor, Version.V3_0), obj)
+        assert capture.res2 is None
+        assert capture.outcome is None
+        assert any(isinstance(e, VisibilityError) for e in obj.errors)
+
+    def test_fellow_still_reaches_covert_face(self, fellow, kiosk):
+        obj = ObjectEngine(kiosk, Version.V3_0)
+        capture = run_exchange(SubjectEngine(fellow, Version.V3_0), obj)
+        assert capture.outcome is not None
+        assert capture.outcome.level_seen == 3
+        assert not any(isinstance(e, VisibilityError) for e in obj.errors)
+
+    def test_staff_still_served_level2(self, staff, media):
+        capture = run_exchange(SubjectEngine(staff, Version.V3_0),
+                               ObjectEngine(media, Version.V3_0))
+        assert capture.outcome.level_seen == 2

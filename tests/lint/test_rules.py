@@ -1,0 +1,288 @@
+"""Per-rule fixtures: one known-bad and one known-good snippet per rule.
+
+Snippets are linted as if they lived at a synthetic path, because every
+rule scopes itself by package (``repro.crypto`` vs ``repro.net`` …) —
+the same source must fire inside a scoped package and stay silent
+outside it.
+"""
+
+import textwrap
+
+import pytest
+
+from repro.lint.engine import lint_source
+from repro.lint.rules import ALL_RULES, RULES_BY_ID
+
+
+def findings(source: str, path: str, rule_id: str | None = None):
+    rules = [RULES_BY_ID[rule_id]] if rule_id else None
+    return lint_source(textwrap.dedent(source), path, rules=rules)
+
+
+class TestCtCompare:
+    BAD = """
+        def check(expected_mac, que2):
+            if expected_mac == que2.mac_s2:
+                return True
+            return False
+    """
+
+    def test_bad_equality_on_mac(self):
+        hits = findings(self.BAD, "src/repro/protocol/verify.py", "CT-COMPARE")
+        assert len(hits) == 1
+        assert hits[0].rule_id == "CT-COMPARE"
+        assert "constant_time_equal" in hits[0].message
+
+    def test_not_equal_also_fires(self):
+        src = """
+            def check(tag, expected):
+                return tag != expected
+        """
+        assert findings(src, "src/repro/crypto/x.py", "CT-COMPARE")
+
+    def test_good_constant_time_call(self):
+        src = """
+            from repro.crypto.primitives import constant_time_equal
+
+            def check(expected_mac, que2):
+                return constant_time_equal(expected_mac, que2.mac_s2)
+        """
+        assert not findings(src, "src/repro/protocol/verify.py", "CT-COMPARE")
+
+    def test_length_checks_are_fine(self):
+        src = """
+            MAC_LEN = 32
+
+            def check(tag):
+                return len(tag) == MAC_LEN
+        """
+        assert not findings(src, "src/repro/crypto/x.py", "CT-COMPARE")
+
+    def test_out_of_scope_package_ignored(self):
+        assert not findings(self.BAD, "src/repro/net/verify.py", "CT-COMPARE")
+
+
+class TestCryptoRand:
+    BAD = """
+        import random
+
+        def nonce():
+            return random.randbytes(28)
+    """
+
+    def test_bad_import_in_crypto(self):
+        hits = findings(self.BAD, "src/repro/crypto/noise.py", "CRYPTO-RAND")
+        assert len(hits) == 1
+        assert "secrets" in hits[0].message
+
+    def test_from_import_fires(self):
+        src = "from random import randbytes\n"
+        assert findings(src, "src/repro/pki/x.py", "CRYPTO-RAND")
+
+    def test_good_csprng(self):
+        src = """
+            import os
+            import secrets
+
+            def nonce():
+                return os.urandom(28) + secrets.token_bytes(4)
+        """
+        assert not findings(src, "src/repro/crypto/noise.py", "CRYPTO-RAND")
+
+    def test_simulation_packages_keep_seeded_random(self):
+        assert not findings(self.BAD, "src/repro/net/jitter.py", "CRYPTO-RAND")
+        assert not findings(self.BAD, "src/repro/backend/churn.py", "CRYPTO-RAND")
+
+
+class TestSecretLeak:
+    BAD_PRINT = """
+        def debug(session_key):
+            print("established", session_key)
+    """
+
+    def test_bad_print(self):
+        hits = findings(self.BAD_PRINT, "src/repro/protocol/x.py", "SECRET-LEAK")
+        assert len(hits) == 1
+        assert "session_key" in hits[0].message
+
+    def test_bad_fstring_exception(self):
+        src = """
+            def fail(master):
+                raise ValueError(f"bad resumption master {master!r}")
+        """
+        assert findings(src, "src/repro/protocol/x.py", "SECRET-LEAK")
+
+    def test_bad_repr(self):
+        src = """
+            class Session:
+                def __repr__(self):
+                    return f"Session(key={self._key})"
+        """
+        assert findings(src, "src/repro/protocol/x.py", "SECRET-LEAK")
+
+    def test_bad_logging(self):
+        src = """
+            import logging
+            logger = logging.getLogger(__name__)
+
+            def note(ticket):
+                logger.info(ticket)
+        """
+        assert findings(src, "src/repro/access/x.py", "SECRET-LEAK")
+
+    def test_good_lengths_and_constants(self):
+        src = """
+            TICKET_BODY_LEN = 224
+
+            def fail(ticket, peer_id):
+                raise ValueError(
+                    f"ticket of {len(ticket)} B from {peer_id} exceeds {TICKET_BODY_LEN}"
+                )
+        """
+        assert not findings(src, "src/repro/protocol/x.py", "SECRET-LEAK")
+
+    def test_out_of_scope_package_ignored(self):
+        assert not findings(self.BAD_PRINT, "src/repro/experiments/x.py", "SECRET-LEAK")
+
+
+class TestMeterAccounting:
+    BAD = """
+        from cryptography.hazmat.primitives.asymmetric import ec
+
+        def raw_sign(key, msg):
+            return key.sign(msg, ec.ECDSA(None))
+    """
+
+    def test_bad_hazmat_outside_crypto(self):
+        hits = findings(self.BAD, "src/repro/protocol/fast.py", "METER-ACCOUNTING")
+        assert len(hits) == 1
+        assert "metered wrappers" in hits[0].message
+
+    def test_bad_hashlib_outside_crypto(self):
+        src = "import hashlib\n"
+        assert findings(src, "src/repro/backend/x.py", "METER-ACCOUNTING")
+
+    def test_good_inside_crypto_package(self):
+        assert not findings(self.BAD, "src/repro/crypto/fast.py", "METER-ACCOUNTING")
+
+    def test_good_metered_wrapper_use(self):
+        src = """
+            from repro.crypto.primitives import hmac_sha256, sha256
+
+            def digest(data):
+                return sha256(data)
+        """
+        assert not findings(src, "src/repro/protocol/x.py", "METER-ACCOUNTING")
+
+
+class TestIndistReturn:
+    BAD = """
+        class Engine:
+            # lint: indistinguishable
+            def respond(self, matched_group, keys, profile):
+                if matched_group is None:
+                    return None
+                payload = self._frame_payload(profile)
+                return payload
+    """
+
+    def test_bad_early_return_under_membership_branch(self):
+        hits = findings(self.BAD, "src/repro/protocol/object.py", "INDIST-RETURN")
+        assert len(hits) == 1
+        assert "matched_group" in hits[0].message
+
+    def test_good_restructured_single_exit(self):
+        src = """
+            class Engine:
+                # lint: indistinguishable
+                def respond(self, matched_group, keys, profile):
+                    if matched_group is not None:
+                        payload = self.covert
+                    else:
+                        payload = profile
+                    if payload is None:
+                        return None
+                    return self._frame_payload(payload)
+        """
+        assert not findings(src, "src/repro/protocol/object.py", "INDIST-RETURN")
+
+    def test_unmarked_function_not_checked(self):
+        src = self.BAD.replace("# lint: indistinguishable", "")
+        assert not findings(src, "src/repro/protocol/object.py", "INDIST-RETURN")
+
+    def test_exit_after_padding_is_legal(self):
+        src = """
+            class Engine:
+                # lint: indistinguishable
+                def respond(self, matched_group, profile):
+                    framed = self._frame_payload(profile)
+                    if matched_group is not None and not framed:
+                        raise RuntimeError("unreachable")
+                    return framed
+        """
+        assert not findings(src, "src/repro/protocol/object.py", "INDIST-RETURN")
+
+
+class TestNonceReuse:
+    def test_bad_constant_iv(self):
+        src = """
+            from cryptography.hazmat.primitives.ciphers import modes
+
+            def seal(data):
+                return modes.CBC(b"\\x00" * 16)
+        """
+        hits = findings(src, "src/repro/crypto/x.py", "NONCE-REUSE")
+        assert len(hits) == 1
+        assert "constant nonce" in hits[0].message
+
+    def test_bad_loop_invariant_nonce(self):
+        src = """
+            def seal_all(aead, key, messages, fresh):
+                nonce = fresh()
+                out = []
+                for message in messages:
+                    out.append(aead.encrypt(key, message, nonce=nonce))
+                return out
+        """
+        hits = findings(src, "src/repro/crypto/x.py", "NONCE-REUSE")
+        assert len(hits) == 1
+        assert "loop" in hits[0].message
+
+    def test_good_fresh_nonce_per_iteration(self):
+        src = """
+            def seal_all(aead, key, messages, fresh):
+                out = []
+                for message in messages:
+                    nonce = fresh()
+                    out.append(aead.encrypt(key, message, nonce=nonce))
+                return out
+        """
+        assert not findings(src, "src/repro/crypto/x.py", "NONCE-REUSE")
+
+    def test_good_random_iv_expression(self):
+        src = """
+            from cryptography.hazmat.primitives.ciphers import modes
+            from repro.crypto.primitives import random_bytes
+
+            def seal(data):
+                iv = random_bytes(16)
+                return modes.CBC(iv)
+        """
+        assert not findings(src, "src/repro/crypto/x.py", "NONCE-REUSE")
+
+
+class TestRuleCatalogue:
+    def test_six_argus_rules_registered(self):
+        ids = {rule.RULE_ID for rule in ALL_RULES}
+        assert ids == {
+            "CT-COMPARE",
+            "CRYPTO-RAND",
+            "SECRET-LEAK",
+            "METER-ACCOUNTING",
+            "INDIST-RETURN",
+            "NONCE-REUSE",
+        }
+
+    @pytest.mark.parametrize("rule", ALL_RULES, ids=lambda r: r.RULE_ID)
+    def test_every_rule_has_id_and_summary(self, rule):
+        assert rule.RULE_ID and rule.SUMMARY
