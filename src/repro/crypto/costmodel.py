@@ -47,6 +47,11 @@ CACHE_MARKER_OPS = frozenset(
         "resumption_ticket_issued",
         "resumption_accept",
         "resumption_reject",
+        # Fault-recovery paths (repro.net.faults / docs/robustness.md):
+        # a cached RES2 resend re-sends stored bytes, and a decoy RRES is
+        # random bytes — neither performs new priced crypto.
+        "res2_retransmit",
+        "rres_decoy",
     }
 )
 

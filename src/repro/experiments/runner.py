@@ -25,6 +25,7 @@ from concurrent.futures import ProcessPoolExecutor
 from repro.experiments import (
     capacity,
     concurrent_subjects,
+    fault_recovery,
     mixed_fleet,
     multi_group,
     radio_comparison,
@@ -76,6 +77,8 @@ ALL = {
     "timing_attack": lambda: timing_attack.run().render(),
     # extension: max fleet size within a latency budget
     "capacity": lambda: capacity.run().render(),
+    # extension: chaos matrix — completion under injected faults
+    "fault_recovery": lambda: fault_recovery.run().render(),
     # §VII executed end to end as one scorecard
     "security_report": lambda: security_report.run().render(),
 }

@@ -7,24 +7,40 @@ crypto cost tables, so Fig. 6(e)–(h)'s discovery-time experiments can be
 regenerated on a laptop.
 """
 
+from repro.net.faults import (
+    Fault,
+    FaultKind,
+    FaultLayer,
+    FaultSchedule,
+    UpdateOutageBuffer,
+    burst_loss_schedule,
+)
 from repro.net.node import GroundNetwork, SimNode, SizeMode, TimingMode, message_size
 from repro.net.radio import DEFAULT_WIFI, JITTERY_WIFI, LinkModel, Radio
-from repro.net.run import DiscoveryTimeline, simulate_discovery
-from repro.net.simulator import Simulator
+from repro.net.run import DiscoveryTimeline, RetryPolicy, simulate_discovery
+from repro.net.simulator import SimulationBudgetExceeded, Simulator
 from repro.net.topology import SUBJECT, hop_distance, multihop, paper_multihop, star
 
 __all__ = [
     "DEFAULT_WIFI",
     "DiscoveryTimeline",
+    "Fault",
+    "FaultKind",
+    "FaultLayer",
+    "FaultSchedule",
     "GroundNetwork",
     "JITTERY_WIFI",
     "LinkModel",
     "Radio",
+    "RetryPolicy",
     "SUBJECT",
     "SimNode",
+    "SimulationBudgetExceeded",
     "Simulator",
     "SizeMode",
     "TimingMode",
+    "UpdateOutageBuffer",
+    "burst_loss_schedule",
     "hop_distance",
     "message_size",
     "multihop",

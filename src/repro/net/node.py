@@ -27,9 +27,20 @@ import networkx as nx
 
 from repro.crypto.costmodel import DeviceProfile
 from repro.crypto.meter import metered
+from repro.net.faults import CorruptedFrame, FaultLayer, FaultSchedule
 from repro.net.radio import LinkModel, Radio
 from repro.net.simulator import Simulator
-from repro.protocol.messages import Que1, Que2, Res1, Res1Level1, Res2, Rque, Rres
+from repro.protocol.errors import MessageFormatError
+from repro.protocol.messages import (
+    Que1,
+    Que2,
+    Res1,
+    Res1Level1,
+    Res2,
+    Rque,
+    Rres,
+    parse_message,
+)
 from repro.protocol.object import ObjectEngine
 from repro.protocol.subject import SubjectEngine
 
@@ -48,6 +59,8 @@ class SizeMode(enum.Enum):
 
 def message_size(message, mode: SizeMode) -> int:
     """Bytes a message occupies on the air."""
+    if isinstance(message, CorruptedFrame):
+        return len(message.raw)  # bit flips don't change the length
     if mode is SizeMode.ACTUAL:
         return len(message.to_bytes())
     from repro.access.messages import Command, Response
@@ -77,6 +90,10 @@ class NodeStats:
 
     compute_s: float = 0.0
     messages_handled: int = 0
+    #: Mangled frames that reached this node (recorded, never fatal).
+    frames_corrupted: int = 0
+    #: Crash/restart cycles the fault layer put this node through.
+    crashes: int = 0
 
 
 class SimNode:
@@ -102,6 +119,18 @@ class SimNode:
         #: Responses the subject's client accepted: (time, peer, payload).
         self.command_results: list[tuple[float, str, bytes]] = []
 
+    def crash_reset(self, now: float) -> None:
+        """A power-cycle: drop in-flight protocol state, rejoin cold.
+
+        Durable state (credentials, ticket keyring, replay ledger — the
+        things a real device keeps in flash) survives; half-open
+        handshakes, pending retransmissions and the CPU queue do not.
+        """
+        self.cpu_busy_until = now
+        self.stats.crashes += 1
+        if self.engine is not None:
+            self.engine.reset_cold()
+
 
 class GroundNetwork:
     """Routes messages between SimNodes over a topology graph."""
@@ -114,6 +143,7 @@ class GroundNetwork:
         timing: TimingMode = TimingMode.CALIBRATED,
         sizes: SizeMode = SizeMode.NOMINAL,
         seed: int = 0,
+        faults: FaultLayer | FaultSchedule | None = None,
     ) -> None:
         self.sim = sim
         self.graph = graph
@@ -126,11 +156,21 @@ class GroundNetwork:
         self._broadcast_seen: set = set()
         #: Hook invoked as (time, src, dst, message) on every delivery.
         self.on_delivery: Callable[[float, str, str, object], None] | None = None
+        #: Hook invoked as (time, src, dst, message) when a unicast send
+        #: starts — the retransmission layer's view of outgoing traffic.
+        self.on_sent: Callable[[float, str, str, object], None] | None = None
         #: Hook invoked as (completion_time, node_name, message) after a
         #: node finishes *processing* a message (engine work included).
         self.on_processed: Callable[[float, str, object], None] | None = None
-        #: Frames dropped by the lossy link model.
+        #: Frames dropped by the lossy link model or the fault layer.
         self.messages_lost: int = 0
+        #: Optional chaos layer (repro.net.faults); a bare schedule is
+        #: wrapped with this network's seed so runs stay reproducible.
+        if isinstance(faults, FaultSchedule):
+            faults = FaultLayer(faults, seed=seed)
+        self.faults = faults
+        if faults is not None:
+            faults.install(self)
 
     def add_node(self, node: SimNode) -> None:
         if node.name not in self.graph:
@@ -139,8 +179,45 @@ class GroundNetwork:
 
     # -- transport ---------------------------------------------------------------
 
-    def _hop(self, src: str, dst: str, message, on_delivered: Callable[[], None]) -> None:
-        """One hop: contend for both radios, then deliver (unless lost)."""
+    def _fault_deliveries(
+        self, src: str, dst: str, message, arrival: float, occupancy: float
+    ) -> list[tuple[float, object]]:
+        """(time, frame) deliveries for one surviving transmission.
+
+        Without a fault layer this is the identity: one on-time copy.
+        With one, the frame may be delayed, duplicated (the copy trails
+        by one occupancy), corrupted en route, or dropped entirely
+        (empty list) — all from the layer's own deterministic RNG.
+        """
+        if self.faults is None:
+            return [(arrival, message)]
+        fate = self.faults.frame_fate(src, dst, self.sim.now)
+        if fate.dropped:
+            self.messages_lost += 1
+            return []
+        frame = message
+        if fate.corrupt:
+            raw = message.to_bytes()
+            original = (
+                message.original_type
+                if isinstance(message, CorruptedFrame)
+                else type(message).__name__
+            )
+            frame = CorruptedFrame(self.faults.corrupt_bytes(raw), original)
+        deliveries = [(arrival + fate.extra_delay_s, frame)]
+        if fate.duplicate:
+            deliveries.append((arrival + fate.extra_delay_s + occupancy, frame))
+        return deliveries
+
+    def _hop(
+        self, src: str, dst: str, message, on_delivered: Callable[[object], None]
+    ) -> None:
+        """One hop: contend for both radios, then deliver (unless lost).
+
+        *on_delivered* receives the frame as it arrived — normally the
+        message itself, a :class:`CorruptedFrame` if the fault layer
+        mangled it in flight.
+        """
         size = message_size(message, self.sizes)
         occupancy = self.link.occupancy(size, self.rng)
         tx, rx = self.nodes[src].radio, self.nodes[dst].radio
@@ -153,31 +230,35 @@ class GroundNetwork:
         if self.link.lost(self.rng):
             self.messages_lost += 1
             return  # airtime burned, frame gone
-        self.sim.at(end + self.link.access_delay_s, on_delivered)
+        arrival = end + self.link.access_delay_s
+        for at, frame in self._fault_deliveries(src, dst, message, arrival, occupancy):
+            self.sim.at(at, lambda f=frame: on_delivered(f))
 
     def unicast(self, src: str, dst: str, message) -> None:
         """Send along the subject-rooted shortest path, hop by hop."""
+        if self.on_sent is not None:
+            self.on_sent(self.sim.now, src, dst, message)
         path = self._route(src, dst)
 
-        def run(index: int) -> None:
+        def run(index: int, current) -> None:
             hop_src, hop_dst = path[index], path[index + 1]
 
-            def delivered() -> None:
+            def delivered(frame) -> None:
                 node = self.nodes[hop_dst]
                 if hop_dst == dst:
                     # peer id is the logical originator, not the last hop.
-                    self._deliver(src, dst, message)
+                    self._deliver(src, dst, frame)
                 elif node.role == "relay":
                     delay = node.profile.per_message_ms / 1000.0
                     start = max(self.sim.now, node.cpu_busy_until)
                     node.cpu_busy_until = start + delay
-                    self.sim.at(node.cpu_busy_until, lambda: run(index + 1))
+                    self.sim.at(node.cpu_busy_until, lambda: run(index + 1, frame))
                 else:
-                    run(index + 1)
+                    run(index + 1, frame)
 
-            self._hop(hop_src, hop_dst, message, delivered)
+            self._hop(hop_src, hop_dst, current, delivered)
 
-        run(0)
+        run(0, message)
 
     def broadcast(self, src: str, message) -> None:
         """Wireless flood: one transmission reaches all neighbors; relays
@@ -185,8 +266,8 @@ class GroundNetwork:
         key = (type(message).__name__, message.to_bytes())
         self._broadcast_seen.add(key)
 
-        def emit(origin: str) -> None:
-            size = message_size(message, self.sizes)
+        def emit(origin: str, current) -> None:
+            size = message_size(current, self.sizes)
             occupancy = self.link.occupancy(size, self.rng)
             tx = self.nodes[origin].radio
             start = max(self.sim.now, tx.busy_until)
@@ -200,12 +281,13 @@ class GroundNetwork:
                 if self.link.lost(self.rng):
                     self.messages_lost += 1
                     continue
-                self.sim.at(
-                    end + self.link.access_delay_s,
-                    lambda n=neighbor: arrive(origin, n),
-                )
+                arrival = end + self.link.access_delay_s
+                for at, frame in self._fault_deliveries(
+                    origin, neighbor, current, arrival, occupancy
+                ):
+                    self.sim.at(at, lambda n=neighbor, f=frame: arrive(origin, n, f))
 
-        def arrive(origin: str, at_node: str) -> None:
+        def arrive(origin: str, at_node: str, frame) -> None:
             node = self.nodes[at_node]
             if node.role == "relay":
                 rebroadcast_key = (at_node,) + key
@@ -215,12 +297,12 @@ class GroundNetwork:
                 delay = node.profile.per_message_ms / 1000.0
                 start = max(self.sim.now, node.cpu_busy_until)
                 node.cpu_busy_until = start + delay
-                self.sim.at(node.cpu_busy_until, lambda: emit(at_node))
+                self.sim.at(node.cpu_busy_until, lambda: emit(at_node, frame))
             else:
                 # peer id is the broadcast's logical source (the subject).
-                self._deliver(src, at_node, message)
+                self._deliver(src, at_node, frame)
 
-        emit(src)
+        emit(src, message)
 
     def _route(self, src: str, dst: str) -> list[str]:
         key = (src, dst)
@@ -235,10 +317,26 @@ class GroundNetwork:
 
     def _deliver(self, src: str, dst: str, message) -> None:
         node = self.nodes[dst]
+        if self.faults is not None and self.faults.node_down(dst, self.sim.now):
+            self.messages_lost += 1  # receiver is dark; frame evaporates
+            return
         if self.on_delivery is not None:
             self.on_delivery(self.sim.now, src, dst, message)
+        if isinstance(message, CorruptedFrame):
+            # The wire-path robustness contract: mangled bytes are an
+            # error record, never a crash.  If the flip left the frame
+            # parseable, the engine's own fail-closed checks (bad MACs,
+            # bad signatures) take it from here.
+            node.stats.frames_corrupted += 1
+            try:
+                message = parse_message(message.raw)
+            except MessageFormatError as exc:
+                if node.engine is not None:
+                    node.engine.record_wire_error(exc)
+                return
         if node.engine is None:
             return
+        node.engine.tick(self.sim.now)
         start = max(self.sim.now, node.cpu_busy_until)
         replies, compute_s = self._run_engine(node, message, src)
         duration = compute_s + node.profile.per_message_ms / 1000.0

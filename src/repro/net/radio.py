@@ -39,8 +39,13 @@ class LinkModel:
 
     def lost(self, rng: random.Random | None = None) -> bool:
         """Draw whether one frame transmission is lost on a hop."""
-        if self.loss_rate <= 0 or rng is None:
+        if self.loss_rate <= 0:
             return False
+        if rng is None:
+            raise ValueError(
+                f"LinkModel(loss_rate={self.loss_rate}) needs an rng to draw "
+                "losses; passing rng=None would silently behave as lossless"
+            )
         return rng.random() < self.loss_rate
 
     def occupancy(self, size: int, rng: random.Random | None = None) -> float:

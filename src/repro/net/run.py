@@ -9,20 +9,65 @@ of objects" curves.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 
 import networkx as nx
 
 from repro.backend.registration import ObjectCredentials, SubjectCredentials
 from repro.crypto.costmodel import NEXUS6, RASPBERRY_PI3, DeviceProfile
+from repro.net.faults import FaultLayer, FaultSchedule
 from repro.net.node import GroundNetwork, SimNode, SizeMode, TimingMode
 from repro.net.radio import DEFAULT_WIFI, LinkModel
 from repro.net.simulator import Simulator
 from repro.net.topology import SUBJECT, hop_distance, star
-from repro.protocol.messages import Res1Level1, Res2
+from repro.protocol.messages import Que2, Res1Level1, Res2, Rque
 from repro.protocol.object import ObjectEngine
 from repro.protocol.subject import SubjectEngine
 from repro.protocol.versions import Version
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Per-exchange retransmission knobs (docs/robustness.md).
+
+    Once the subject has addressed a specific object (a unicast QUE2 or
+    RQUE), losing the request or its response no longer costs a whole
+    ``round_interval_s``: a timer re-sends the *same* frame with
+    exponential backoff + jitter until the exchange completes, the retry
+    budget runs out, or ``give_up_s`` elapses. The round re-broadcast in
+    :func:`simulate_discovery` remains the outer fallback for objects
+    that never answered QUE1 at all.
+    """
+
+    #: Retransmissions per exchange after the initial send.
+    max_retries: int = 3
+    #: Timer for the first retransmission (covers one round trip plus
+    #: object compute under DEFAULT_WIFI).
+    base_timeout_s: float = 0.35
+    #: Multiplier applied per attempt (classic exponential backoff).
+    backoff: float = 2.0
+    #: Uniform jitter added on top: timeout *= 1 + U(0,1)*fraction.
+    #: Desynchronizes retransmissions that would otherwise collide.
+    jitter_fraction: float = 0.1
+    #: Absolute per-exchange deadline; after this the object is left to
+    #: the next round (or lost).
+    give_up_s: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.base_timeout_s <= 0:
+            raise ValueError("base_timeout_s must be positive")
+        if self.backoff < 1.0:
+            raise ValueError("backoff must be >= 1.0")
+        if not 0.0 <= self.jitter_fraction <= 1.0:
+            raise ValueError("jitter_fraction must be in [0, 1]")
+
+    def timeout_s(self, attempt: int, rng: random.Random) -> float:
+        """Timer for retransmission number *attempt* (0-based)."""
+        base = self.base_timeout_s * self.backoff**attempt
+        return base * (1.0 + self.jitter_fraction * rng.random())
 
 
 @dataclass
@@ -38,6 +83,10 @@ class DiscoveryTimeline:
     #: per-object compute seconds (simulated).
     object_compute_s: dict[str, float] = field(default_factory=dict)
     services: list = field(default_factory=list)
+    #: QUE2/RQUE frames the retry layer re-sent.
+    retransmissions: int = 0
+    #: Frames the link model or fault layer dropped.
+    messages_lost: int = 0
 
     @property
     def completion_curve(self) -> list[float]:
@@ -71,6 +120,10 @@ def simulate_discovery(
     deadline_s: float = 60.0,
     max_rounds: int = 1,
     round_interval_s: float = 2.0,
+    retry: RetryPolicy | None = None,
+    faults: FaultLayer | FaultSchedule | None = None,
+    max_events: int = 1_000_000,
+    on_delivery=None,
 ) -> DiscoveryTimeline:
     """Run a discovery over the simulated ground network.
 
@@ -79,19 +132,32 @@ def simulate_discovery(
     subject re-broadcast a fresh QUE1 every ``round_interval_s`` until
     everything is found or the rounds are exhausted — the natural
     recovery strategy for a protocol without per-message ACKs.
+
+    ``retry`` adds the finer-grained inner loop: per-object QUE2/RQUE
+    retransmission timers (see :class:`RetryPolicy`), so one lost frame
+    costs a backoff interval instead of a whole round. ``faults``
+    installs a chaos layer (:mod:`repro.net.faults`) on the network;
+    ``max_events`` raises the simulator's event budget for long chaos
+    runs (exceeding it raises
+    :class:`~repro.net.simulator.SimulationBudgetExceeded`).
+    ``on_delivery`` taps the network's delivery hook — an eavesdropper's
+    view of every frame, ``(time, src, dst, message)`` — which is how
+    the fault experiments capture wire traffic for the distinguisher.
     """
     if graph is None:
         graph = star([c.object_id for c in object_creds])
 
     sim = Simulator()
-    net = GroundNetwork(sim, graph, link, timing, sizes, seed=seed)
+    net = GroundNetwork(sim, graph, link, timing, sizes, seed=seed, faults=faults)
 
     subject_engine = SubjectEngine(subject_creds, version)
     subject_node = SimNode(SUBJECT, "subject", subject_profile, subject_engine)
     net.add_node(subject_node)
 
     for creds in object_creds:
-        engine = ObjectEngine(creds, version)
+        # Wire path: duplicated/retransmitted QUE2s get the byte-identical
+        # cached RES2 back (idempotent recovery, see docs/robustness.md).
+        engine = ObjectEngine(creds, version, resend_cached_res2=True)
         net.add_node(SimNode(creds.object_id, "object", object_profile, engine))
 
     for node_name, data in graph.nodes(data=True):
@@ -118,12 +184,64 @@ def simulate_discovery(
                 seen_count["n"] += 1
 
     net.on_processed = on_processed
+    if on_delivery is not None:
+        net.on_delivery = on_delivery
+
+    #: dst -> retry state; a new round clears it (stale QUE2s from the
+    #: previous round must stop re-sending once the state they'd land in
+    #: has been superseded by a fresh QUE1).
+    pending_retry: dict[str, dict] = {}
+
+    if retry is not None:
+        # Per-object retransmission: every unicast QUE2/RQUE the subject
+        # sends arms a backoff timer; if the exchange hasn't completed
+        # when it fires, the *same* frame is re-sent (so the object's
+        # idempotent duplicate handling sees byte-identical bytes). The
+        # timers draw jitter from their own RNG so enabling retries
+        # never perturbs the link model's random stream.
+        retry_rng = random.Random((seed & 0xFFFFFFFF) ^ 0x5EED5)
+
+        def arm(dst: str, message, state: dict) -> None:
+            timeout = retry.timeout_s(state["attempt"], retry_rng)
+
+            def fire() -> None:
+                current = pending_retry.get(dst)
+                if current is not state or current["msg"] is not message:
+                    return  # superseded by a newer exchange
+                if dst in timeline.completion:
+                    del pending_retry[dst]
+                    return
+                if (
+                    state["attempt"] >= retry.max_retries
+                    or sim.now - state["first_sent"] >= retry.give_up_s
+                ):
+                    del pending_retry[dst]  # give up; outer round takes over
+                    return
+                state["attempt"] += 1
+                timeline.retransmissions += 1
+                net.unicast(SUBJECT, dst, message)
+
+            sim.schedule(timeout, fire)
+
+        def on_sent(t: float, src: str, dst: str, message) -> None:
+            if src != SUBJECT or not isinstance(message, (Que2, Rque)):
+                return
+            state = pending_retry.get(dst)
+            if state is not None and state["msg"] is message:
+                arm(dst, message, state)  # our own retransmission: re-arm
+            else:
+                state = {"msg": message, "attempt": 0, "first_sent": t}
+                pending_retry[dst] = state
+                arm(dst, message, state)
+
+        net.on_sent = on_sent
 
     expected = len(object_creds)
 
     def launch_round(round_index: int) -> None:
         if len(timeline.completion) >= expected:
             return
+        pending_retry.clear()  # a fresh QUE1 supersedes in-flight QUE2s
         que1 = subject_engine.start_round(group_id)
         net.broadcast(SUBJECT, que1)
         if round_index + 1 < max_rounds:
@@ -132,8 +250,9 @@ def simulate_discovery(
             )
 
     sim.schedule(0.0, lambda: launch_round(0))
-    sim.run(until=deadline_s)
+    sim.run(until=deadline_s, max_events=max_events)
 
+    timeline.messages_lost = net.messages_lost
     timeline.subject_compute_s = subject_node.stats.compute_s
     for creds in object_creds:
         timeline.object_compute_s[creds.object_id] = net.nodes[

@@ -13,6 +13,25 @@ import heapq
 from typing import Callable
 
 
+class SimulationBudgetExceeded(RuntimeError):
+    """The event budget ran out before the heap drained.
+
+    Subclasses :class:`RuntimeError` so existing ``except RuntimeError``
+    guards keep working; carries the simulated clock and event count so
+    chaos runs can report *where* the budget died and retry with a
+    larger ``max_events``.
+    """
+
+    def __init__(self, now: float, events_processed: int, max_events: int) -> None:
+        self.now = now
+        self.events_processed = events_processed
+        self.max_events = max_events
+        super().__init__(
+            f"simulation exceeded {max_events} events "
+            f"(t={now:.3f}s, {events_processed} processed)"
+        )
+
+
 class Simulator:
     """The event loop; all times are seconds of simulated time."""
 
@@ -37,7 +56,9 @@ class Simulator:
         """Process events until the heap drains (or *until*/event cap)."""
         while self._heap:
             if self._events_processed >= max_events:
-                raise RuntimeError(f"simulation exceeded {max_events} events")
+                raise SimulationBudgetExceeded(
+                    self.now, self._events_processed, max_events
+                )
             time, _, callback = self._heap[0]
             if until is not None and time > until:
                 break

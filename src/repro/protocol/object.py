@@ -17,7 +17,12 @@ from repro.backend.registration import ObjectCredentials
 from repro.crypto import aead, kdf, meter
 from repro.crypto.ecdh import EphemeralECDH
 from repro.crypto.keypool import ecdh_keypair
-from repro.crypto.primitives import constant_time_equal, fresh_nonce
+from repro.crypto.primitives import (
+    MAC_LEN,
+    constant_time_equal,
+    fresh_nonce,
+    random_bytes,
+)
 from repro.pki.chain import ChainVerifier
 from repro.pki.profile import Profile, ProfileError
 from repro.protocol.errors import (
@@ -45,6 +50,13 @@ from repro.protocol.versions import Version
 SEEN_NONCE_LIMIT = 1024
 #: Concurrent half-open sessions an object will hold.
 SESSION_LIMIT = 256
+#: Seconds a half-open handshake may sit in the pending table before
+#: TTL eviction reclaims it (the half-open exhaustion defense; only
+#: enforced where a clock exists — the network layer ticks the engine,
+#: the in-memory test path never does).
+PENDING_HANDSHAKE_TTL_S = 30.0
+#: Finished exchanges whose RES2 is kept for idempotent retransmission.
+RES2_CACHE_LIMIT = SESSION_LIMIT
 
 
 @dataclass
@@ -54,6 +66,8 @@ class _ObjectSession:
     ecdh: EphemeralECDH
     transcript: Transcript = field(default_factory=Transcript)
     finished: bool = False
+    #: Engine-clock time the QUE1 opened this session (TTL eviction).
+    created_at: float = 0.0
 
 
 class ObjectEngine:
@@ -66,12 +80,33 @@ class ObjectEngine:
         now: int = 1,
         issue_tickets: bool = False,
         ticket_lifetime: int = TICKET_LIFETIME,
+        decoy_on_replay: bool = False,
+        resend_cached_res2: bool = False,
+        pending_ttl_s: float = PENDING_HANDSHAKE_TTL_S,
     ) -> None:
         """``issue_tickets`` opts a Level 2/3 object into session
         resumption (repro.protocol.resumption).  Off by default: ticket
         issuance adds real (metered) symmetric work to RES2, and the
         paper-anchored cost figures (Fig. 6(b), §IX-B) describe the
-        ticket-free handshake."""
+        ticket-free handshake.
+
+        ``decoy_on_replay`` answers a replayed (already-redeemed) RQUE
+        with a constant-length decoy RRES instead of silence, keeping
+        responder behavior uniform under retransmission/duplication
+        faults (MASHaBLE-style); the decoy never authenticates, so the
+        subject treats it exactly like a failed resumption and falls
+        back to the full handshake.  Off by default — silence is the
+        paper-faithful rejection everywhere else.
+
+        ``resend_cached_res2`` answers an *exactly* duplicated QUE2 with
+        the byte-identical cached RES2 (idempotent retransmission for
+        lossy transports); any differing QUE2 still gets silence.  Off
+        by default so the in-memory path keeps the strict replays-are-
+        silence contract; the ground network enables it so a lost RES2
+        is recoverable by re-sending the same QUE2.
+
+        ``pending_ttl_s`` bounds how long a half-open handshake may wait
+        for its QUE2 before the pending table reclaims it."""
         if creds.admin_public is None:
             raise ValueError("object credentials missing the admin public key")
         self.creds = creds
@@ -86,6 +121,19 @@ class ObjectEngine:
         self.ticket_lifetime = ticket_lifetime
         self.ticket_keyring = TicketKeyring()
         self.replay_ledger = ReplayLedger()
+        self.decoy_on_replay = decoy_on_replay
+        self.resend_cached_res2 = resend_cached_res2
+        self.pending_ttl_s = pending_ttl_s
+        #: Engine clock in seconds, advanced by the transport's tick();
+        #: stays 0.0 on the in-memory path (no eviction without time).
+        self._clock: float = 0.0
+        #: peer id -> (QUE2 bytes, RES2) for idempotent retransmission:
+        #: the *identical* QUE2 seen again (a duplicated or retransmitted
+        #: frame) gets the byte-identical cached RES2 back — no new
+        #: crypto, no oracle; any *different* QUE2 for a finished
+        #: session stays silence, consistent with the replay defenses in
+        #: repro.protocol.resumption.
+        self._res2_replay_cache: OrderedDict[str, tuple[bytes, Res2]] = OrderedDict()
         #: Completed handshakes, keyed by authenticated subject identity,
         #: for the access layer.
         self.established: dict[str, EstablishedSession] = {}
@@ -113,7 +161,12 @@ class ObjectEngine:
         if self.creds.level == 1:
             return self._res1_level1()
 
-        session = _ObjectSession(r_s=que1.r_s, r_o=fresh_nonce(), ecdh=ecdh_keypair(self.creds.strength))
+        session = _ObjectSession(
+            r_s=que1.r_s,
+            r_o=fresh_nonce(),
+            ecdh=ecdh_keypair(self.creds.strength),
+            created_at=self._clock,
+        )
         kexm = session.ecdh.kexm
         signature = self.creds.signing_key.sign(que1.r_s + session.r_o + kexm)
         res1 = Res1(
@@ -142,6 +195,17 @@ class ObjectEngine:
         branches before the constant-length framing in
         :meth:`_frame_payload` (§VI-B; enforced by INDIST-RETURN).
         """
+        # Retransmission check before anything touches live state: an
+        # exact byte-replay of an already-answered QUE2 can never be the
+        # current handshake's QUE2 (the fresh R_O in the signed
+        # transcript makes byte collision impossible), so resending the
+        # recorded answer is always safe — and a stale duplicate must
+        # not reach the open-session path below, where its failed
+        # verification would burn the session a legitimate QUE2 is
+        # still in flight for.
+        resend = self._cached_res2(peer_id, que2)
+        if resend is not None:
+            return resend
         session = self._sessions.get(peer_id)
         if session is None or session.finished:
             self._record(SessionError(f"no open session for {peer_id}"))
@@ -232,6 +296,7 @@ class ObjectEngine:
         mac_o = keys.object_mac(session_key, res2_transcript)
         res2 = Res2(ciphertext=ciphertext, mac_o=mac_o)
         session.transcript.append(res2.to_bytes())
+        self._store_res2_cache(peer_id, que2, res2)
         self.peer_identity[peer_id] = subject_id
         self.established[subject_id] = EstablishedSession(
             peer_id=subject_id,
@@ -283,7 +348,10 @@ class ObjectEngine:
         if not self.replay_ledger.redeem(body.ticket_id):
             meter.record("resumption_reject")
             self._record(FreshnessError(f"replayed ticket from {peer_id}"))
-            return None
+            # Replay rejection may answer with a constant-length decoy
+            # (opt-in): same wire shape as an accept, never
+            # authenticates, so recovery-path traffic stays uniform.
+            return self._decoy_rres() if self.decoy_on_replay else None
 
         payload = self._ticket_variant(body)
         if payload is None:
@@ -368,6 +436,89 @@ class ObjectEngine:
             return None
         meter.record("resumption_ticket_issued")
         return sealed
+
+    # -- fault tolerance ----------------------------------------------------------
+
+    def tick(self, now_s: float) -> None:
+        """Advance the engine clock; evict pending handshakes past TTL.
+
+        Called by the transport before each dispatch.  The pending table
+        was already *bounded* (LRU at ``SESSION_LIMIT``); TTL eviction
+        closes the remaining half-open exhaustion window where an
+        attacker keeps the table full of fresh entries so legitimate
+        handshakes get evicted young.
+        """
+        self._clock = now_s
+        cutoff = now_s - self.pending_ttl_s
+        expired = [
+            peer
+            for peer, session in self._sessions.items()
+            if session.created_at < cutoff
+        ]
+        for peer in expired:
+            del self._sessions[peer]
+
+    def reset_cold(self) -> None:
+        """A crash: all volatile (RAM) state is gone.
+
+        Credentials, the ticket keyring and the replay ledger survive —
+        a real device keeps those in flash precisely so a power-cycle
+        cannot be used to launder replays.
+        """
+        self._sessions.clear()
+        self._seen_nonces.clear()
+        self._res2_replay_cache.clear()
+        self.established.clear()
+        self.peer_identity.clear()
+
+    def record_wire_error(self, error: Exception) -> None:
+        """The transport saw garbage addressed to us (corrupted frame)."""
+        self._record(error)
+
+    def _cached_res2(self, peer_id: str, que2: Que2) -> Res2 | None:
+        """The byte-identical RES2 for an exactly-duplicated QUE2.
+
+        Identical bytes ⇒ same sender, same transcript, same answer:
+        resending teaches the network nothing it has not already
+        carried, and costs no crypto (the zero-cost ``res2_retransmit``
+        marker keeps the fast path visible to the meter without
+        perturbing §IX-B accounting).  Anything that differs from the
+        recorded exchange — even by one byte — is not a retransmission
+        and gets the usual silence.
+        """
+        cached = self._res2_replay_cache.get(peer_id)
+        if cached is None:
+            return None
+        recorded_bytes, res2 = cached
+        if not constant_time_equal(recorded_bytes, que2.to_bytes()):
+            return None
+        self._res2_replay_cache.move_to_end(peer_id)
+        meter.record("res2_retransmit")
+        return res2
+
+    def _store_res2_cache(self, peer_id: str, que2: Que2, res2: Res2) -> None:
+        if not self.resend_cached_res2:
+            return
+        self._res2_replay_cache[peer_id] = (que2.to_bytes(), res2)
+        while len(self._res2_replay_cache) > RES2_CACHE_LIMIT:
+            self._res2_replay_cache.popitem(last=False)
+
+    def _decoy_rres(self) -> Rres:
+        """A random RRES shaped exactly like a real one.
+
+        Ciphertext length matches a genuine padded RRES from this
+        object, the MAC is random (it can never verify), and the
+        zero-cost ``rres_decoy`` marker records the path.  Uniform for
+        every subject and every ticket — nothing here depends on what
+        the rejected ticket encoded.
+        """
+        meter.record("rres_decoy")
+        ciphertext_len = aead.ciphertext_length(self.padded_payload_length())
+        return Rres(
+            r_o=fresh_nonce(),
+            ciphertext=random_bytes(ciphertext_len),
+            mac_o=random_bytes(MAC_LEN),
+        )
 
     # -- helpers ------------------------------------------------------------------
 

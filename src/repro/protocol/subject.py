@@ -58,6 +58,12 @@ class _SubjectSession:
     done: bool = False
 
 
+#: Seconds an unanswered RQUE may wait before its state is reclaimed
+#: (mirrors the object's pending-handshake TTL; only enforced where a
+#: transport ticks the engine).
+PENDING_RESUME_TTL_S = 30.0
+
+
 @dataclass
 class _ResumeState:
     """One in-flight RQUE, awaiting its RRES."""
@@ -67,6 +73,8 @@ class _ResumeState:
     master: bytes
     level: int
     group_id: str | None
+    #: Engine-clock time the RQUE was built (TTL eviction).
+    created_at: float = 0.0
 
 
 class SubjectEngine:
@@ -96,6 +104,8 @@ class SubjectEngine:
         self.tickets: dict[str, StoredTicket] = {}
         #: In-flight RQUE state, keyed by object id.
         self._pending_resume: dict[str, _ResumeState] = {}
+        #: Engine clock in seconds, advanced by the transport's tick().
+        self._clock: float = 0.0
 
     # -- round control -----------------------------------------------------------
 
@@ -334,6 +344,7 @@ class SubjectEngine:
             master=stored.master,
             level=stored.level,
             group_id=stored.group_id,
+            created_at=self._clock,
         )
         return rque
 
@@ -393,6 +404,37 @@ class SubjectEngine:
                 group_id=state.group_id,
             )
         return service
+
+    # -- fault tolerance -----------------------------------------------------------------
+
+    def tick(self, now_s: float) -> None:
+        """Advance the engine clock; reclaim RQUE state nobody answered."""
+        self._clock = now_s
+        cutoff = now_s - PENDING_RESUME_TTL_S
+        expired = [
+            object_id
+            for object_id, state in self._pending_resume.items()
+            if state.created_at < cutoff
+        ]
+        for object_id in expired:
+            del self._pending_resume[object_id]
+
+    def reset_cold(self) -> None:
+        """A crash: in-flight handshake and resumption state is gone.
+
+        Discovered services and banked tickets survive (the device's
+        persistent service registry); an interrupted round simply starts
+        over after the restart.
+        """
+        self._sessions.clear()
+        self._pending_resume.clear()
+        self.established.clear()
+        self._r_s = b""
+        self._que1_bytes = b""
+
+    def record_wire_error(self, error: Exception) -> None:
+        """The transport saw garbage addressed to us (corrupted frame)."""
+        self._record(error)
 
     # -- bookkeeping ---------------------------------------------------------------------
 

@@ -1,0 +1,185 @@
+"""Duplicate and replayed frames on the recovery path.
+
+The fault layer (repro.net.faults) can duplicate any frame and the retry
+layer (repro.net.run.RetryPolicy) deliberately re-sends QUE2/RQUE, so
+the engines must treat "the same bytes again" as recovery — idempotent,
+constant-shape, no new crypto — while anything that *differs* keeps the
+strict replays-are-silence contract.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.protocol.discovery import run_round
+from repro.protocol.errors import FreshnessError, SessionError
+from repro.protocol.object import ObjectEngine
+from repro.protocol.subject import SubjectEngine
+
+
+def four_way(subject: SubjectEngine, obj: ObjectEngine):
+    """One full in-memory handshake; returns (que2, res2)."""
+    peer_s = subject.creds.subject_id
+    peer_o = obj.creds.object_id
+    que1 = subject.start_round(None)
+    res1 = obj.handle_que1(que1, peer_s)
+    que2 = subject.handle_res1(res1, peer_o)
+    res2 = obj.handle_que2(que2, peer_s)
+    assert res2 is not None
+    assert subject.handle_res2(res2, peer_o) is not None
+    return que2, res2
+
+
+class TestDuplicateQue2:
+    def test_exact_duplicate_gets_byte_identical_res2(self, staff, media):
+        """A retransmitted QUE2 recovers the lost RES2: same bytes out."""
+        subject = SubjectEngine(staff)
+        obj = ObjectEngine(media, resend_cached_res2=True)
+        que2, res2 = four_way(subject, obj)
+        resent = obj.handle_que2(que2, staff.subject_id)
+        assert resent is not None
+        assert resent.to_bytes() == res2.to_bytes()
+
+    def test_duplicate_is_idempotent_across_repeats(self, staff, media):
+        subject = SubjectEngine(staff)
+        obj = ObjectEngine(media, resend_cached_res2=True)
+        que2, res2 = four_way(subject, obj)
+        for _ in range(3):
+            assert obj.handle_que2(que2, staff.subject_id).to_bytes() == (
+                res2.to_bytes()
+            )
+
+    def test_differing_que2_still_silence(self, staff, media):
+        """One flipped byte is not a retransmission — no oracle."""
+        subject = SubjectEngine(staff)
+        obj = ObjectEngine(media, resend_cached_res2=True)
+        que2, _ = four_way(subject, obj)
+        tweaked = dataclasses.replace(
+            que2, profile_bytes=que2.profile_bytes + b"x"
+        )
+        assert obj.handle_que2(tweaked, staff.subject_id) is None
+        assert any(isinstance(e, SessionError) for e in obj.errors)
+
+    def test_resend_disabled_by_default(self, staff, media):
+        """The in-memory path keeps the strict contract: replayed QUE2
+        gets silence unless the transport opted into resends."""
+        subject = SubjectEngine(staff)
+        obj = ObjectEngine(media)
+        que2, _ = four_way(subject, obj)
+        assert obj.handle_que2(que2, staff.subject_id) is None
+
+    def test_duplicate_from_other_peer_not_answered(self, staff, media):
+        """The cache is keyed by peer: a copy arriving under a different
+        network identity is a splice, not a retransmission."""
+        subject = SubjectEngine(staff)
+        obj = ObjectEngine(media, resend_cached_res2=True)
+        que2, _ = four_way(subject, obj)
+        assert obj.handle_que2(que2, "someone-else") is None
+
+
+class TestDuplicateRque:
+    def _ticketed(self, staff, media):
+        subject = SubjectEngine(staff)
+        obj = ObjectEngine(media, issue_tickets=True, decoy_on_replay=True)
+        run_round(subject, {media.object_id: obj})
+        return subject, obj
+
+    def test_replayed_rque_rejected_exactly_once_with_decoy(self, staff, media):
+        """A network-duplicated RQUE redeems once; every further copy is
+        rejected by the ReplayLedger and answered with a decoy RRES."""
+        subject, obj = self._ticketed(staff, media)
+        rque = subject.start_resumption(media.object_id)
+        first = obj.handle_rque(rque, "wire-1")
+        assert first is not None
+        replays = [obj.handle_rque(rque, "wire-1") for _ in range(3)]
+        assert all(r is not None for r in replays)  # decoys, not silence
+        freshness = [e for e in obj.errors if isinstance(e, FreshnessError)]
+        assert len(freshness) == 3  # ledger rejected every copy
+
+    def test_decoy_is_constant_length(self, staff, media):
+        subject, obj = self._ticketed(staff, media)
+        rque = subject.start_resumption(media.object_id)
+        real = obj.handle_rque(rque, "wire-1")
+        decoy = obj.handle_rque(rque, "wire-1")
+        assert len(decoy.to_bytes()) == len(real.to_bytes())
+        assert len(decoy.ciphertext) == len(real.ciphertext)
+
+    def test_decoy_never_authenticates(self, staff, media):
+        subject, obj = self._ticketed(staff, media)
+        rque = subject.start_resumption(media.object_id)
+        obj.handle_rque(rque, media.object_id)
+        decoy = obj.handle_rque(rque, media.object_id)
+        assert subject.handle_rres(decoy, media.object_id) is None
+        assert subject.errors  # failed MAC/decrypt recorded, no crash
+
+    def test_decoy_off_by_default(self, staff, media):
+        subject = SubjectEngine(staff)
+        obj = ObjectEngine(media, issue_tickets=True)
+        run_round(subject, {media.object_id: obj})
+        rque = subject.start_resumption(media.object_id)
+        assert obj.handle_rque(rque, "wire-1") is not None
+        assert obj.handle_rque(rque, "wire-1") is None  # paper-faithful
+
+
+class TestPendingTableTtl:
+    def test_half_open_handshakes_evicted(self, staff, media):
+        obj = ObjectEngine(media, pending_ttl_s=5.0)
+        subject = SubjectEngine(staff)
+        obj.tick(0.0)
+        que1 = subject.start_round(None)
+        res1 = obj.handle_que1(que1, staff.subject_id)
+        que2 = subject.handle_res1(res1, media.object_id)
+        obj.tick(6.0)  # past the TTL before QUE2 lands
+        assert obj.handle_que2(que2, staff.subject_id) is None
+        assert any(isinstance(e, SessionError) for e in obj.errors)
+
+    def test_fresh_handshake_survives_tick(self, staff, media):
+        obj = ObjectEngine(media, pending_ttl_s=5.0)
+        subject = SubjectEngine(staff)
+        obj.tick(0.0)
+        que1 = subject.start_round(None)
+        res1 = obj.handle_que1(que1, staff.subject_id)
+        que2 = subject.handle_res1(res1, media.object_id)
+        obj.tick(4.0)  # within the TTL
+        assert obj.handle_que2(que2, staff.subject_id) is not None
+
+
+class TestColdRestart:
+    def test_reset_cold_drops_inflight_state(self, staff, media):
+        subject = SubjectEngine(staff)
+        obj = ObjectEngine(media, resend_cached_res2=True)
+        four_way(subject, obj)
+        assert obj.established
+        obj.reset_cold()
+        assert not obj.established
+        # a new handshake works from scratch after the restart
+        subject2 = SubjectEngine(staff)
+        four_way(subject2, obj)
+
+    def test_replay_ledger_survives_crash(self, staff, media):
+        """A power-cycle must not launder ticket replays (flash state)."""
+        subject = SubjectEngine(staff)
+        obj = ObjectEngine(media, issue_tickets=True)
+        run_round(subject, {media.object_id: obj})
+        rque = subject.start_resumption(media.object_id)
+        assert obj.handle_rque(rque, "wire-1") is not None
+        obj.reset_cold()
+        assert obj.handle_rque(rque, "wire-1") is None  # still burned
+
+    def test_subject_reset_cold_keeps_discoveries(self, staff, media):
+        subject = SubjectEngine(staff)
+        obj = ObjectEngine(media)
+        four_way(subject, obj)
+        assert subject.discovered
+        subject.reset_cold()
+        assert subject.discovered  # the service registry is durable
+        assert not subject.established
+
+
+class TestWireErrors:
+    def test_record_wire_error_never_raises(self, staff, media):
+        obj = ObjectEngine(media)
+        subject = SubjectEngine(staff)
+        obj.record_wire_error(ValueError("mangled frame"))
+        subject.record_wire_error(ValueError("mangled frame"))
+        assert obj.errors and subject.errors
