@@ -12,6 +12,18 @@ import pytest
 from repro.experiments.common import make_level_fleet
 
 
+def pytest_addoption(parser):
+    """``--smoke`` shrinks scale benchmarks (bench_throughput) for CI.
+
+    Registered here so every ``pytest benchmarks/...`` invocation shares
+    one flag instead of each bench growing its own.
+    """
+    parser.addoption(
+        "--smoke", action="store_true", default=False,
+        help="run scale benchmarks on a small batch",
+    )
+
+
 @pytest.fixture(scope="session")
 def level1_fleet20():
     return make_level_fleet(20, 1)

@@ -1,0 +1,229 @@
+"""Batched public-key crypto execution across a process worker pool.
+
+One enterprise object answering hundreds of concurrent QUE2s per round
+spends nearly all of its time in independent public-key operations:
+certificate-chain verifies, signature verifies, ECDH derives.  Python
+threads cannot parallelize them (the hot path is CPU-bound in OpenSSL
+calls that are short enough for the GIL handoff to dominate), so this
+module does what an inference stack does — collect a *batch* of
+independent operations and fan them out over worker **processes**.
+
+Design constraints, in order:
+
+1. **Correctness is never delegated.**  Pool results are staged in the
+   oracles of :mod:`repro.crypto.ecdsa` / :mod:`repro.crypto.ecdh` and
+   the unmodified sequential handlers then run normally, looking each
+   operation up *after* metering; a miss recomputes inline.  The pool is
+   a pure accelerator: wire bytes and §IX-B op counts are identical to
+   the sequential path by construction.
+2. **Keys ship as serialized bytes.**  OpenSSL key handles do not
+   pickle; ops carry SEC1 points, PKCS8 DER/PEM blobs instead.  Nothing
+   leaves the host.
+3. **Transparent fallback.**  ``workers=0`` — or a platform without
+   ``fork`` — executes the batch inline in submission order, so callers
+   never branch on pool availability.
+
+Raw ``cryptography.hazmat`` use is confined to this module, which lives
+inside ``repro.crypto`` exactly so the METER-ACCOUNTING lint rule keeps
+holding: the raw executors deliberately do **not** meter (the consuming
+handler records the logical op at oracle-lookup time, once).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+from contextlib import contextmanager
+from typing import Any, Iterable, Iterator, Sequence
+
+from cryptography.exceptions import InvalidSignature
+from cryptography.hazmat.primitives import hashes, serialization
+from cryptography.hazmat.primitives.asymmetric import ec
+from cryptography.hazmat.primitives.asymmetric.utils import (
+    decode_dss_signature,
+    encode_dss_signature,
+)
+
+from repro.crypto import ecdh as _ecdh_mod
+from repro.crypto import ecdsa as _ecdsa_mod
+from repro.crypto.ecdsa import _curve_for, _scalar_len
+
+#: A batch operation. Tuples, not dataclasses: they pickle small and fast.
+#:
+#: * ``("verify", key_sec1, strength, signature, message)`` -> ``bool``
+#: * ``("derive", priv_der, strength, peer_kexm)`` -> ``bytes | None``
+#: * ``("sign",   priv_pem, strength, message)`` -> ``bytes``
+Op = tuple
+
+
+def execute_op(op: Op) -> Any:
+    """Execute one raw operation; runs in workers and in the fallback."""
+    kind = op[0]
+    if kind == "verify":
+        _, key_sec1, strength, signature, message = op
+        curve = _curve_for(strength)
+        n = _scalar_len(curve)
+        if len(signature) != 2 * n:
+            return False
+        try:
+            key = ec.EllipticCurvePublicKey.from_encoded_point(curve, key_sec1)
+            der = encode_dss_signature(
+                int.from_bytes(signature[:n], "big"),
+                int.from_bytes(signature[n:], "big"),
+            )
+            key.verify(der, message, ec.ECDSA(hashes.SHA256()))
+            return True
+        except (InvalidSignature, ValueError):
+            return False
+    if kind == "derive":
+        _, priv_der, strength, peer_kexm = op
+        curve = _curve_for(strength)
+        n = _scalar_len(curve)
+        if len(peer_kexm) != 2 * n:
+            return None
+        private = serialization.load_der_private_key(priv_der, password=None)
+        try:
+            peer = ec.EllipticCurvePublicKey.from_encoded_point(
+                curve, b"\x04" + peer_kexm
+            )
+        except ValueError:
+            return None
+        return private.exchange(ec.ECDH(), peer)
+    if kind == "sign":
+        _, priv_pem, strength, message = op
+        private = serialization.load_pem_private_key(priv_pem, password=None)
+        der = private.sign(message, ec.ECDSA(hashes.SHA256()))
+        r, s = decode_dss_signature(der)
+        n = _scalar_len(_curve_for(strength))
+        return r.to_bytes(n, "big") + s.to_bytes(n, "big")
+    raise ValueError(f"unknown batch op kind {kind!r}")
+
+
+def _execute_chunk(chunk: Sequence[Op]) -> list:
+    """Worker entry: one pickle round-trip covers ``chunk_size`` ops."""
+    return [execute_op(op) for op in chunk]
+
+
+def _worker_init() -> None:
+    """Reset fork-inherited meter state so workers never tally ops.
+
+    The key pool's own ``os.register_at_fork`` hook handles its state;
+    metering is reset here because a pool lazily created inside a
+    ``metered()`` block would otherwise inherit a live meter.
+    """
+    from repro.crypto import meter
+
+    meter._depth = 0
+    meter._global = None
+    meter._sync_enabled()
+
+
+def fork_available() -> bool:
+    """True iff this platform can run the process-backed pool."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+class CryptoWorkerPool:
+    """A batch executor for independent public-key operations.
+
+    ``workers=0`` (or no ``fork``) degrades to inline execution — same
+    results, same order, no processes.  The executor is created lazily
+    on the first pooled batch and torn down by :meth:`close` (or the
+    context-manager exit), so constructing a pool is free.
+    """
+
+    def __init__(self, workers: int = 0, chunk_size: int = 32) -> None:
+        if workers < 0:
+            raise ValueError(f"workers must be >= 0, got {workers}")
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.workers = workers
+        self.chunk_size = chunk_size
+        self._executor: ProcessPoolExecutor | None = None
+        #: Batches/ops actually dispatched to processes vs run inline.
+        self.pooled_ops = 0
+        self.inline_ops = 0
+
+    @property
+    def pooled(self) -> bool:
+        """True iff batches will fan out to worker processes."""
+        return self.workers > 0 and fork_available()
+
+    def _ensure_executor(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=multiprocessing.get_context("fork"),
+                initializer=_worker_init,
+            )
+        return self._executor
+
+    def run_batch(self, ops: Iterable[Op]) -> list:
+        """Execute *ops*, returning results in submission order."""
+        batch = list(ops)
+        if not batch:
+            return []
+        if not self.pooled:
+            self.inline_ops += len(batch)
+            return [execute_op(op) for op in batch]
+        self.pooled_ops += len(batch)
+        chunks = [
+            batch[i : i + self.chunk_size]
+            for i in range(0, len(batch), self.chunk_size)
+        ]
+        executor = self._ensure_executor()
+        results: list = []
+        for chunk_result in executor.map(_execute_chunk, chunks):
+            results.extend(chunk_result)
+        return results
+
+    def close(self) -> None:
+        """Shut down worker processes; the pool can be reused afterwards."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> "CryptoWorkerPool":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+def _merged(old: dict | None, new: dict | None) -> dict | None:
+    if new is None:
+        return old
+    if old is None:
+        return dict(new)
+    combined = dict(old)
+    combined.update(new)
+    return combined
+
+
+@contextmanager
+def precomputed(
+    verify: dict | None = None,
+    sign: dict | None = None,
+    derive: dict | None = None,
+) -> Iterator[None]:
+    """Stage pool results in the crypto-layer oracles for the block.
+
+    ``verify`` maps ``(key_sec1, signature, message) -> bool``; ``sign``
+    maps ``(id(signing_key), message) -> raw_signature``; ``derive``
+    maps ``(id(ecdh), peer_kexm) -> premaster``.  Nests safely — inner
+    entries shadow outer ones and the previous oracles are restored on
+    exit, so a partially-failed precompute never leaks staged results
+    past its batch.
+    """
+    old_verify = _ecdsa_mod._VERIFY_ORACLE
+    old_sign = _ecdsa_mod._SIGN_ORACLE
+    old_derive = _ecdh_mod._DERIVE_ORACLE
+    _ecdsa_mod._VERIFY_ORACLE = _merged(old_verify, verify)
+    _ecdsa_mod._SIGN_ORACLE = _merged(old_sign, sign)
+    _ecdh_mod._DERIVE_ORACLE = _merged(old_derive, derive)
+    try:
+        yield
+    finally:
+        _ecdsa_mod._VERIFY_ORACLE = old_verify
+        _ecdsa_mod._SIGN_ORACLE = old_sign
+        _ecdh_mod._DERIVE_ORACLE = old_derive

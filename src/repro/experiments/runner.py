@@ -31,6 +31,7 @@ from repro.experiments import (
     radio_comparison,
     resumption,
     security_report,
+    throughput,
     timing_attack,
     scalability_sweep,
     version_overhead,
@@ -81,6 +82,8 @@ ALL = {
     "fault_recovery": lambda: fault_recovery.run().render(),
     # §VII executed end to end as one scorecard
     "security_report": lambda: security_report.run().render(),
+    # extension: aggregate handshakes/sec, sequential vs batched worker pool
+    "throughput": lambda: throughput.run(smoke=True).render(),
 }
 
 

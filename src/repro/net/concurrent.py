@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 
 from repro.backend.registration import ObjectCredentials, SubjectCredentials
 from repro.crypto.costmodel import NEXUS6, RASPBERRY_PI3, DeviceProfile
+from repro.crypto.workpool import CryptoWorkerPool
 from repro.net.node import GroundNetwork, SimNode, SizeMode, TimingMode
 from repro.net.radio import DEFAULT_WIFI, LinkModel
 from repro.net.simulator import Simulator
@@ -59,11 +60,23 @@ def simulate_concurrent_discovery(
     seed: int = 0,
     deadline_s: float = 120.0,
     resumption: bool = False,
+    object_cores: int = 1,
+    batch_window_s: float = 0.0,
+    crypto_pool: "CryptoWorkerPool | None" = None,
+    object_session_limit: int | None = None,
 ) -> ConcurrentTimeline:
     """All subjects discover the same object fleet over one shared channel.
 
     ``stagger_s`` spaces the QUE1 broadcasts (0 = simultaneous burst, the
     worst case for contention).
+
+    ``batch_window_s`` > 0 switches every object onto the batched QUE2
+    drain (:mod:`repro.crypto.workpool`): queued QUE2s are answered
+    together each window, spread across ``object_cores`` compute lanes,
+    with the batch's public-key operations dispatched through
+    ``crypto_pool`` (None = in-process fallback, identical results).
+    ``object_session_limit`` widens the objects' half-open session table
+    for throughput-scale rounds (default: the engine's own limit).
 
     ``resumption`` simulates a *re*-discovery: every subject first
     completes one full in-memory discovery against the fleet (off the
@@ -77,20 +90,31 @@ def simulate_concurrent_discovery(
     graph = shared_floor(subject_ids, object_ids)
 
     sim = Simulator()
-    net = GroundNetwork(sim, graph, link, timing, sizes, seed=seed)
+    net = GroundNetwork(
+        sim, graph, link, timing, sizes, seed=seed,
+        batch_window_s=batch_window_s, crypto_pool=crypto_pool,
+    )
 
+    engine_kwargs: dict = {}
+    if object_session_limit is not None:
+        engine_kwargs["session_limit"] = object_session_limit
     engines: dict[str, SubjectEngine] = {}
     for creds in subject_creds:
         engine = SubjectEngine(creds, version)
         engines[creds.subject_id] = engine
         net.add_node(SimNode(creds.subject_id, "subject", subject_profile, engine))
     object_engines: dict[str, ObjectEngine] = {
-        creds.object_id: ObjectEngine(creds, version, issue_tickets=resumption)
+        creds.object_id: ObjectEngine(
+            creds, version, issue_tickets=resumption, **engine_kwargs
+        )
         for creds in object_creds
     }
     for creds in object_creds:
         net.add_node(
-            SimNode(creds.object_id, "object", object_profile, object_engines[creds.object_id])
+            SimNode(
+                creds.object_id, "object", object_profile,
+                object_engines[creds.object_id], cores=object_cores,
+            )
         )
 
     timeline = ConcurrentTimeline()

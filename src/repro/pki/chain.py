@@ -26,34 +26,78 @@ handshake, exactly the §IX-B count) plus ``cert_verify_cached``.
 from __future__ import annotations
 
 from collections import OrderedDict
+from typing import NamedTuple
 
 from repro.crypto import meter
 from repro.crypto.ecdsa import VerifyingKey
 from repro.pki.certificate import Certificate, CertificateChain, CertificateError
 
-#: LRU bound for the per-verifier leaf and chain-bytes caches.
+#: Default LRU bound for every per-verifier cache.
 LEAF_CACHE_MAX = 1024
 
 
-class ChainVerifier:
-    """Verifies chains against one trusted root, caching verified results."""
+class CacheInfo(NamedTuple):
+    """A :func:`functools.lru_cache`-style snapshot of cache health."""
 
-    def __init__(self, root_id: str, root_key: VerifyingKey) -> None:
+    hits: int
+    misses: int
+    maxsize: int
+    leaf_size: int
+    chain_size: int
+    intermediate_size: int
+
+
+class ChainVerifier:
+    """Verifies chains against one trusted root, caching verified results.
+
+    Every cache — intermediates included — is LRU-bounded by *maxsize*
+    so a churning fleet (thousands of distinct subjects cycling through)
+    cannot grow the verifier without limit; :meth:`cache_info` exposes
+    hit/miss counters for the benchmarks that watch warm-path health.
+    """
+
+    def __init__(
+        self, root_id: str, root_key: VerifyingKey, maxsize: int = LEAF_CACHE_MAX
+    ) -> None:
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
         self.root_id = root_id
         self.root_key = root_key
+        self.maxsize = maxsize
         #: Verified intermediate certs, keyed by their serialized bytes;
         #: value is the intermediate's public key for child verification.
-        self._verified: dict[bytes, VerifyingKey] = {}
+        self._verified: OrderedDict[bytes, VerifyingKey] = OrderedDict()
         #: Verified leaf signatures: (leaf bytes, issuer key bytes) -> None.
         self._leaf_ok: OrderedDict[tuple[bytes, bytes], None] = OrderedDict()
         #: Fully verified chains: wire bytes -> (leaf, window_lo, window_hi).
         self._chain_ok: OrderedDict[bytes, tuple[Certificate, int, int]] = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+
+    def cache_info(self) -> CacheInfo:
+        """Hit/miss counters and current cache sizes.
+
+        A *hit* is any lookup served from the chain-bytes or leaf cache;
+        a *miss* is a verification that had to run real signature
+        checks. Intermediate-ladder reuse is deliberately not counted —
+        it is the steady state, not a signal.
+        """
+        return CacheInfo(
+            hits=self._hits,
+            misses=self._misses,
+            maxsize=self.maxsize,
+            leaf_size=len(self._leaf_ok),
+            chain_size=len(self._chain_ok),
+            intermediate_size=len(self._verified),
+        )
 
     def clear_caches(self) -> None:
         """Forget every cached verification (tests and cold benchmarks)."""
         self._verified.clear()
         self._leaf_ok.clear()
         self._chain_ok.clear()
+        self._hits = 0
+        self._misses = 0
 
     def verify_chain_bytes(self, data: bytes, now: int = 1) -> Certificate | None:
         """Parse + verify a serialized chain; return the leaf or None."""
@@ -62,6 +106,7 @@ class ChainVerifier:
             leaf, lo, hi = hit
             if lo <= now <= hi:
                 self._chain_ok.move_to_end(data)
+                self._hits += 1
                 meter.record("ecdsa_verify", leaf.strength)
                 meter.record("cert_verify_cached", leaf.strength)
                 return leaf
@@ -101,9 +146,11 @@ class ChainVerifier:
         leaf_key = (leaf.to_bytes(), issuer_key.to_bytes())
         if leaf_key in self._leaf_ok:
             self._leaf_ok.move_to_end(leaf_key)
+            self._hits += 1
             meter.record("ecdsa_verify", leaf.strength)
             meter.record("cert_verify_cached", leaf.strength)
             return leaf
+        self._misses += 1
         if not leaf.verify_signature(issuer_key):
             return None
         self._remember(self._leaf_ok, leaf_key, None)
@@ -117,6 +164,7 @@ class ChainVerifier:
         cache_key = first.to_bytes()
         cached = self._verified.get(cache_key)
         if cached is not None:
+            self._verified.move_to_end(cache_key)
             return cached
         # Full walk: each intermediate signed by the next, top by the root.
         for child, parent in zip(intermediates, intermediates[1:]):
@@ -127,14 +175,70 @@ class ChainVerifier:
         top = intermediates[-1]
         if top.issuer_id != self.root_id or not top.verify_signature(self.root_key):
             return None
-        self._verified[cache_key] = first.public_key
+        self._remember(self._verified, cache_key, first.public_key)
         return first.public_key
 
-    @staticmethod
-    def _remember(cache: OrderedDict, key, value) -> None:
+    def _remember(self, cache: OrderedDict, key, value) -> None:
         cache[key] = value
-        while len(cache) > LEAF_CACHE_MAX:
+        while len(cache) > self.maxsize:
             cache.popitem(last=False)
+
+    def pending_verify_ops(self, data: bytes, now: int = 1) -> list[tuple]:
+        """The raw verify ops a cold :meth:`verify_chain_bytes` would run.
+
+        Read-only batch-precompute helper (:mod:`repro.crypto.workpool`):
+        honors every cache without touching it, meters nothing, and
+        returns ``("verify", issuer_key_sec1, strength, signature, tbs)``
+        tuples for exactly the signature checks the sequential walk
+        would perform right now.  Approximation in either direction is
+        safe — a missing op falls through to inline compute, an extra op
+        is an unused oracle entry — so structural failures simply stop
+        the decomposition where the sequential walk would stop.
+        """
+        hit = self._chain_ok.get(data)
+        if hit is not None:
+            leaf, lo, hi = hit
+            if lo <= now <= hi:
+                return []
+        try:
+            chain = CertificateChain.from_bytes(data)
+        except CertificateError:
+            return []
+        certs = chain.certificates
+        leaf = certs[0]
+        if not all(cert.valid_at(now) for cert in certs):
+            return []
+        ops: list[tuple] = []
+        if len(certs) == 1:
+            if leaf.issuer_id != self.root_id:
+                return []
+            issuer_key = self.root_key
+        else:
+            intermediates = certs[1:]
+            if self._verified.get(intermediates[0].to_bytes()) is None:
+                for child, parent in zip(intermediates, intermediates[1:]):
+                    if child.issuer_id != parent.subject_id:
+                        return ops
+                    ops.append(
+                        ("verify", parent.public_key.to_bytes(), child.strength,
+                         child.signature, child.tbs())
+                    )
+                top = intermediates[-1]
+                if top.issuer_id != self.root_id:
+                    return ops
+                ops.append(
+                    ("verify", self.root_key.to_bytes(), top.strength,
+                     top.signature, top.tbs())
+                )
+            if leaf.issuer_id != certs[1].subject_id:
+                return ops
+            issuer_key = certs[1].public_key
+        if (leaf.to_bytes(), issuer_key.to_bytes()) not in self._leaf_ok:
+            ops.append(
+                ("verify", issuer_key.to_bytes(), leaf.strength,
+                 leaf.signature, leaf.tbs())
+            )
+        return ops
 
     def warm_up(self, chain: CertificateChain, now: int = 1) -> None:
         """Pre-verify a chain so later calls hit the cache (bench setup)."""

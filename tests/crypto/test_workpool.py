@@ -1,0 +1,169 @@
+"""The crypto worker pool: op semantics, pooling, and the oracles."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto import ecdh as ecdh_mod
+from repro.crypto import ecdsa as ecdsa_mod
+from repro.crypto import workpool
+from repro.crypto.ecdh import EphemeralECDH
+from repro.crypto.ecdsa import generate_signing_key
+from repro.crypto.meter import metered
+from repro.crypto.workpool import CryptoWorkerPool, execute_op, fork_available
+
+
+@pytest.fixture
+def signing_key():
+    return generate_signing_key(128)
+
+
+def make_ops(signing_key):
+    """A representative mixed batch: good verify, bad verify, derive, sign."""
+    verifying = signing_key.public_key
+    message = b"throughput batch op"
+    signature = signing_key.sign(message)
+    mine, peer = EphemeralECDH(128), EphemeralECDH(128)
+    return [
+        ("verify", verifying.to_bytes(), 128, signature, message),
+        ("verify", verifying.to_bytes(), 128, signature, b"wrong message"),
+        ("derive", mine.private_der(), 128, peer.kexm),
+        ("derive", mine.private_der(), 128, b"\x00" * 8),  # malformed point
+        ("sign", signing_key.to_pem(), 128, message),
+    ], verifying, mine, peer
+
+
+class TestExecuteOp:
+    def test_verify_good_and_bad(self, signing_key):
+        ops, *_ = make_ops(signing_key)
+        assert execute_op(ops[0]) is True
+        assert execute_op(ops[1]) is False
+
+    def test_derive_matches_in_process(self, signing_key):
+        ops, _, mine, peer = make_ops(signing_key)
+        assert execute_op(ops[2]) == mine.derive_premaster(peer.kexm)
+
+    def test_derive_malformed_peer_is_none(self, signing_key):
+        ops, *_ = make_ops(signing_key)
+        assert execute_op(ops[3]) is None
+
+    def test_sign_output_verifies(self, signing_key):
+        ops, verifying, *_ = make_ops(signing_key)
+        signature = execute_op(ops[4])
+        assert verifying.verify(signature, b"throughput batch op")
+
+    def test_ops_are_not_metered(self, signing_key):
+        ops, *_ = make_ops(signing_key)
+        with metered() as tally:
+            for op in ops:
+                execute_op(op)
+        assert not tally.counts
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError, match="unknown batch op"):
+            execute_op(("encrypt", b"", 128, b""))
+
+
+class TestCryptoWorkerPool:
+    @staticmethod
+    def _check(results, ops, verifying):
+        """Deterministic ops must match inline execution exactly; the
+        sign op (randomized ECDSA) must simply verify."""
+        assert results[:4] == [execute_op(op) for op in ops[:4]]
+        assert verifying.verify(results[4], ops[4][3])
+
+    def test_inline_fallback_when_zero_workers(self, signing_key):
+        ops, verifying, *_ = make_ops(signing_key)
+        with CryptoWorkerPool(0) as pool:
+            results = pool.run_batch(ops)
+            assert not pool.pooled
+            assert pool.inline_ops == len(ops)
+            assert pool.pooled_ops == 0
+        self._check(results, ops, verifying)
+
+    @pytest.mark.skipif(not fork_available(), reason="needs fork start method")
+    def test_pooled_matches_inline(self, signing_key):
+        ops, verifying, *_ = make_ops(signing_key)
+        with CryptoWorkerPool(2, chunk_size=2) as pool:
+            results = pool.run_batch(ops)
+            assert pool.pooled
+            assert pool.pooled_ops == len(ops)
+        self._check(results, ops, verifying)
+
+    def test_results_follow_submission_order(self, signing_key):
+        ops, verifying, *_ = make_ops(signing_key)
+        batch = ops * 7
+        with CryptoWorkerPool(2 if fork_available() else 0) as pool:
+            results = pool.run_batch(batch)
+        assert len(results) == len(batch)
+        for i in range(7):
+            self._check(results[5 * i : 5 * i + 5], ops, verifying)
+
+    def test_empty_batch(self):
+        with CryptoWorkerPool(2) as pool:
+            assert pool.run_batch([]) == []
+
+    def test_negative_workers_rejected(self):
+        with pytest.raises(ValueError):
+            CryptoWorkerPool(-1)
+
+    def test_close_is_idempotent(self):
+        pool = CryptoWorkerPool(0)
+        pool.run_batch([])
+        pool.close()
+        pool.close()
+
+
+class TestPrecomputedOracles:
+    def test_verify_oracle_is_consulted(self, signing_key):
+        """A staged False beats a genuinely valid signature — proof the
+        metered verify really reads the oracle rather than recomputing."""
+        verifying = signing_key.public_key
+        message = b"oracle check"
+        signature = signing_key.sign(message)
+        key = (verifying.to_bytes(), signature, message)
+        assert verifying.verify(signature, message)
+        with workpool.precomputed(verify={key: False}):
+            assert not verifying.verify(signature, message)
+        assert verifying.verify(signature, message)
+
+    def test_derive_oracle_is_consulted(self):
+        mine, peer = EphemeralECDH(128), EphemeralECDH(128)
+        staged = b"\xab" * 32
+        with workpool.precomputed(derive={(id(mine), peer.kexm): staged}):
+            assert mine.derive_premaster(peer.kexm) == staged
+        assert mine.derive_premaster(peer.kexm) != staged
+
+    def test_sign_oracle_is_consulted(self, signing_key):
+        staged = b"\xcd" * 16
+        with workpool.precomputed(sign={(id(signing_key), b"m"): staged}):
+            assert signing_key.sign(b"m") == staged
+
+    def test_oracle_miss_falls_through(self, signing_key):
+        """Items missing from the oracle compute inline, silently."""
+        verifying = signing_key.public_key
+        signature = signing_key.sign(b"present")
+        with workpool.precomputed(verify={}):
+            assert verifying.verify(signature, b"present")
+            assert not verifying.verify(signature, b"absent")
+
+    def test_oracle_hits_still_metered(self, signing_key):
+        """The oracle replaces the math, never the §IX-B accounting."""
+        verifying = signing_key.public_key
+        message = b"metered"
+        signature = signing_key.sign(message)
+        key = (verifying.to_bytes(), signature, message)
+        with workpool.precomputed(verify={key: True}):
+            with metered() as tally:
+                verifying.verify(signature, message)
+        assert tally.counts[("ecdsa_verify", 128)] == 1
+
+    def test_nested_precomputed_merges_and_restores(self, signing_key):
+        outer_key, inner_key = (id(signing_key), b"a"), (id(signing_key), b"b")
+        with workpool.precomputed(sign={outer_key: b"A"}):
+            with workpool.precomputed(sign={inner_key: b"B"}):
+                assert signing_key.sign(b"a") == b"A"
+                assert signing_key.sign(b"b") == b"B"
+            assert ecdsa_mod._SIGN_ORACLE == {outer_key: b"A"}
+        assert ecdsa_mod._SIGN_ORACLE is None
+        assert ecdh_mod._DERIVE_ORACLE is None

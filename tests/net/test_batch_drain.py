@@ -1,0 +1,77 @@
+"""The over-the-air QUE2 batch drain (throughput tentpole, net layer)."""
+
+import pytest
+
+from repro.crypto.workpool import CryptoWorkerPool
+from repro.experiments.concurrent_subjects import build_floor
+from repro.net.concurrent import simulate_concurrent_discovery
+from repro.net.node import GroundNetwork, SimNode
+
+
+def _run(n_subjects=4, n_objects=2, **kwargs):
+    subjects, objects = build_floor(n_subjects, n_objects)
+    return simulate_concurrent_discovery(subjects, objects, **kwargs)
+
+
+class TestBatchDrain:
+    def test_batched_round_completes_fully(self):
+        timeline = _run(batch_window_s=0.05)
+        assert len(timeline.subject_completion) == 4
+        assert all(n == 2 for n in timeline.discovered_counts.values())
+
+    def test_batched_with_pool_completes_fully(self):
+        with CryptoWorkerPool(2) as pool:
+            timeline = _run(batch_window_s=0.05, crypto_pool=pool)
+        assert len(timeline.subject_completion) == 4
+        assert all(n == 2 for n in timeline.discovered_counts.values())
+
+    def test_more_cores_shrink_makespan(self):
+        """Calibrated mode: the batch packs onto the object's compute
+        lanes, so a quad-core object finishes the burst sooner."""
+        one = _run(n_subjects=6, batch_window_s=0.05, object_cores=1)
+        four = _run(n_subjects=6, batch_window_s=0.05, object_cores=4)
+        assert len(one.subject_completion) == 6
+        assert len(four.subject_completion) == 6
+        assert four.makespan < one.makespan
+
+    def test_window_zero_means_serial_path(self):
+        """batch_window_s=0 (the default) never touches the queue."""
+        serial = _run(batch_window_s=0.0)
+        assert len(serial.subject_completion) == 4
+
+    def test_batched_matches_serial_discoveries(self):
+        """Same services discovered either way — the drain changes when
+        replies go out, never what they contain."""
+        serial = _run(seed=7, batch_window_s=0.0)
+        batched = _run(seed=7, batch_window_s=0.05)
+        assert batched.discovered_counts == serial.discovered_counts
+
+    def test_session_limit_passthrough(self):
+        timeline = _run(
+            n_subjects=3, batch_window_s=0.05, object_session_limit=64
+        )
+        assert len(timeline.subject_completion) == 3
+
+    def test_negative_window_rejected(self):
+        from repro.net.radio import DEFAULT_WIFI
+        from repro.net.simulator import Simulator
+        from repro.net.topology import shared_floor
+
+        sim = Simulator()
+        graph = shared_floor(["s"], ["o"])
+        with pytest.raises(ValueError):
+            GroundNetwork(sim, graph, DEFAULT_WIFI, batch_window_s=-0.1)
+
+    def test_invalid_cores_rejected(self):
+        from repro.crypto.costmodel import RASPBERRY_PI3
+
+        with pytest.raises(ValueError):
+            SimNode("o", "object", RASPBERRY_PI3, None, cores=0)
+
+    def test_crash_reset_clears_pending_batch(self):
+        from repro.crypto.costmodel import RASPBERRY_PI3
+
+        node = SimNode("o", "object", RASPBERRY_PI3, None, cores=4)
+        node.que2_queue.append(("fake-que2", "peer"))
+        node.crash_reset(now=1.0)
+        assert node.que2_queue == []

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.net.simulator import Simulator
+from repro.net.simulator import SimulationBudgetExceeded, Simulator
 
 
 class TestEventLoop:
@@ -73,3 +73,66 @@ class TestEventLoop:
         sim.schedule(0.0, forever)
         with pytest.raises(RuntimeError, match="exceeded"):
             sim.run(max_events=100)
+
+
+class TestRunBudgetAndPushback:
+    def test_budget_resets_per_run_call(self):
+        """Back-to-back run() calls each get the full max_events — a long
+        experiment driving the clock in windows never inherits a stale
+        budget from earlier windows."""
+        sim = Simulator()
+
+        def chain(n):
+            if n > 0:
+                sim.schedule(1.0, lambda: chain(n - 1))
+
+        chain(80)
+        sim.run(until=40.0, max_events=100)
+        chain_remaining = sim.pending
+        assert chain_remaining == 1
+        # Second window: 40 more events would blow a carried-over budget
+        # of 100 if _events_processed were cumulative.
+        sim.run(max_events=60)
+        assert sim.pending == 0
+
+    def test_until_pushback_preserves_event(self):
+        """The first event past `until` is pushed back intact: a later
+        run() fires it exactly once, in order."""
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append("early"))
+        sim.schedule(5.0, lambda: fired.append("late"))
+        sim.run(until=2.0)
+        assert fired == ["early"]
+        assert sim.pending == 1
+        sim.run()
+        assert fired == ["early", "late"]
+        assert sim.now == 5.0
+
+    def test_pushback_keeps_fifo_for_simultaneous_events(self):
+        """Push-back preserves the sequence number, so two events at the
+        same time still fire in scheduling order across run() calls."""
+        sim = Simulator()
+        fired = []
+        sim.schedule(3.0, lambda: fired.append("first"))
+        sim.schedule(3.0, lambda: fired.append("second"))
+        sim.run(until=1.0)
+        assert fired == []
+        sim.run()
+        assert fired == ["first", "second"]
+
+    def test_exhausted_budget_raise_then_fresh_run_continues(self):
+        sim = Simulator()
+        counter = []
+
+        def reschedule():
+            counter.append(1)
+            if len(counter) < 30:
+                sim.schedule(0.1, reschedule)
+
+        sim.schedule(0.0, reschedule)
+        with pytest.raises(SimulationBudgetExceeded):
+            sim.run(max_events=10)
+        sim.run(max_events=25)  # fresh budget finishes the chain
+        assert len(counter) == 30
+        assert sim.pending == 0

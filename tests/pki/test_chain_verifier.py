@@ -163,3 +163,104 @@ class TestLeafAndChainCaches:
             assert verifier.verify(chain) is not None
         assert tally.total("ecdsa_verify") == 2  # leaf + intermediate again
         assert tally.total("cert_verify_cached") == 0
+
+
+def _subject_chain(pki, name: str, serial: int) -> CertificateChain:
+    """A new subject under the fixture's *existing* intermediate (same
+    cert bytes, so the intermediate cache is genuinely shared)."""
+    _, inter, _, chain = pki
+    entity = generate_signing_key()
+    c_leaf = issue_certificate("region", inter, name, entity.public_key, serial)
+    return CertificateChain((c_leaf, chain.certificates[1]))
+
+
+class TestLRUBoundsAndCacheInfo:
+    def test_cache_info_counts_hits_and_misses(self, pki):
+        root, _, _, chain = pki
+        verifier = ChainVerifier("root", root.public_key)
+        assert verifier.cache_info().hits == 0
+        verifier.verify(chain)          # cold: miss
+        verifier.verify(chain)          # leaf cache: hit
+        data = chain.to_bytes()
+        verifier.verify_chain_bytes(data)  # leaf cache again: hit
+        verifier.verify_chain_bytes(data)  # chain-bytes cache: hit
+        info = verifier.cache_info()
+        assert (info.hits, info.misses) == (3, 1)
+        assert info.maxsize == verifier.maxsize
+        assert info.leaf_size == 1 and info.chain_size == 1
+        assert info.intermediate_size == 1
+
+    def test_caches_never_exceed_maxsize(self, pki):
+        """A churning fleet (many distinct subjects) stays bounded."""
+        root, *_ = pki
+        verifier = ChainVerifier("root", root.public_key, maxsize=4)
+        for i in range(10):
+            chain = _subject_chain(pki, f"churn-{i}", 100 + i)
+            assert verifier.verify_chain_bytes(chain.to_bytes()) is not None
+        info = verifier.cache_info()
+        assert info.leaf_size <= 4 and info.chain_size <= 4
+        assert info.intermediate_size <= 4
+        assert info.misses == 10
+
+    def test_lru_evicts_oldest_first(self, pki):
+        root, *_ = pki
+        verifier = ChainVerifier("root", root.public_key, maxsize=2)
+        chains = [_subject_chain(pki, f"lru-{i}", 200 + i) for i in range(3)]
+        verifier.verify(chains[0])
+        verifier.verify(chains[1])
+        verifier.verify(chains[0])  # hit: refreshes leaf 0's LRU slot
+        verifier.verify(chains[2])  # miss: evicts leaf 1, not leaf 0
+        misses = verifier.cache_info().misses
+        with meter.metered() as tally:
+            verifier.verify(chains[0])  # survived the eviction
+        assert tally.total("cert_verify_cached") == 1
+        verifier.verify(chains[1])  # evicted: full re-verify
+        assert verifier.cache_info().misses == misses + 1
+
+    def test_maxsize_below_one_rejected(self, pki):
+        root, *_ = pki
+        with pytest.raises(ValueError):
+            ChainVerifier("root", root.public_key, maxsize=0)
+
+
+class TestPendingVerifyOps:
+    def test_cold_chain_decomposes_to_two_ops(self, pki):
+        root, _, _, chain = pki
+        verifier = ChainVerifier("root", root.public_key)
+        ops = verifier.pending_verify_ops(chain.to_bytes())
+        assert len(ops) == 2
+        assert all(op[0] == "verify" for op in ops)
+
+    def test_warm_chain_decomposes_to_nothing(self, pki):
+        root, _, _, chain = pki
+        verifier = ChainVerifier("root", root.public_key)
+        verifier.warm_up(chain)
+        assert verifier.pending_verify_ops(chain.to_bytes()) == []
+
+    def test_shared_intermediate_costs_one_leaf_op(self, pki):
+        root, _, _, chain = pki
+        verifier = ChainVerifier("root", root.public_key)
+        verifier.warm_up(chain)
+        other = _subject_chain(pki, "other", 300)
+        ops = verifier.pending_verify_ops(other.to_bytes())
+        assert len(ops) == 1  # intermediate ladder already cached
+
+    def test_decomposition_is_read_only(self, pki):
+        root, _, _, chain = pki
+        verifier = ChainVerifier("root", root.public_key)
+        with meter.metered() as tally:
+            verifier.pending_verify_ops(chain.to_bytes())
+        assert not tally.counts
+        assert verifier.cache_info() == verifier.cache_info()._replace()
+        assert verifier.cache_info().leaf_size == 0
+
+    def test_garbage_and_expired_yield_no_ops(self, pki):
+        root, inter, entity, _ = pki
+        verifier = ChainVerifier("root", root.public_key)
+        assert verifier.pending_verify_ops(b"garbage") == []
+        c_inter = issue_certificate("root", root, "region", inter.public_key, 31)
+        c_leaf = issue_certificate(
+            "region", inter, "dev", entity.public_key, 32, not_after=5
+        )
+        expired = CertificateChain((c_leaf, c_inter)).to_bytes()
+        assert verifier.pending_verify_ops(expired, now=10) == []

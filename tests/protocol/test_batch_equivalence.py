@@ -1,0 +1,207 @@
+"""Batched handlers are bit-equivalent accelerators (satellite of the
+throughput tentpole).
+
+The property: for ANY permutation of a mixed batch,
+``handle_que2_batch`` emits byte-identical RES2s and an identical §IX-B
+meter snapshot to processing the same permutation one QUE2 at a time —
+and the meter totals are permutation-independent.  The batch mixes
+Level 3 fellows, non-fellow staff served a Level 2 cover-up, and a
+plain Level 2 population, because those take different branches through
+the responder and the cover-up branch is exactly where an accelerator
+could reopen the §VII Case 7/8 side channels.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.backend import Backend
+from repro.crypto import aead, keypool
+from repro.crypto.meter import metered
+from repro.experiments.throughput import _clone_object_engine
+from repro.pki import profile as profile_mod
+from repro.protocol.object import ObjectEngine
+from repro.protocol.subject import SubjectEngine
+
+_BACKEND = Backend()
+_BACKEND.add_sensitive_policy("sensitive:batch", "sensitive:serves-batch")
+_COUNTER = itertools.count()
+
+
+def _make_object(level: int):
+    i = next(_COUNTER)
+    kwargs = {}
+    if level == 3:
+        kwargs["covert_functions"] = {"sensitive:serves-batch": ("covert-fn",)}
+    return _BACKEND.register_object(
+        f"batch-obj-{i}", {"type": "batch-device"}, level=level,
+        functions=("base-fn",),
+        variants=[("position=='staff'", ("base-fn", "staff-fn"))],
+        **kwargs,
+    )
+
+
+def _make_subjects():
+    """Fellow / non-fellow staff / non-staff — one of each branch."""
+    creds = []
+    for kind in ("fellow", "staff", "visitor"):
+        i = next(_COUNTER)
+        attrs = {"position": "staff" if kind != "visitor" else "guest"}
+        sensitive = ("sensitive:batch",) if kind == "fellow" else ()
+        creds.append(
+            _BACKEND.register_subject(f"batch-subj-{kind}-{i}", attrs, sensitive)
+        )
+    return creds
+
+
+def _pin_aead_iv(monkeypatch):
+    """Deterministic per-call IVs; reset returns the counter to zero."""
+    state = {"n": 0}
+
+    def pinned(length: int) -> bytes:
+        state["n"] += 1
+        return (state["n"].to_bytes(4, "big") * ((length // 4) + 1))[:length]
+
+    monkeypatch.setattr(aead, "random_bytes", pinned)
+    return lambda: state.update(n=0)
+
+
+@pytest.fixture(scope="module")
+def object_batch():
+    """One Level 3 object, six mixed subjects, QUE2s ready to answer."""
+    obj = _make_object(3)
+    reference = ObjectEngine(obj)
+    items = []
+    subjects = _make_subjects() + _make_subjects()
+    for j, screds in enumerate(subjects):
+        engine = SubjectEngine(screds)
+        que1 = engine.start_round()
+        res1 = reference.handle_que1(que1, f"peer-{j}")
+        que2 = engine.handle_res1(res1, obj.object_id)
+        assert que2 is not None, engine.errors
+        items.append((que2, f"peer-{j}"))
+    return obj, reference, items
+
+
+@settings(
+    max_examples=8, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.function_scoped_fixture],
+)
+@given(order=st.permutations(list(range(6))))
+def test_batched_que2_equals_sequential_any_order(
+    object_batch, monkeypatch, order
+):
+    obj, reference, items = object_batch
+    perm = [items[i] for i in order]
+    reset_iv = _pin_aead_iv(monkeypatch)
+
+    def run(engine, batched: bool):
+        reset_iv()
+        profile_mod.clear_verify_cache()
+        with metered() as tally:
+            if batched:
+                res2s = engine.handle_que2_batch(perm)
+            else:
+                res2s = [engine.handle_que2(q, p) for q, p in perm]
+        # Visitors match no variant -> silence (None); equivalence must
+        # cover the rejection branch too, byte-for-byte and None-for-None.
+        return [r.to_bytes() if r else None for r in res2s], dict(tally.counts)
+
+    seq_bytes, seq_counts = run(_clone_object_engine(obj, reference), False)
+    bat_bytes, bat_counts = run(_clone_object_engine(obj, reference), True)
+
+    assert bat_bytes == seq_bytes  # byte-identical wire messages
+    assert bat_counts == seq_counts  # identical §IX-B accounting
+
+    # Meter totals are permutation-independent: compare against the
+    # identity order too (caches make *where* ops land vary, not totals).
+    id_bytes, id_counts = run(_clone_object_engine(obj, reference), True)
+    assert id_counts == bat_counts
+    # RES2 bytes follow the items, not the order they were answered in.
+    by_peer_perm = dict(zip([p for _, p in perm], bat_bytes))
+    by_peer_id = dict(zip([p for _, p in perm], id_bytes))
+    assert by_peer_perm == by_peer_id
+
+
+def test_batched_res2_all_levels_decrypt_correctly(object_batch):
+    """End to end: every subject in the mixed batch gets the service the
+    sequential path would give — fellows Level 3, staff Level 2."""
+    obj = _make_object(3)
+    engine = ObjectEngine(obj)
+    subjects = _make_subjects()
+    subject_engines, items = [], []
+    for j, screds in enumerate(subjects):
+        sengine = SubjectEngine(screds)
+        que1 = sengine.start_round()
+        res1 = engine.handle_que1(que1, f"e2e-{j}")
+        que2 = sengine.handle_res1(res1, obj.object_id)
+        subject_engines.append(sengine)
+        items.append((que2, f"e2e-{j}"))
+    res2s = engine.handle_que2_batch(items)
+    assert res2s[2] is None  # the visitor matches no variant: silence
+    services = [
+        sengine.handle_res2(res2, obj.object_id)
+        for sengine, res2 in zip(subject_engines[:2], res2s[:2])
+    ]
+    assert [s.level_seen for s in services] == [3, 2]
+    assert "covert-fn" in services[0].functions
+    assert "staff-fn" in services[1].functions
+
+
+def test_subject_batch_equals_sequential_meters():
+    """Subject-side mirror: identical op accounting, all QUE2s valid.
+
+    (Byte-identity is impossible — ECDSA signing is randomized — so the
+    property is meter equality plus end-to-end validity.  The key pool
+    is disabled so its refill thread cannot skew hit/miss markers.)
+    """
+    fellow = _BACKEND.register_subject(
+        f"batch-subj-lone-{next(_COUNTER)}", {"position": "staff"},
+        ("sensitive:batch",),
+    )
+    objects = [_make_object(2), _make_object(3), _make_object(3)]
+    object_engines = [ObjectEngine(o) for o in objects]
+
+    opener = SubjectEngine(fellow)
+    que1 = opener.start_round()
+    items = [
+        (oe.handle_que1(que1, fellow.subject_id), o.object_id)
+        for oe, o in zip(object_engines, objects)
+    ]
+
+    def run(batched: bool):
+        # A same-round replica of the opener: start_round picks the same
+        # group key (it's deterministic), then the nonce is aligned.
+        engine = SubjectEngine(fellow)
+        engine.start_round()
+        engine._r_s = opener._r_s
+        engine._que1_bytes = opener._que1_bytes
+        profile_mod.clear_verify_cache()
+        with metered() as tally:
+            if batched:
+                que2s = engine.handle_res1_batch(items)
+            else:
+                que2s = [engine.handle_res1(r, p) for r, p in items]
+        assert all(q is not None for q in que2s), engine.errors
+        return engine, que2s, dict(tally.counts)
+
+    keypool.configure(enabled=False)
+    try:
+        _, _, seq_counts = run(batched=False)
+        engine, que2s, bat_counts = run(batched=True)
+    finally:
+        keypool.configure(enabled=True)
+    assert bat_counts == seq_counts
+    assert engine._prepared_ecdh == {}  # no residue past the batch
+
+    # The pooled signatures/derives close real handshakes end to end.
+    for que2, obj, oe in zip(que2s, objects, object_engines):
+        res2 = oe.handle_que2(que2, fellow.subject_id)
+        assert res2 is not None, oe.errors
+        service = engine.handle_res2(res2, obj.object_id)
+        assert service is not None
+    levels = sorted(s.level_seen for s in engine.discovered)
+    assert levels == [2, 3, 3]
