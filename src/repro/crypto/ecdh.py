@@ -69,23 +69,37 @@ class EphemeralECDH:
 
     @property
     def kexm(self) -> bytes:
-        """The public key-exchange material, raw X || Y coordinates."""
-        numbers = self._private.public_key().public_numbers()
-        n = _scalar_len(self._curve)
-        return numbers.x.to_bytes(n, "big") + numbers.y.to_bytes(n, "big")
+        """The public key-exchange material, raw X || Y coordinates.
+
+        Memoized: the key pair is fixed at construction and the bytes
+        go into transcripts, signatures, and batch-op tables — several
+        reads per handshake, one point conversion.
+        """
+        cached = self.__dict__.get("_kexm")
+        if cached is None:
+            numbers = self._private.public_key().public_numbers()
+            n = _scalar_len(self._curve)
+            cached = numbers.x.to_bytes(n, "big") + numbers.y.to_bytes(n, "big")
+            self._kexm = cached
+        return cached
 
     def private_der(self) -> bytes:
         """Serialize the private key (PKCS8 DER, unencrypted).
 
         The worker-pool transport format: a derive dispatched to another
         process ships the key as bytes because the underlying OpenSSL
-        handle does not pickle.  Never leaves the host.
+        handle does not pickle.  Never leaves the host.  Memoized — the
+        batch decomposition re-reads it every precompute pass.
         """
-        return self._private.private_bytes(
-            serialization.Encoding.DER,
-            serialization.PrivateFormat.PKCS8,
-            serialization.NoEncryption(),
-        )
+        cached = self.__dict__.get("_private_der")
+        if cached is None:
+            cached = self._private.private_bytes(
+                serialization.Encoding.DER,
+                serialization.PrivateFormat.PKCS8,
+                serialization.NoEncryption(),
+            )
+            self._private_der = cached
+        return cached
 
     def derive_premaster(self, peer_kexm: bytes) -> bytes:
         """Compute the ECDH shared secret from the peer's KEXM bytes.

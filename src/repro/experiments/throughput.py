@@ -15,6 +15,27 @@ batched (:mod:`repro.crypto.workpool`), two ways:
   genuine quad-core part, so "4 workers" is its real silicon, and the
   calibrated speedup is deterministic — the same on every CI host.
 
+Measurement discipline (the PR-6 harness rework):
+
+* The wall pass is **unmetered** — nothing but the handlers (and, for
+  batched rows, the pool pass) sits inside the timed region.  The old
+  harness wrapped every handshake in ``metered()`` and priced it inside
+  the timing loop, taxing the scalar path it was measuring.
+* The calibrated costs come from **one** separate metered pass.  The
+  batched path's per-item meters are identical to the sequential path's
+  by construction (the batch-equivalence property), so one cost vector
+  serves every configuration; only the lane count changes.
+* All batched rows share **one warm pool** (workers spawn once, timed
+  into ``pool.startup_s``, reported separately); per-row lane counts
+  come from :attr:`CryptoWorkerPool.dispatch_workers`, which pins the
+  chunk fan-out so a 4-worker pool runs a ``batched x1`` row on one
+  busy worker.
+* :func:`measure_crypto_floor` times the raw OpenSSL per-op costs on
+  this host and derives the hard physical ceiling for the sequential
+  path (3 verifies + 1 ECDH derive per object-side handshake) —
+  the benchmarks gate the scalar path *relative to that floor*, so the
+  gate means the same thing on a laptop and a throttled CI container.
+
 The batched path is bit-equivalent to the sequential one (RES2 bytes and
 meter counts; enforced by tests/protocol/test_batch_equivalence.py), so
 throughput is the only thing that moves.
@@ -41,9 +62,12 @@ from repro.backend.registration import (
 )
 from repro.crypto import keypool
 from repro.crypto.costmodel import NEXUS6, RASPBERRY_PI3, DeviceProfile
+from repro.crypto.ecdh import EphemeralECDH
+from repro.crypto.ecdsa import generate_signing_key
 from repro.crypto.meter import metered
-from repro.crypto.workpool import CryptoWorkerPool
+from repro.crypto.workpool import CryptoWorkerPool, execute_op
 from repro.experiments.common import Table
+from repro.pki import certificate as certificate_mod
 from repro.pki import profile as profile_mod
 from repro.protocol.object import ObjectEngine, _ObjectSession
 from repro.protocol.session import Transcript
@@ -55,6 +79,18 @@ WORKER_SWEEP: tuple[int | None, ...] = (None, 1, 2, 4)
 #: The headline acceptance gate: calibrated handshakes/sec at 4 workers
 #: over sequential must reach this on the 1000-object scale experiment.
 CALIBRATED_GATE_AT_4 = 2.5
+
+#: Absolute sequential object-side wall target (handshakes/s) — and the
+#: fraction of this host's measured crypto floor that stands in for it
+#: on hardware whose raw OpenSSL ops are too slow to ever reach the
+#: absolute number (a 1-vCPU container's P-256 verify costs ~95 µs;
+#: 3 verifies + 1 derive already cap it below 2,800 h/s).
+SEQUENTIAL_WALL_GATE_HPS = 2500.0
+SEQUENTIAL_FLOOR_FRACTION = 0.55
+
+#: Combined sequential+batched object-side wall target at n=1000
+#: (ROADMAP item 3); floor-relative on hosts below the absolute bar.
+COMBINED_WALL_GATE_HPS = 5000.0
 
 
 @dataclass
@@ -84,6 +120,8 @@ class ThroughputReport:
     subject_side: list[ConfigResult] = field(default_factory=list)
     #: cores -> simulated makespan (s) of the over-the-air drain section.
     drain_makespan: dict[int, float] = field(default_factory=dict)
+    #: Worker-pool dispatch counters from the object-side sweep.
+    pool_stats: dict = field(default_factory=dict)
 
     def speedup(self, results: list[ConfigResult], workers: int,
                 calibrated: bool = True) -> float:
@@ -112,8 +150,8 @@ class ThroughputReport:
                 )
             table.notes = (
                 "calibrated = paper-hardware op costs packed onto the worker "
-                "lanes (deterministic); wall = this host, pool overhead "
-                "included."
+                "lanes (deterministic); wall = this host, unmetered timed "
+                "loop, warm pool (startup reported separately)."
             )
             sections.append(table.render())
         if self.drain_makespan:
@@ -142,6 +180,46 @@ def greedy_makespan(costs_s: list[float], lanes: int) -> float:
         index = min(range(lanes), key=lane_loads.__getitem__)
         lane_loads[index] += cost
     return max(lane_loads)
+
+
+def measure_crypto_floor(strength: int = 128, reps: int = 64) -> dict:
+    """Time this host's raw per-op OpenSSL costs and the handshake floor.
+
+    The sequential object-side handshake performs, irreducibly, 3 ECDSA
+    verifies and 1 ECDH derive (§IX-B); everything else the engine does
+    is Python the optimization work can shrink.  The returned
+    ``floor_hps`` is therefore the throughput of a hypothetical handler
+    with **zero** overhead on this host — the honest yardstick for the
+    scalar-path gates and for comparing hosts in the committed baseline.
+    """
+    signing = generate_signing_key(strength)
+    message = b"floor probe"
+    signature = signing.sign(message)
+    verify_op = ("verify", signing.public_key.to_bytes(), strength,
+                 signature, message)
+    mine, peer = EphemeralECDH(strength), EphemeralECDH(strength)
+    derive_op = ("derive", mine.private_der(), strength, peer.kexm)
+    for op in (verify_op, derive_op):  # warm-up: first call pays loads
+        execute_op(op)
+
+    def best_us(op) -> float:
+        best = float("inf")
+        for _ in range(3):
+            t0 = time.perf_counter()
+            for _ in range(reps):
+                execute_op(op)
+            best = min(best, (time.perf_counter() - t0) / reps)
+        return best * 1e6
+
+    verify_us = best_us(verify_op)
+    derive_us = best_us(derive_op)
+    floor_us = 3 * verify_us + derive_us
+    return {
+        "verify_us": round(verify_us, 2),
+        "derive_us": round(derive_us, 2),
+        "floor_us": round(floor_us, 2),
+        "floor_hps": round(1e6 / floor_us, 2),
+    }
 
 
 def make_wide_fleet(
@@ -193,6 +271,12 @@ def _clone_object_engine(
     return clone
 
 
+def _reset_hot_caches() -> None:
+    """Cold-start the cross-config caches so every row measures alike."""
+    profile_mod.clear_verify_cache()
+    certificate_mod.clear_parse_cache()
+
+
 def prepare_object_batch(n: int):
     """Phase 1 for Section A: *n* subjects each ready to send QUE2.
 
@@ -213,55 +297,102 @@ def prepare_object_batch(n: int):
     return obj, reference, items
 
 
+def _calibrated_costs(
+    engine, items, handler, profile: DeviceProfile, what: str
+) -> list[float]:
+    """One metered pass: per-item §IX-B costs priced on *profile*.
+
+    Valid for every configuration at once — batched pass-2 handlers
+    meter identically to sequential ones (oracle hits still record the
+    logical op), so the cost vector is configuration-independent and
+    only the lane packing differs per row.
+    """
+    per_message_s = profile.per_message_ms / 1000.0
+    costs_s: list[float] = []
+    completed = 0
+    for message, peer_id in items:
+        with metered() as tally:
+            out = handler(message, peer_id)
+        costs_s.append(profile.meter_cost_ms(tally) / 1000.0 + per_message_s)
+        completed += out is not None
+    if completed != len(items):
+        raise RuntimeError(
+            f"calibrated {what} pass: only {completed}/{len(items)} "
+            f"completed; errors={engine.errors[:3]}"
+        )
+    return costs_s
+
+
 def measure_object_scale(
     n: int = 1000,
     workers_sweep: tuple[int | None, ...] = WORKER_SWEEP,
     profile: DeviceProfile = RASPBERRY_PI3,
+    pool: CryptoWorkerPool | None = None,
 ) -> list[ConfigResult]:
-    """Section A: one object answers *n* QUE2s, sequential vs batched."""
+    """Section A: one object answers *n* QUE2s, sequential vs batched.
+
+    All batched rows share one warm *pool* (created here if not given),
+    lane-limited per row via ``dispatch_workers`` — worker startup never
+    lands inside a timed region.
+    """
     obj, reference, items = prepare_object_batch(n)
+
+    calibrated_engine = _clone_object_engine(obj, reference)
+    _reset_hot_caches()
+    costs_s = _calibrated_costs(
+        calibrated_engine, items, calibrated_engine.handle_que2, profile,
+        "object",
+    )
+
+    pool_workers = max((w for w in workers_sweep if w), default=0)
+    own_pool = pool is None
+    if own_pool:
+        pool = CryptoWorkerPool(pool_workers).warm()
     results = []
-    per_message_s = profile.per_message_ms / 1000.0
-    for workers in workers_sweep:
-        engine = _clone_object_engine(obj, reference)
-        profile_mod.clear_verify_cache()
-        costs_s: list[float] = []
-        completed = 0
+    try:
+        for workers in workers_sweep:
+            engine = _clone_object_engine(obj, reference)
+            _reset_hot_caches()
+            completed = 0
 
-        def pass2() -> None:
-            nonlocal completed
-            for que2, peer_id in items:
-                with metered() as tally:
-                    res2 = engine.handle_que2(que2, peer_id)
-                costs_s.append(
-                    profile.meter_cost_ms(tally) / 1000.0 + per_message_s
+            def wall_pass() -> None:
+                nonlocal completed
+                handler = engine.handle_que2
+                for que2, peer_id in items:
+                    completed += handler(que2, peer_id) is not None
+
+            if workers is None:
+                t0 = time.perf_counter()
+                wall_pass()
+                wall_s = time.perf_counter() - t0
+            else:
+                pool.dispatch_workers = workers
+                try:
+                    t0 = time.perf_counter()
+                    with engine.precompute_que2_batch(items, pool):
+                        wall_pass()
+                    wall_s = time.perf_counter() - t0
+                finally:
+                    pool.dispatch_workers = None
+            lanes = 1 if workers is None else max(1, workers)
+            results.append(
+                ConfigResult(
+                    label="sequential" if workers is None else f"batched x{workers}",
+                    workers=workers,
+                    n=n,
+                    completed=completed,
+                    wall_s=wall_s,
+                    calibrated_s=greedy_makespan(costs_s, lanes),
                 )
-                completed += res2 is not None
-
-        t0 = time.perf_counter()
-        if workers is None:
-            pass2()
-        else:
-            with CryptoWorkerPool(workers) as pool:
-                with engine.precompute_que2_batch(items, pool):
-                    pass2()
-        wall_s = time.perf_counter() - t0
-        lanes = 1 if workers is None else max(1, workers)
-        results.append(
-            ConfigResult(
-                label="sequential" if workers is None else f"batched x{workers}",
-                workers=workers,
-                n=n,
-                completed=completed,
-                wall_s=wall_s,
-                calibrated_s=greedy_makespan(costs_s, lanes),
             )
-        )
-        if completed != n:
-            raise RuntimeError(
-                f"{results[-1].label}: only {completed}/{n} handshakes "
-                f"completed; errors={engine.errors[:3]}"
-            )
+            if completed != n:
+                raise RuntimeError(
+                    f"{results[-1].label}: only {completed}/{n} handshakes "
+                    f"completed; errors={engine.errors[:3]}"
+                )
+    finally:
+        if own_pool:
+            pool.close()
     return results
 
 
@@ -291,10 +422,22 @@ def prepare_subject_batch(n: int):
     return subject_creds, opener, items
 
 
+def _clone_subject_engine(subject_creds, opener) -> SubjectEngine:
+    """A same-round replica of *opener*: start_round rebuilds the
+    group-key state, then the nonce is aligned so the prepared RES1
+    signatures (which cover R_S) stay valid."""
+    engine = SubjectEngine(subject_creds)
+    engine.start_round()
+    engine._r_s = opener._r_s
+    engine._que1_bytes = opener._que1_bytes
+    return engine
+
+
 def measure_subject_scale(
     n: int = 1000,
     workers_sweep: tuple[int | None, ...] = WORKER_SWEEP,
     profile: DeviceProfile = NEXUS6,
+    pool: CryptoWorkerPool | None = None,
 ) -> list[ConfigResult]:
     """Section B: one subject processes *n* RES1s, sequential vs batched.
 
@@ -303,40 +446,43 @@ def measure_subject_scale(
     with refill-thread timing).
     """
     subject_creds, opener, items = prepare_subject_batch(n)
-    per_message_s = profile.per_message_ms / 1000.0
     results = []
     keypool.configure(enabled=False)
+    pool_workers = max((w for w in workers_sweep if w), default=0)
+    own_pool = pool is None
+    if own_pool:
+        pool = CryptoWorkerPool(pool_workers).warm()
     try:
+        calibrated_engine = _clone_subject_engine(subject_creds, opener)
+        _reset_hot_caches()
+        costs_s = _calibrated_costs(
+            calibrated_engine, items, calibrated_engine.handle_res1, profile,
+            "subject",
+        )
         for workers in workers_sweep:
-            # A same-round replica of the opener: start_round rebuilds the
-            # group-key state, then the nonce is aligned so the prepared
-            # RES1 signatures (which cover R_S) stay valid.
-            engine = SubjectEngine(subject_creds)
-            engine.start_round()
-            engine._r_s = opener._r_s
-            engine._que1_bytes = opener._que1_bytes
-            profile_mod.clear_verify_cache()
-            costs_s: list[float] = []
+            engine = _clone_subject_engine(subject_creds, opener)
+            _reset_hot_caches()
             completed = 0
 
-            def pass2() -> None:
+            def wall_pass() -> None:
                 nonlocal completed
+                handler = engine.handle_res1
                 for res1, peer_id in items:
-                    with metered() as tally:
-                        que2 = engine.handle_res1(res1, peer_id)
-                    costs_s.append(
-                        profile.meter_cost_ms(tally) / 1000.0 + per_message_s
-                    )
-                    completed += que2 is not None
+                    completed += handler(res1, peer_id) is not None
 
-            t0 = time.perf_counter()
             if workers is None:
-                pass2()
+                t0 = time.perf_counter()
+                wall_pass()
+                wall_s = time.perf_counter() - t0
             else:
-                with CryptoWorkerPool(workers) as pool:
+                pool.dispatch_workers = workers
+                try:
+                    t0 = time.perf_counter()
                     with engine.precompute_res1_batch(items, pool):
-                        pass2()
-            wall_s = time.perf_counter() - t0
+                        wall_pass()
+                    wall_s = time.perf_counter() - t0
+                finally:
+                    pool.dispatch_workers = None
             lanes = 1 if workers is None else max(1, workers)
             results.append(
                 ConfigResult(
@@ -354,6 +500,8 @@ def measure_subject_scale(
                     f"processed; errors={engine.errors[:3]}"
                 )
     finally:
+        if own_pool:
+            pool.close()
         keypool.configure(enabled=True)
     return results
 
@@ -396,8 +544,11 @@ def run(n: int = 1000, smoke: bool = False) -> ThroughputReport:
     if smoke:
         n = min(n, 64)
     report = ThroughputReport(n=n)
-    report.object_side = measure_object_scale(n)
-    report.subject_side = measure_subject_scale(n)
+    pool_workers = max((w for w in WORKER_SWEEP if w), default=0)
+    with CryptoWorkerPool(pool_workers).warm() as pool:
+        report.object_side = measure_object_scale(n, pool=pool)
+        report.subject_side = measure_subject_scale(n, pool=pool)
+        report.pool_stats = pool.stats()
     report.drain_makespan = measure_drain_makespan(8 if smoke else 24)
     return report
 

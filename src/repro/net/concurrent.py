@@ -63,6 +63,7 @@ def simulate_concurrent_discovery(
     object_cores: int = 1,
     batch_window_s: float = 0.0,
     crypto_pool: "CryptoWorkerPool | None" = None,
+    crypto_workers: int = 0,
     object_session_limit: int | None = None,
 ) -> ConcurrentTimeline:
     """All subjects discover the same object fleet over one shared channel.
@@ -74,7 +75,10 @@ def simulate_concurrent_discovery(
     drain (:mod:`repro.crypto.workpool`): queued QUE2s are answered
     together each window, spread across ``object_cores`` compute lanes,
     with the batch's public-key operations dispatched through
-    ``crypto_pool`` (None = in-process fallback, identical results).
+    ``crypto_pool`` (None = in-process fallback, identical results) —
+    or through a warm pool the network owns for the round when
+    ``crypto_workers`` > 0 (spawned before the simulation starts,
+    released when it ends).
     ``object_session_limit`` widens the objects' half-open session table
     for throughput-scale rounds (default: the engine's own limit).
 
@@ -93,6 +97,7 @@ def simulate_concurrent_discovery(
     net = GroundNetwork(
         sim, graph, link, timing, sizes, seed=seed,
         batch_window_s=batch_window_s, crypto_pool=crypto_pool,
+        crypto_workers=crypto_workers,
     )
 
     engine_kwargs: dict = {}
@@ -158,7 +163,10 @@ def simulate_concurrent_discovery(
 
         sim.schedule(delay, kick)
 
-    sim.run(until=deadline_s)
+    try:
+        sim.run(until=deadline_s)
+    finally:
+        net.close()  # releases the pool only when this round owns it
     for subject_id in subject_ids:
         timeline.discovered_counts.setdefault(subject_id, 0)
     return timeline

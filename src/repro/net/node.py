@@ -159,6 +159,7 @@ class GroundNetwork:
         faults: FaultLayer | FaultSchedule | None = None,
         batch_window_s: float = 0.0,
         crypto_pool: "CryptoWorkerPool | None" = None,
+        crypto_workers: int = 0,
     ) -> None:
         """``batch_window_s`` > 0 turns on QUE2 batch drains: instead of
         answering each QUE2 on arrival, an object node queues them and
@@ -168,15 +169,24 @@ class GroundNetwork:
         compute lanes.  ``crypto_pool`` is the shared
         :class:`~repro.crypto.workpool.CryptoWorkerPool` the drains
         dispatch to (None = inline fallback — same results, no
-        processes)."""
+        processes).  Alternatively ``crypto_workers`` > 0 makes the
+        network *own* a warm pool: workers spawn here, once, outside the
+        simulated timeline, are reused by every drain, and are released
+        by :meth:`close` (or by using the network as a context
+        manager)."""
         if batch_window_s < 0:
             raise ValueError(f"batch_window_s must be >= 0, got {batch_window_s}")
+        if crypto_pool is not None and crypto_workers:
+            raise ValueError("pass crypto_pool or crypto_workers, not both")
         self.sim = sim
         self.graph = graph
         self.link = link
         self.timing = timing
         self.sizes = sizes
         self.batch_window_s = batch_window_s
+        self._owns_pool = crypto_pool is None and crypto_workers > 0
+        if self._owns_pool:
+            crypto_pool = CryptoWorkerPool(crypto_workers).warm()
         self.crypto_pool = crypto_pool
         self.rng = random.Random(seed)
         self.nodes: dict[str, SimNode] = {}
@@ -204,6 +214,20 @@ class GroundNetwork:
         if node.name not in self.graph:
             raise ValueError(f"{node.name!r} is not in the topology")
         self.nodes[node.name] = node
+
+    # -- worker-pool lifecycle ----------------------------------------------------
+
+    def close(self) -> None:
+        """Release the crypto worker pool this network owns (no-op when
+        the pool was passed in — its creator keeps the lifecycle)."""
+        if self._owns_pool and self.crypto_pool is not None:
+            self.crypto_pool.close()
+
+    def __enter__(self) -> "GroundNetwork":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # -- transport ---------------------------------------------------------------
 

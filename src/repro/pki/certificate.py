@@ -22,6 +22,7 @@ bytes.
 from __future__ import annotations
 
 import struct
+from collections import OrderedDict
 from dataclasses import dataclass
 
 from repro.crypto.ecdsa import SigningKey, VerifyingKey
@@ -30,6 +31,20 @@ from repro.crypto.ecdsa import SigningKey, VerifyingKey
 NOMINAL_CERT_BODY = 552
 #: Nominal full certificate on the wire: body + 64 B admin signature.
 NOMINAL_CERT_WIRE = NOMINAL_CERT_BODY + 64
+
+#: Parsed-certificate cache, keyed by exact wire bytes.  Certificates
+#: are frozen and their encoding is canonical, so the parsed instance
+#: can be shared freely; the win is the intermediate/admin certificate
+#: that appears byte-identical inside every chain an engine sees (each
+#: parse re-loads the embedded EC point otherwise).  LRU-bounded;
+#: failures are never cached.
+_PARSE_CACHE: OrderedDict[bytes, "Certificate"] = OrderedDict()
+_PARSE_CACHE_MAX = 4096
+
+
+def clear_parse_cache() -> None:
+    """Forget parsed certificates (cold-path benchmarks and tests)."""
+    _PARSE_CACHE.clear()
 
 
 class CertificateError(Exception):
@@ -94,6 +109,10 @@ class Certificate:
 
     @classmethod
     def from_bytes(cls, data: bytes) -> "Certificate":
+        cached = _PARSE_CACHE.get(data)
+        if cached is not None:
+            _PARSE_CACHE.move_to_end(data)
+            return cached
         try:
             version, strength, serial = struct.unpack_from(">BHQ", data, 0)
             if version != 1:
@@ -132,8 +151,12 @@ class Certificate:
         )
         # The encoding is canonical: the received bytes are the
         # serialization, so verification never re-encodes the TBS.
-        object.__setattr__(cert, "_tbs_cache", bytes(data[:offset]))
-        object.__setattr__(cert, "_bytes_cache", bytes(data))
+        wire = bytes(data)
+        object.__setattr__(cert, "_tbs_cache", wire[:offset])
+        object.__setattr__(cert, "_bytes_cache", wire)
+        _PARSE_CACHE[wire] = cert
+        if len(_PARSE_CACHE) > _PARSE_CACHE_MAX:
+            _PARSE_CACHE.popitem(last=False)
         return cert
 
     # -- verification -------------------------------------------------------------

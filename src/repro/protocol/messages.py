@@ -22,6 +22,25 @@ is counted separately, so the nominal wire certificate is 616 B. The
 248 B ciphertext is IV 16 + PROF 200 + MAC 32, i.e. stream-style
 accounting; our real AES-CBC pads 200→208, an 8-byte delta recorded in
 EXPERIMENTS.md.)
+
+The codec is on the per-handshake hot path (an enterprise object frames
+thousands of RES2s per second), so it is written for raw speed without
+changing a single wire byte — ``tests/protocol/test_golden_wire.py``
+pins every encoding against pre-refactor golden bytes:
+
+* **decode** is zero-copy: :func:`_unpack_fields` scans the offset
+  table over a :class:`memoryview` and slices each field exactly once,
+  so ``from_bytes`` never copies the message payload just to split it;
+* **encode** composes into a single pre-sized :class:`bytearray`
+  (:func:`_pack_fields_into`) instead of a list-join per field, and
+  every message memoizes its wire form on the (frozen) instance —
+  ``from_bytes`` stashes the received bytes as the canonical encoding,
+  so parse → re-serialize (transcripts, retransmit caches) is free;
+* the fixed-size framing constants (type tags, the 32-byte MAC length
+  prefix, per-length field headers) are interned so the constant-length
+  ``RES2``/``RRES`` answers — every ciphertext in one engine pads to
+  the same memoized payload length — take a join-of-interned-parts
+  fast path.
 """
 
 from __future__ import annotations
@@ -58,30 +77,90 @@ NOMINAL = {
     "ticket": 288,
 }
 
+_U32 = struct.Struct(">I")
+
+# Interned 4-byte field headers, keyed by field length.  A running
+# engine frames the same handful of lengths over and over (nonce 28,
+# MAC 32, KEXM 64, the constant padded-RES2 ciphertext), so the header
+# for each is packed exactly once; the cache is bounded so fuzzed or
+# adversarial lengths cannot grow it.
+_HEADER_CACHE: dict[int, bytes] = {}
+_HEADER_CACHE_MAX = 4096
+
+#: Length header for a 32-byte MAC field — every message's final field.
+_MAC_HEADER = _U32.pack(MAC_LEN)
+_NONCE_HEADER = _U32.pack(NONCE_LEN)
+_RES2_TAG = bytes([TYPE_RES2])
+_RRES_TAG = bytes([TYPE_RRES])
+
+
+def _header(length: int) -> bytes:
+    cached = _HEADER_CACHE.get(length)
+    if cached is None:
+        cached = _U32.pack(length)
+        if len(_HEADER_CACHE) < _HEADER_CACHE_MAX:
+            _HEADER_CACHE[length] = cached
+    return cached
+
+
+def _pack_fields_into(buf: bytearray, offset: int, fields: tuple[bytes, ...]) -> None:
+    """Write length-prefixed *fields* into *buf* starting at *offset*."""
+    pack_into = _U32.pack_into
+    for data in fields:
+        length = len(data)
+        pack_into(buf, offset, length)
+        offset += 4
+        end = offset + length
+        buf[offset:end] = data
+        offset = end
+
 
 def _pack_fields(*fields: bytes) -> bytes:
-    parts = []
-    for data in fields:
-        parts.append(struct.pack(">I", len(data)))
-        parts.append(data)
-    return b"".join(parts)
+    buf = bytearray(4 * len(fields) + sum(map(len, fields)))
+    _pack_fields_into(buf, 0, fields)
+    return bytes(buf)
 
 
-def _unpack_fields(data: bytes, count: int, what: str) -> list[bytes]:
-    fields = []
+def _frame(type_tag: int, fields: tuple[bytes, ...]) -> bytes:
+    """``type byte || length-prefixed fields`` in one pre-sized buffer."""
+    buf = bytearray(1 + 4 * len(fields) + sum(map(len, fields)))
+    buf[0] = type_tag
+    _pack_fields_into(buf, 1, fields)
+    return bytes(buf)
+
+
+def _unpack_fields(data, count: int, what: str) -> list[bytes]:
+    """Split *count* length-prefixed fields out of *data*.
+
+    Accepts ``bytes`` or :class:`memoryview`; scanning walks the offset
+    table without intermediate copies and each field is sliced exactly
+    once.  Error messages are part of the wire contract (tests pin them
+    verbatim).
+    """
+    view = data if type(data) is memoryview else memoryview(data)
+    total = len(view)
+    unpack_from = _U32.unpack_from
+    bounds: list[tuple[int, int]] = []
     offset = 0
     for _ in range(count):
-        if offset + 4 > len(data):
+        if offset + 4 > total:
             raise MessageFormatError(f"{what}: truncated field header")
-        (length,) = struct.unpack_from(">I", data, offset)
+        (length,) = unpack_from(view, offset)
         offset += 4
-        if offset + length > len(data):
+        end = offset + length
+        if end > total:
             raise MessageFormatError(f"{what}: truncated field body")
-        fields.append(data[offset : offset + length])
-        offset += length
-    if offset != len(data):
-        raise MessageFormatError(f"{what}: {len(data) - offset} trailing bytes")
-    return fields
+        bounds.append((offset, end))
+        offset = end
+    if offset != total:
+        raise MessageFormatError(f"{what}: {total - offset} trailing bytes")
+    return [view[lo:hi].tobytes() for lo, hi in bounds]
+
+
+def _memo_wire(message, wire: bytes) -> bytes:
+    """Stash *wire* as the instance's canonical encoding (it is frozen)."""
+    object.__setattr__(message, "_wire", wire)
+    return wire
 
 
 @dataclass(frozen=True)
@@ -95,13 +174,17 @@ class Que1:
             raise MessageFormatError(f"R_S must be {NONCE_LEN} bytes")
 
     def to_bytes(self) -> bytes:
-        return bytes([TYPE_QUE1]) + self.r_s
+        wire = self.__dict__.get("_wire")
+        if wire is None:
+            wire = _memo_wire(self, bytes([TYPE_QUE1]) + self.r_s)
+        return wire
 
     @classmethod
-    def from_bytes(cls, data: bytes) -> "Que1":
+    def from_bytes(cls, data) -> "Que1":
         if not data or data[0] != TYPE_QUE1:
             raise MessageFormatError("not a QUE1")
-        return cls(data[1:])
+        message = cls(bytes(data[1:]))
+        return message
 
     @staticmethod
     def nominal_size() -> int:
@@ -115,13 +198,16 @@ class Res1Level1:
     profile_bytes: bytes
 
     def to_bytes(self) -> bytes:
-        return bytes([TYPE_RES1_L1]) + self.profile_bytes
+        wire = self.__dict__.get("_wire")
+        if wire is None:
+            wire = _memo_wire(self, bytes([TYPE_RES1_L1]) + self.profile_bytes)
+        return wire
 
     @classmethod
-    def from_bytes(cls, data: bytes) -> "Res1Level1":
+    def from_bytes(cls, data) -> "Res1Level1":
         if not data or data[0] != TYPE_RES1_L1:
             raise MessageFormatError("not a Level 1 RES1")
-        return cls(data[1:])
+        return cls(bytes(data[1:]))
 
     @staticmethod
     def nominal_size() -> int:
@@ -146,16 +232,25 @@ class Res1:
             raise MessageFormatError(f"R_O must be {NONCE_LEN} bytes")
 
     def to_bytes(self) -> bytes:
-        return bytes([TYPE_RES1]) + _pack_fields(
-            self.r_o, self.cert_chain_bytes, self.kexm, self.signature
-        )
+        wire = self.__dict__.get("_wire")
+        if wire is None:
+            wire = _memo_wire(
+                self,
+                _frame(
+                    TYPE_RES1,
+                    (self.r_o, self.cert_chain_bytes, self.kexm, self.signature),
+                ),
+            )
+        return wire
 
     @classmethod
-    def from_bytes(cls, data: bytes) -> "Res1":
+    def from_bytes(cls, data) -> "Res1":
         if not data or data[0] != TYPE_RES1:
             raise MessageFormatError("not a RES1")
-        r_o, cert, kexm, sig = _unpack_fields(data[1:], 4, "RES1")
-        return cls(r_o, cert, kexm, sig)
+        r_o, cert, kexm, sig = _unpack_fields(memoryview(data)[1:], 4, "RES1")
+        message = cls(r_o, cert, kexm, sig)
+        _memo_wire(message, data if type(data) is bytes else bytes(data))
+        return message
 
     @staticmethod
     def nominal_size() -> int:
@@ -189,33 +284,44 @@ class Que2:
             raise MessageFormatError(f"MAC_S3 must be {MAC_LEN} bytes")
 
     def to_bytes(self) -> bytes:
+        wire = self.__dict__.get("_wire")
+        if wire is not None:
+            return wire
         # The presence flag is what a v2.0 eavesdropper keys on — the
         # structural difference §VI-B removes in v3.0.
-        flag = b"\x01" if self.mac_s3 is not None else b"\x00"
-        return (
-            bytes([TYPE_QUE2])
-            + flag
-            + _pack_fields(
-                self.profile_bytes,
-                self.cert_chain_bytes,
-                self.kexm,
-                self.signature,
-                self.mac_s2,
-                self.mac_s3 or b"",
-            )
+        fields = (
+            self.profile_bytes,
+            self.cert_chain_bytes,
+            self.kexm,
+            self.signature,
+            self.mac_s2,
+            self.mac_s3 or b"",
         )
+        buf = bytearray(2 + 4 * len(fields) + sum(map(len, fields)))
+        buf[0] = TYPE_QUE2
+        buf[1] = 1 if self.mac_s3 is not None else 0
+        _pack_fields_into(buf, 2, fields)
+        return _memo_wire(self, bytes(buf))
 
     @classmethod
-    def from_bytes(cls, data: bytes) -> "Que2":
+    def from_bytes(cls, data) -> "Que2":
         if len(data) < 2 or data[0] != TYPE_QUE2:
             raise MessageFormatError("not a QUE2")
         has_mac3 = data[1] == 1
-        prof, cert, kexm, sig, mac2, mac3 = _unpack_fields(data[2:], 6, "QUE2")
-        return cls(prof, cert, kexm, sig, mac2, mac3 if has_mac3 else None)
+        prof, cert, kexm, sig, mac2, mac3 = _unpack_fields(
+            memoryview(data)[2:], 6, "QUE2"
+        )
+        message = cls(prof, cert, kexm, sig, mac2, mac3 if has_mac3 else None)
+        _memo_wire(message, data if type(data) is bytes else bytes(data))
+        return message
 
     def signed_portion(self) -> bytes:
-        """The QUE2 fields covered by the subject's signature."""
-        return _pack_fields(self.profile_bytes, self.cert_chain_bytes, self.kexm)
+        """The QUE2 fields covered by the subject's signature (memoized)."""
+        cached = self.__dict__.get("_signed_portion")
+        if cached is None:
+            cached = _pack_fields(self.profile_bytes, self.cert_chain_bytes, self.kexm)
+            object.__setattr__(self, "_signed_portion", cached)
+        return cached
 
     @staticmethod
     def nominal_size(with_mac3: bool = True) -> int:
@@ -244,14 +350,30 @@ class Res2:
             raise MessageFormatError(f"MAC_O must be {MAC_LEN} bytes")
 
     def to_bytes(self) -> bytes:
-        return bytes([TYPE_RES2]) + _pack_fields(self.ciphertext, self.mac_o)
+        wire = self.__dict__.get("_wire")
+        if wire is None:
+            # Constant-length fast path: the engine pads every RES2
+            # payload to one memoized length
+            # (ObjectEngine.padded_payload_length), so the ciphertext
+            # header is interned after the first answer.
+            ciphertext = self.ciphertext
+            wire = _memo_wire(
+                self,
+                b"".join(
+                    (_RES2_TAG, _header(len(ciphertext)), ciphertext,
+                     _MAC_HEADER, self.mac_o)
+                ),
+            )
+        return wire
 
     @classmethod
-    def from_bytes(cls, data: bytes) -> "Res2":
+    def from_bytes(cls, data) -> "Res2":
         if not data or data[0] != TYPE_RES2:
             raise MessageFormatError("not a RES2")
-        ciphertext, mac_o = _unpack_fields(data[1:], 2, "RES2")
-        return cls(ciphertext, mac_o)
+        ciphertext, mac_o = _unpack_fields(memoryview(data)[1:], 2, "RES2")
+        message = cls(ciphertext, mac_o)
+        _memo_wire(message, data if type(data) is bytes else bytes(data))
+        return message
 
     @staticmethod
     def nominal_size() -> int:
@@ -279,14 +401,21 @@ class Rque:
             raise MessageFormatError(f"binder must be {MAC_LEN} bytes")
 
     def to_bytes(self) -> bytes:
-        return bytes([TYPE_RQUE]) + _pack_fields(self.ticket, self.r_s, self.binder)
+        wire = self.__dict__.get("_wire")
+        if wire is None:
+            wire = _memo_wire(
+                self, _frame(TYPE_RQUE, (self.ticket, self.r_s, self.binder))
+            )
+        return wire
 
     @classmethod
-    def from_bytes(cls, data: bytes) -> "Rque":
+    def from_bytes(cls, data) -> "Rque":
         if not data or data[0] != TYPE_RQUE:
             raise MessageFormatError("not an RQUE")
-        ticket, r_s, binder = _unpack_fields(data[1:], 3, "RQUE")
-        return cls(ticket, r_s, binder)
+        ticket, r_s, binder = _unpack_fields(memoryview(data)[1:], 3, "RQUE")
+        message = cls(ticket, r_s, binder)
+        _memo_wire(message, data if type(data) is bytes else bytes(data))
+        return message
 
     @staticmethod
     def nominal_size() -> int:
@@ -314,34 +443,53 @@ class Rres:
             raise MessageFormatError(f"MAC_O must be {MAC_LEN} bytes")
 
     def to_bytes(self) -> bytes:
-        return bytes([TYPE_RRES]) + _pack_fields(self.r_o, self.ciphertext, self.mac_o)
+        wire = self.__dict__.get("_wire")
+        if wire is None:
+            # Same interned-header fast path as RES2: the resumption
+            # ciphertext pads to the engine's constant payload length.
+            ciphertext = self.ciphertext
+            wire = _memo_wire(
+                self,
+                b"".join(
+                    (_RRES_TAG, _NONCE_HEADER, self.r_o,
+                     _header(len(ciphertext)), ciphertext,
+                     _MAC_HEADER, self.mac_o)
+                ),
+            )
+        return wire
 
     @classmethod
-    def from_bytes(cls, data: bytes) -> "Rres":
+    def from_bytes(cls, data) -> "Rres":
         if not data or data[0] != TYPE_RRES:
             raise MessageFormatError("not an RRES")
-        r_o, ciphertext, mac_o = _unpack_fields(data[1:], 3, "RRES")
-        return cls(r_o, ciphertext, mac_o)
+        r_o, ciphertext, mac_o = _unpack_fields(memoryview(data)[1:], 3, "RRES")
+        message = cls(r_o, ciphertext, mac_o)
+        _memo_wire(message, data if type(data) is bytes else bytes(data))
+        return message
 
     @staticmethod
     def nominal_size() -> int:
         return NOMINAL["nonce"] + NOMINAL["enc_prof"] + NOMINAL["mac"]
 
 
-def parse_message(data: bytes):
-    """Dispatch raw bytes to the right message class."""
+#: Type tag -> message class, built once at import (the old per-call
+#: dict literal showed up in the drain profile).
+_PARSE_TABLE = {
+    TYPE_QUE1: Que1,
+    TYPE_RES1_L1: Res1Level1,
+    TYPE_RES1: Res1,
+    TYPE_QUE2: Que2,
+    TYPE_RES2: Res2,
+    TYPE_RQUE: Rque,
+    TYPE_RRES: Rres,
+}
+
+
+def parse_message(data):
+    """Dispatch raw bytes (or a memoryview) to the right message class."""
     if not data:
         raise MessageFormatError("empty message")
-    table = {
-        TYPE_QUE1: Que1,
-        TYPE_RES1_L1: Res1Level1,
-        TYPE_RES1: Res1,
-        TYPE_QUE2: Que2,
-        TYPE_RES2: Res2,
-        TYPE_RQUE: Rque,
-        TYPE_RRES: Rres,
-    }
-    cls = table.get(data[0])
+    cls = _PARSE_TABLE.get(data[0])
     if cls is None:
         raise MessageFormatError(f"unknown message type 0x{data[0]:02x}")
     return cls.from_bytes(data)

@@ -167,3 +167,68 @@ class TestPrecomputedOracles:
             assert ecdsa_mod._SIGN_ORACLE == {outer_key: b"A"}
         assert ecdsa_mod._SIGN_ORACLE is None
         assert ecdh_mod._DERIVE_ORACLE is None
+
+
+class TestColumnarDispatch:
+    """The chunked columnar transport: encode/execute/decode round-trip,
+    key dedup, lane pinning, the small-batch inline fallback, and the
+    warm-pool lifecycle counters behind :meth:`CryptoWorkerPool.stats`."""
+
+    def test_packed_chunk_round_trips_without_processes(self, signing_key):
+        ops, verifying, *_ = make_ops(signing_key)
+        batch = ops * 5
+        payload, shipped, key_refs, uniques = workpool._encode_chunk(batch)
+        assert shipped > 0
+        assert key_refs == len(batch)
+        # 3 distinct key blobs in make_ops (the verifies share one, the
+        # derives another): the chunk-local key table collapses repeats.
+        assert uniques == 3
+        results = workpool._decode_chunk_results(
+            batch, workpool._execute_packed_chunk(payload)
+        )
+        assert results[:4] == [execute_op(op) for op in ops[:4]]
+        assert verifying.verify(results[4], ops[4][3])
+
+    def test_small_batches_fall_back_inline(self, signing_key):
+        ops, verifying, *_ = make_ops(signing_key)
+        with CryptoWorkerPool(2 if fork_available() else 0,
+                              inline_below=10) as pool:
+            results = pool.run_batch(ops)
+            stats = pool.stats()
+        assert stats["fallback_inline_batches"] == 1
+        assert stats["chunks"] == 0
+        assert results[:4] == [execute_op(op) for op in ops[:4]]
+        assert verifying.verify(results[4], ops[4][3])
+
+    def test_dispatch_workers_pins_chunk_count(self):
+        pool = CryptoWorkerPool(4, chunk_size=8)
+        assert pool._chunk_count(100) > 1
+        pool.dispatch_workers = 1
+        assert pool._chunk_count(100) == 1
+        pool.dispatch_workers = 3
+        assert pool._chunk_count(100) == 3
+        assert pool._chunk_count(2) == 2  # never more chunks than ops
+
+    @pytest.mark.skipif(not fork_available(), reason="needs fork start method")
+    def test_warm_pool_reuse_and_stats(self, signing_key):
+        ops, verifying, *_ = make_ops(signing_key)
+        batch = ops * 8
+        with CryptoWorkerPool(2, chunk_size=4).warm() as pool:
+            startup_after_warm = pool.startup_s
+            assert startup_after_warm > 0.0
+            for _ in range(3):  # reuse the same workers across batches
+                results = pool.run_batch(batch)
+            stats = pool.stats()
+        assert pool.startup_s == startup_after_warm  # spawned exactly once
+        assert stats["batches"] == 3
+        assert stats["chunks"] > 0
+        assert stats["pooled_ops"] == 3 * len(batch)
+        assert stats["bytes_shipped"] > 0
+        # 3 unique keys per 40-op batch, split across small chunks —
+        # even per-chunk dedup must collapse a solid fraction of refs.
+        assert stats["key_dedup_hit_rate"] > 0.3
+        assert stats["pool_startup_s"] == round(startup_after_warm, 4)
+        for i in range(8):
+            chunk = results[5 * i : 5 * i + 5]
+            assert chunk[:4] == [execute_op(op) for op in ops[:4]]
+            assert verifying.verify(chunk[4], ops[4][3])

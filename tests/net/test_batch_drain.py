@@ -75,3 +75,48 @@ class TestBatchDrain:
         node.que2_queue.append(("fake-que2", "peer"))
         node.crash_reset(now=1.0)
         assert node.que2_queue == []
+
+
+class TestNetworkOwnedPool:
+    def test_crypto_workers_spawns_a_warm_owned_pool(self):
+        from repro.net.radio import DEFAULT_WIFI
+        from repro.net.simulator import Simulator
+        from repro.net.topology import shared_floor
+
+        sim = Simulator()
+        graph = shared_floor(["s"], ["o"])
+        with GroundNetwork(
+            sim, graph, DEFAULT_WIFI, crypto_workers=1
+        ) as net:
+            assert net.crypto_pool is not None
+            assert net._owns_pool
+        # close() (via __exit__) released the executor.
+        assert net.crypto_pool._executor is None
+
+    def test_external_pool_is_not_closed_by_network(self):
+        from repro.net.radio import DEFAULT_WIFI
+        from repro.net.simulator import Simulator
+        from repro.net.topology import shared_floor
+
+        with CryptoWorkerPool(0) as pool:
+            sim = Simulator()
+            graph = shared_floor(["s"], ["o"])
+            with GroundNetwork(sim, graph, DEFAULT_WIFI, crypto_pool=pool):
+                pass
+            assert pool.run_batch([]) == []  # still usable
+
+    def test_pool_and_workers_are_mutually_exclusive(self):
+        from repro.net.radio import DEFAULT_WIFI
+        from repro.net.simulator import Simulator
+        from repro.net.topology import shared_floor
+
+        with CryptoWorkerPool(0) as pool, pytest.raises(ValueError):
+            GroundNetwork(
+                Simulator(), shared_floor(["s"], ["o"]), DEFAULT_WIFI,
+                crypto_pool=pool, crypto_workers=2,
+            )
+
+    def test_round_with_network_owned_workers_completes(self):
+        timeline = _run(batch_window_s=0.05, crypto_workers=2)
+        assert len(timeline.subject_completion) == 4
+        assert all(n == 2 for n in timeline.discovered_counts.values())

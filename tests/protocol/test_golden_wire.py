@@ -1,0 +1,149 @@
+"""Golden-bytes pinning for the wire codec.
+
+``golden_wire.json`` was generated from the pre-zero-copy codec: one
+entry per message encoding (all seven types, QUE2 with and without
+MAC_S3, plus QUE2's signed portion), each as hex + sha256 + length.
+The zero-copy rewrite must reproduce every byte — these tests are the
+regression wall the codec optimizations build against.
+
+The second half pins the *decode* contract: ``from_bytes`` accepts a
+``memoryview`` without copying the buffer to split it, and truncation /
+trailing-byte errors keep their exact pre-refactor messages (callers
+and tests match on them).
+"""
+
+import hashlib
+import json
+import struct
+from pathlib import Path
+
+import pytest
+
+from repro.protocol.errors import MessageFormatError
+from repro.protocol.messages import (
+    Que1,
+    Que2,
+    Res1,
+    Res1Level1,
+    Res2,
+    Rque,
+    Rres,
+    _unpack_fields,
+    parse_message,
+)
+
+GOLDEN = json.loads((Path(__file__).parent / "golden_wire.json").read_text())
+
+# The exact vectors the fixture was generated from (arbitrary but fixed;
+# lengths match the real fields where the codec cares about lengths).
+NONCE = bytes(range(28))
+NONCE2 = bytes(range(100, 128))
+MAC = b"\xAA" * 32
+MAC2 = b"\xBB" * 32
+KEXM = bytes(range(64))
+SIG = bytes([0x5A, 0xA5]) * 32
+CERT = b"\x01certificate-chain-bytes\x00\xff" * 7
+PROF = b"profile-body\x10\x20" * 9
+CT = b"\x00\x11\x22\x33ciphertext-payload" * 11
+TICKET = b"sealed-ticket\xde\xad" * 13
+
+
+def _messages() -> dict:
+    return {
+        "que1": Que1(NONCE),
+        "res1_level1": Res1Level1(PROF),
+        "res1": Res1(NONCE2, CERT, KEXM, SIG),
+        "que2_with_mac3": Que2(PROF, CERT, KEXM, SIG, MAC, MAC2),
+        "que2_without_mac3": Que2(PROF, CERT, KEXM, SIG, MAC, None),
+        "res2": Res2(CT, MAC),
+        "rque": Rque(TICKET, NONCE, MAC2),
+        "rres": Rres(NONCE2, CT, MAC),
+    }
+
+
+@pytest.mark.parametrize("name", sorted(set(GOLDEN) - {"que2_signed_portion"}))
+def test_encoding_matches_golden_bytes(name):
+    wire = _messages()[name].to_bytes()
+    golden = GOLDEN[name]
+    assert len(wire) == golden["len"]
+    assert hashlib.sha256(wire).hexdigest() == golden["sha256"]
+    assert wire.hex() == golden["hex"]
+
+
+def test_que2_signed_portion_matches_golden_bytes():
+    signed = _messages()["que2_with_mac3"].signed_portion()
+    golden = GOLDEN["que2_signed_portion"]
+    assert len(signed) == golden["len"]
+    assert signed.hex() == golden["hex"]
+    # The signed portion excludes the MACs: identical for both variants.
+    assert _messages()["que2_without_mac3"].signed_portion() == signed
+
+
+@pytest.mark.parametrize("name", sorted(set(GOLDEN) - {"que2_signed_portion"}))
+def test_golden_bytes_round_trip(name):
+    wire = bytes.fromhex(GOLDEN[name]["hex"])
+    message = parse_message(wire)
+    assert message == _messages()[name]
+    assert message.to_bytes() == wire
+
+
+@pytest.mark.parametrize("name", sorted(set(GOLDEN) - {"que2_signed_portion"}))
+def test_from_bytes_accepts_memoryview(name):
+    wire = bytes.fromhex(GOLDEN[name]["hex"])
+    message = parse_message(memoryview(wire))
+    assert message == _messages()[name]
+    assert message.to_bytes() == wire
+
+
+def test_to_bytes_is_memoized():
+    message = Res2(CT, MAC)
+    assert message.to_bytes() is message.to_bytes()
+
+
+def test_from_bytes_reuses_received_buffer_as_wire():
+    wire = bytes.fromhex(GOLDEN["res2"]["hex"])
+    # Parsing bytes stashes the received buffer itself as the canonical
+    # encoding — parse -> re-serialize (transcripts, caches) is free.
+    assert parse_message(wire).to_bytes() is wire
+
+
+# -- decode error contract (verbatim messages) ---------------------------------
+
+
+def test_unpack_fields_on_memoryview():
+    packed = struct.pack(">I", 3) + b"abc" + struct.pack(">I", 0)
+    assert _unpack_fields(memoryview(packed), 2, "X") == [b"abc", b""]
+
+
+def test_truncated_field_header_verbatim():
+    with pytest.raises(MessageFormatError) as excinfo:
+        _unpack_fields(b"\x00\x00", 1, "X")
+    assert str(excinfo.value) == "X: truncated field header"
+
+
+def test_truncated_field_body_verbatim():
+    with pytest.raises(MessageFormatError) as excinfo:
+        _unpack_fields(struct.pack(">I", 10) + b"ab", 1, "X")
+    assert str(excinfo.value) == "X: truncated field body"
+
+
+def test_trailing_bytes_verbatim():
+    with pytest.raises(MessageFormatError) as excinfo:
+        _unpack_fields(struct.pack(">I", 1) + b"a" + b"xyz", 1, "X")
+    assert str(excinfo.value) == "X: 3 trailing bytes"
+
+
+def test_message_level_truncation_errors_verbatim():
+    res1_wire = bytes.fromhex(GOLDEN["res1"]["hex"])
+    with pytest.raises(MessageFormatError) as excinfo:
+        Res1.from_bytes(res1_wire[:-10])
+    assert str(excinfo.value) == "RES1: truncated field body"
+
+    with pytest.raises(MessageFormatError) as excinfo:
+        Res1.from_bytes(res1_wire + b"!!")
+    assert str(excinfo.value) == "RES1: 2 trailing bytes"
+
+    que2_wire = bytes.fromhex(GOLDEN["que2_with_mac3"]["hex"])
+    with pytest.raises(MessageFormatError) as excinfo:
+        Que2.from_bytes(que2_wire[:4])
+    assert str(excinfo.value) == "QUE2: truncated field header"
