@@ -77,6 +77,23 @@ def level3_remove(gamma: int) -> int:
     return gamma - 1
 
 
+def level3_remove_lkh_messages(gamma: int) -> int:
+    """Wire messages for one Level 3 removal under LKH rekeying.
+
+    The notified-entity overhead stays gamma - 1 (every remaining fellow
+    still learns a new group key), but the backend *pushes* at most
+    2·ceil(log2 capacity) subtree-sealed blobs — capacity being gamma
+    rounded up to a power of two — instead of gamma - 1 individually
+    wrapped keys (:mod:`repro.backend.lkh`).
+    """
+    if gamma < 1:
+        raise ValueError("a group has at least one member")
+    if gamma == 1:
+        return 0
+    capacity = 1 << (gamma - 1).bit_length()
+    return 2 * int(np.ceil(np.log2(capacity)))
+
+
 TABLE1_ROWS = {
     "ID-based ACL": (id_acl_add, id_acl_remove),
     "ABE": (abe_add, abe_remove),
@@ -116,4 +133,17 @@ def sweep_remove_overhead(
         "ID-based ACL": n,
         "ABE": xi_o * n + xi_s * (alpha - 1),
         "Argus": n.copy(),
+    }
+
+
+def sweep_group_rekey_messages(gamma_values: np.ndarray) -> dict[str, np.ndarray]:
+    """Level 3 rekey *wire messages* vs group size: flat vs LKH."""
+    gammas = np.asarray(gamma_values, dtype=int)
+    return {
+        "flat (gamma - 1)": np.array(
+            [float(level3_remove(int(g))) for g in gammas]
+        ),
+        "LKH (2 log2 gamma)": np.array(
+            [float(level3_remove_lkh_messages(int(g))) for g in gammas]
+        ),
     }

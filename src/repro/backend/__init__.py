@@ -12,27 +12,37 @@ from repro.backend.database import (
     SubjectRecord,
 )
 from repro.backend.groups import GroupManager, RekeyReport, SecretGroup
+from repro.backend.lkh import KeyUpdate, LKHTree, MemberState, RekeyCost
 from repro.backend.registration import (
     Backend,
     ObjectCredentials,
     ObjectVariant,
     SubjectCredentials,
 )
+from repro.backend.sharding import ConsistentHashDirectory, ShardedBackendDatabase
 from repro.backend.updates import ChurnEngine, UpdateReport
+from repro.backend.updatewire import UpdateBatcher
 
 __all__ = [
     "Backend",
     "BackendDatabase",
     "ChurnEngine",
+    "ConsistentHashDirectory",
     "DatabaseError",
     "GroupManager",
+    "KeyUpdate",
+    "LKHTree",
+    "MemberState",
     "ObjectCredentials",
     "ObjectRecord",
     "ObjectVariant",
     "Policy",
+    "RekeyCost",
     "RekeyReport",
     "SecretGroup",
+    "ShardedBackendDatabase",
     "SubjectCredentials",
     "SubjectRecord",
+    "UpdateBatcher",
     "UpdateReport",
 ]

@@ -62,12 +62,26 @@ class Policy:
 
 
 class BackendDatabase:
-    """In-memory store with the category queries the paper's analysis uses."""
+    """In-memory store with the category queries the paper's analysis uses.
+
+    ``policies_for_subject``/``policies_for_object`` memoize per distinct
+    attribute set: an enterprise has many entities but few attribute
+    combinations (everyone in department X shares one), so policy
+    matching for the 10^5th staff member is a dict hit, not a predicate
+    sweep. The memo is sound because :class:`AttributeSet` is immutable
+    and hashable, and it is dropped whenever the policy table mutates.
+    """
 
     def __init__(self) -> None:
         self.subjects: dict[str, SubjectRecord] = {}
         self.objects: dict[str, ObjectRecord] = {}
         self.policies: dict[str, Policy] = {}
+        self._subject_policy_memo: dict[AttributeSet, tuple[str, ...]] = {}
+        self._object_policy_memo: dict[AttributeSet, tuple[str, ...]] = {}
+
+    def _invalidate_policy_memo(self) -> None:
+        self._subject_policy_memo.clear()
+        self._object_policy_memo.clear()
 
     # -- mutation ---------------------------------------------------------------
 
@@ -85,6 +99,7 @@ class BackendDatabase:
         if policy.policy_id in self.policies:
             raise DatabaseError(f"policy {policy.policy_id!r} already exists")
         self.policies[policy.policy_id] = policy
+        self._invalidate_policy_memo()
 
     def remove_subject(self, subject_id: str) -> SubjectRecord:
         try:
@@ -100,9 +115,11 @@ class BackendDatabase:
 
     def remove_policy(self, policy_id: str) -> Policy:
         try:
-            return self.policies.pop(policy_id)
+            policy = self.policies.pop(policy_id)
         except KeyError:
             raise DatabaseError(f"unknown policy {policy_id!r}") from None
+        self._invalidate_policy_memo()
+        return policy
 
     # -- category queries (§II-C's alpha, beta, N) --------------------------------
 
@@ -115,16 +132,24 @@ class BackendDatabase:
         return [o for o in self.objects.values() if pred.evaluate(o.attributes)]
 
     def policies_for_subject(self, subject: SubjectRecord) -> list[Policy]:
-        return [
-            p for p in self.policies.values()
-            if p.subject_pred.evaluate(subject.attributes)
-        ]
+        ids = self._subject_policy_memo.get(subject.attributes)
+        if ids is None:
+            ids = tuple(
+                pid for pid, p in self.policies.items()
+                if p.subject_pred.evaluate(subject.attributes)
+            )
+            self._subject_policy_memo[subject.attributes] = ids
+        return [self.policies[pid] for pid in ids]
 
     def policies_for_object(self, obj: ObjectRecord) -> list[Policy]:
-        return [
-            p for p in self.policies.values()
-            if p.object_pred.evaluate(obj.attributes)
-        ]
+        ids = self._object_policy_memo.get(obj.attributes)
+        if ids is None:
+            ids = tuple(
+                pid for pid, p in self.policies.items()
+                if p.object_pred.evaluate(obj.attributes)
+            )
+            self._object_policy_memo[obj.attributes] = ids
+        return [self.policies[pid] for pid in ids]
 
     def objects_accessible_by(self, subject_id: str) -> list[ObjectRecord]:
         """All objects the subject may access — its size is the paper's N.

@@ -8,18 +8,36 @@ those with no sensitive attribute at all — receives at least one key: a
 **cover-up key**, a unique random value nobody else holds, so that her
 Level 3 attempts look exactly like a real fellow's.
 
-Rekeying a group (e.g. after removing a member) touches the remaining
+Rekeying a group (e.g. after removing a member) must reach the remaining
 ``gamma - 1`` fellows — the paper's Level 3 updating overhead (§VIII).
+*How many messages* that takes depends on the strategy:
+
+* ``flat`` — the paper's literal scheme: one fresh key, individually
+  delivered to each remaining fellow (``gamma - 1`` messages).
+* ``lkh`` (default) — a logical key hierarchy per group
+  (:mod:`repro.backend.lkh`): members are leaves of a binary key tree
+  whose root is the group key; a removal rotates only the leaf-to-root
+  path and publishes O(log gamma) subtree-sealed updates. The *notified
+  set* (the paper's overhead metric) is unchanged — every remaining
+  fellow still ends up with the new key — but the wire fan-out drops
+  from O(gamma) to O(log gamma).
+
+Membership lookups are O(1) via a member → groups inverted index; no
+query here iterates the full group table.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.backend.lkh import KeyUpdate, LKHTree, MemberState
 from repro.crypto.primitives import random_bytes
 
 #: Symmetric group keys are 256-bit (HMAC-SHA256 keys).
 GROUP_KEY_LEN = 32
+
+#: Rekey strategies a GroupManager can run.
+STRATEGIES = ("flat", "lkh")
 
 
 class GroupError(Exception):
@@ -51,11 +69,26 @@ class SecretGroup:
 
 @dataclass(frozen=True)
 class RekeyReport:
-    """What a rekey cost: who must receive the new key."""
+    """What a rekey cost: who must receive the new key, and how.
+
+    ``overhead`` keeps the paper's metric (notified entities, gamma - 1)
+    regardless of strategy; the LKH fields expose the wire shape so
+    ``bench_table1_updating.py`` can show the asymptotic win.
+    """
 
     group_id: str
     notified_subjects: frozenset[str]
     notified_objects: frozenset[str]
+    #: Which rekey strategy produced this report.
+    strategy: str = "flat"
+    #: LKH tree depth at rekey time (0 for flat).
+    tree_depth: int = 0
+    #: Fresh node keys derived (1 for flat, ~log2 gamma for LKH).
+    keys_derived: int = 1
+    #: Distinct wire messages pushed (gamma - 1 flat, O(log gamma) LKH).
+    messages_pushed: int = 0
+    #: The published LKH update stream for this rekey (empty for flat).
+    updates: tuple[KeyUpdate, ...] = ()
 
     @property
     def overhead(self) -> int:
@@ -66,10 +99,26 @@ class RekeyReport:
 class GroupManager:
     """The backend component owning all secret groups and cover-up keys."""
 
-    def __init__(self) -> None:
+    def __init__(self, strategy: str = "lkh") -> None:
+        if strategy not in STRATEGIES:
+            raise GroupError(f"unknown rekey strategy {strategy!r}")
+        self.strategy = strategy
         self.groups: dict[str, SecretGroup] = {}
+        self.trees: dict[str, LKHTree] = {}
+        #: grow notices banked at join time, published with the next
+        #: rekey stream (structural, no key material — see _enroll).
+        self._pending_notices: dict[str, list[KeyUpdate]] = {}
         self._coverup_keys: dict[str, bytes] = {}
         self._counter = 0
+        # -- inverted indexes (all maintained, never scanned) ------------------
+        #: member id -> group ids it belongs to (subject or object side).
+        self._member_groups: dict[str, set[str]] = {}
+        #: (subject_attribute, object_attribute) -> group id.
+        self._attr_pair: dict[tuple[str, str], str] = {}
+        #: sensitive subject attribute -> group ids.
+        self._subject_attr_groups: dict[str, set[str]] = {}
+        #: sensitive object attribute -> group ids.
+        self._object_attr_groups: dict[str, set[str]] = {}
 
     # -- group lifecycle -----------------------------------------------------------
 
@@ -80,35 +129,86 @@ class GroupManager:
             subject_attribute=subject_attribute,
             object_attribute=object_attribute,
         )
-        self.groups[group.group_id] = group
+        self.adopt(group)
         return group
+
+    def adopt(self, group: SecretGroup, tree: LKHTree | None = None) -> None:
+        """Register a group built elsewhere (persistence import) and wire
+        up every index; builds the LKH tree if the strategy needs one."""
+        self.groups[group.group_id] = group
+        self._attr_pair[(group.subject_attribute, group.object_attribute)] = group.group_id
+        self._subject_attr_groups.setdefault(group.subject_attribute, set()).add(group.group_id)
+        self._object_attr_groups.setdefault(group.object_attribute, set()).add(group.group_id)
+        for member_id in (*group.subject_members, *group.object_members):
+            self._member_groups.setdefault(member_id, set()).add(group.group_id)
+        if self.strategy == "lkh":
+            if tree is None:
+                tree = LKHTree(group.group_id)
+                tree.keys[1] = group.key  # root key IS the group key
+                tree.key_version = group.key_version
+                tree.build_bulk(sorted(group.subject_members) + sorted(group.object_members))
+            self.trees[group.group_id] = tree
 
     def group_for_attributes(
         self, subject_attribute: str, object_attribute: str
     ) -> SecretGroup | None:
-        for group in self.groups.values():
-            if (
-                group.subject_attribute == subject_attribute
-                and group.object_attribute == object_attribute
-            ):
-                return group
-        return None
+        group_id = self._attr_pair.get((subject_attribute, object_attribute))
+        return self.groups[group_id] if group_id is not None else None
+
+    def groups_for_subject_attribute(self, attribute: str) -> list[SecretGroup]:
+        """Groups whose sensitive *subject* attribute is *attribute* —
+        the registration-time enrollment query, via index (no scan)."""
+        return [self.groups[g] for g in sorted(self._subject_attr_groups.get(attribute, ()))]
+
+    def groups_for_object_attribute(self, attribute: str) -> list[SecretGroup]:
+        """Groups whose sensitive *object* attribute is *attribute*."""
+        return [self.groups[g] for g in sorted(self._object_attr_groups.get(attribute, ()))]
 
     def enroll_subject(self, group_id: str, subject_id: str) -> bytes:
-        group = self._get(group_id)
-        group.subject_members.add(subject_id)
-        return group.key
+        return self._enroll(group_id, subject_id, "subject")
 
     def enroll_object(self, group_id: str, object_id: str) -> bytes:
+        return self._enroll(group_id, object_id, "object")
+
+    def _enroll(self, group_id: str, member_id: str, side: str) -> bytes:
         group = self._get(group_id)
-        group.object_members.add(object_id)
+        members = group.subject_members if side == "subject" else group.object_members
+        if member_id not in members:
+            members.add(member_id)
+            self._member_groups.setdefault(member_id, set()).add(group_id)
+            tree = self.trees.get(group_id)
+            if tree is not None:
+                # A join hands the newcomer its path keys at issuance; the
+                # only thing the *rest* of the group may ever need is a
+                # structural grow notice, banked here and broadcast with
+                # the next rekey stream (it carries no key material, so
+                # deferring it is safe).
+                notices, _ = tree.join(member_id)
+                if notices:
+                    self._pending_notices.setdefault(group_id, []).extend(notices)
         return group.key
 
     def groups_of_subject(self, subject_id: str) -> list[SecretGroup]:
-        return [g for g in self.groups.values() if subject_id in g.subject_members]
+        return [
+            self.groups[g] for g in sorted(self._member_groups.get(subject_id, ()))
+            if subject_id in self.groups[g].subject_members
+        ]
 
     def groups_of_object(self, object_id: str) -> list[SecretGroup]:
-        return [g for g in self.groups.values() if object_id in g.object_members]
+        return [
+            self.groups[g] for g in sorted(self._member_groups.get(object_id, ()))
+            if object_id in self.groups[g].object_members
+        ]
+
+    def member_state(self, group_id: str, member_id: str) -> MemberState:
+        """The LKH path-key state the backend provisions onto a member
+        device (see :class:`repro.backend.lkh.MemberState`)."""
+        tree = self.trees.get(group_id)
+        if tree is None:
+            raise GroupError(f"group {group_id!r} has no LKH tree (strategy={self.strategy})")
+        if member_id not in tree.leaf_of:
+            raise GroupError(f"{member_id!r} is not in group {group_id!r}")
+        return MemberState.provision(tree, member_id)
 
     # -- cover-up keys ---------------------------------------------------------------
 
@@ -130,8 +230,10 @@ class GroupManager:
     def remove_member(self, group_id: str, member_id: str) -> RekeyReport:
         """Remove a fellow and rekey; the §VIII Level 3 worst case.
 
-        Returns the rekey report: every *remaining* fellow must be
-        notified with the new key — overhead gamma - 1.
+        Returns the rekey report: every *remaining* fellow must end up
+        with the new key — overhead gamma - 1. Under LKH the push takes
+        O(log gamma) subtree-sealed messages; under flat, gamma - 1
+        individually wrapped deliveries.
         """
         group = self._get(group_id)
         in_subjects = member_id in group.subject_members
@@ -140,20 +242,51 @@ class GroupManager:
             raise GroupError(f"{member_id!r} is not a member of {group_id!r}")
         group.subject_members.discard(member_id)
         group.object_members.discard(member_id)
+        membership = self._member_groups.get(member_id)
+        if membership is not None:
+            membership.discard(group_id)
+            if not membership:
+                del self._member_groups[member_id]
+
+        tree = self.trees.get(group_id)
+        if tree is not None:
+            updates, cost = tree.remove(member_id)
+            group.key = tree.root_key
+            group.key_version = tree.key_version
+            # Prepend banked grow notices so the published stream is
+            # self-contained for members provisioned generations ago.
+            # Notices are zero-crypto renumbering hints and don't count
+            # toward messages_pushed (amortized O(1) per join).
+            notices = self._pending_notices.pop(group_id, [])
+            return RekeyReport(
+                group_id=group_id,
+                notified_subjects=frozenset(group.subject_members),
+                notified_objects=frozenset(group.object_members),
+                strategy="lkh",
+                tree_depth=cost.tree_depth,
+                keys_derived=cost.keys_derived,
+                messages_pushed=cost.messages,
+                updates=tuple(notices) + tuple(updates),
+            )
+
         group.key = random_bytes(GROUP_KEY_LEN)
         group.key_version += 1
-        return RekeyReport(
+        report = RekeyReport(
             group_id=group_id,
             notified_subjects=frozenset(group.subject_members),
             notified_objects=frozenset(group.object_members),
+            strategy="flat",
+            keys_derived=1,
+            messages_pushed=group.size,
         )
+        return report
 
     def remove_everywhere(self, member_id: str) -> list[RekeyReport]:
-        """Remove a member from every group it belongs to."""
+        """Remove a member from every group it belongs to — O(groups of
+        member), not O(all groups), via the inverted index."""
         reports = []
-        for group in list(self.groups.values()):
-            if member_id in group.subject_members or member_id in group.object_members:
-                reports.append(self.remove_member(group.group_id, member_id))
+        for group_id in sorted(self._member_groups.get(member_id, ())):
+            reports.append(self.remove_member(group_id, member_id))
         self._coverup_keys.pop(member_id, None)
         return reports
 

@@ -1,0 +1,465 @@
+"""LKH logical key hierarchy: O(log n) group rekeying at enterprise scale.
+
+Table I makes updating cost Argus's scaling cliff: rekeying a secret
+group after a member removal touches all ``gamma - 1`` remaining fellows
+with *individually wrapped* fresh keys, so a churn event in a
+10^5-member group is 10^5 key deliveries. The logical key hierarchy
+(Wallner/Wong-style LKH, per PAPERS.md's "Efficient, Flexible and Secure
+Group Key Management Protocol for Dynamic IoT Settings") replaces the
+flat fan-out with a binary key tree:
+
+* members are **leaves**; every tree node has a symmetric key; the
+  **root key is the group key** (`SecretGroup.key` stays the root, so
+  the discovery path — K3 derivation, covert variants — is untouched).
+* a member holds exactly the keys on its **leaf-to-root path**
+  (``depth + 1`` keys, ~log2(n)).
+* removing a member re-derives only the keys on its path and publishes
+  each fresh node key **sealed under the surviving child keys** — one
+  AEAD blob decryptable by a whole subtree at once. Messages per
+  removal: ≤ 2·ceil(log2 capacity), vs n - 1 flat.
+
+Security property (pinned by ``tests/backend/test_lkh_properties.py``):
+after any churn sequence, every remaining member can recover the current
+root key from the published :class:`KeyUpdate` stream, and an evicted
+member — holding every key it ever saw — cannot decrypt a single update
+issued at or after its eviction, because every key on its path is
+rotated out in the same breath.
+
+Joins follow the paper's flat semantics (the newcomer is simply handed
+the current path keys at issuance, overhead 1; no rotation), so LKH is
+drop-in semantically equivalent to the flat strategy — only the removal
+fan-out changes shape.
+
+Nodes are heap-numbered (root = 1, children of ``v`` at ``2v``/``2v+1``,
+leaves at ``capacity .. 2*capacity - 1``). When the tree outgrows its
+capacity it doubles by re-rooting — a pure, publicly computable
+renumbering with **no key rotation** — and publishes a zero-crypto
+:func:`grow_notice` so fielded member states shift their ids in step.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+from dataclasses import dataclass, field
+
+from repro.crypto import aead
+from repro.crypto.primitives import random_bytes
+
+#: Node keys are the same width as flat group keys (HMAC-SHA256 keys).
+NODE_KEY_LEN = 32
+
+#: Heap id of the root node.
+ROOT = 1
+
+#: ``node_id`` of a structural grow notice (no key material).
+GROW = 0
+
+
+class LKHError(Exception):
+    """Raised on inconsistent LKH tree operations."""
+
+
+@dataclass(frozen=True)
+class KeyUpdate:
+    """One published rekey blob: ``node_id``'s fresh key sealed under the
+    current key of node ``enc_under`` (so exactly the members beneath
+    ``enc_under`` can open it). A ``node_id == GROW`` update is a
+    structural grow notice: no ciphertext, ``generation`` tells members
+    which doubling to apply."""
+
+    group_id: str
+    node_id: int
+    enc_under: int
+    key_version: int
+    generation: int
+    ciphertext: bytes
+
+    @property
+    def is_grow(self) -> bool:
+        return self.node_id == GROW
+
+    def open(self, under_key: bytes) -> bytes:
+        """Decrypt with the ``enc_under`` node key; raises on wrong key."""
+        try:
+            inner = aead.decrypt(under_key, self.ciphertext)
+        except aead.AeadError as exc:
+            raise LKHError(f"cannot open update for node {self.node_id}") from exc
+        (node_id,) = struct.unpack_from(">Q", inner, 0)
+        if node_id != self.node_id:
+            raise LKHError("update payload names a different node")
+        return inner[8:]
+
+    # -- wire form (carried inside repro.backend.updatewire pushes) -----------
+
+    def to_bytes(self) -> bytes:
+        gid = self.group_id.encode()
+        return (
+            struct.pack(">H", len(gid)) + gid
+            + struct.pack(">QQII", self.node_id, self.enc_under,
+                          self.key_version, self.generation)
+            + struct.pack(">I", len(self.ciphertext)) + self.ciphertext
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "KeyUpdate":
+        try:
+            (gid_len,) = struct.unpack_from(">H", data, 0)
+            gid = data[2 : 2 + gid_len].decode()
+            node_id, enc_under, version, generation = struct.unpack_from(
+                ">QQII", data, 2 + gid_len
+            )
+            offset = 2 + gid_len + 24
+            (ct_len,) = struct.unpack_from(">I", data, offset)
+            ciphertext = data[offset + 4 : offset + 4 + ct_len]
+            if len(ciphertext) != ct_len:
+                raise LKHError("truncated key update")
+        except (struct.error, UnicodeDecodeError) as exc:
+            raise LKHError(f"malformed key update: {exc}") from exc
+        return cls(gid, node_id, enc_under, version, generation, ciphertext)
+
+
+def seal_update(
+    group_id: str, node_id: int, enc_under: int, under_key: bytes,
+    new_key: bytes, key_version: int, generation: int,
+) -> KeyUpdate:
+    payload = struct.pack(">Q", node_id) + new_key
+    return KeyUpdate(
+        group_id=group_id,
+        node_id=node_id,
+        enc_under=enc_under,
+        key_version=key_version,
+        generation=generation,
+        ciphertext=aead.encrypt(under_key, payload),
+    )
+
+
+def grow_notice(group_id: str, key_version: int, generation: int) -> KeyUpdate:
+    return KeyUpdate(group_id, GROW, GROW, key_version, generation, b"")
+
+
+@dataclass(frozen=True)
+class RekeyCost:
+    """The asymptotic accounting of one tree mutation."""
+
+    tree_depth: int
+    keys_derived: int
+    messages: int
+
+
+class LKHTree:
+    """One group's binary key tree (see module docstring for layout)."""
+
+    def __init__(self, group_id: str, capacity: int = 2) -> None:
+        if capacity < 2 or capacity & (capacity - 1):
+            raise LKHError("capacity must be a power of two >= 2")
+        self.group_id = group_id
+        self.capacity = capacity
+        self.keys: dict[int, bytes] = {ROOT: random_bytes(NODE_KEY_LEN)}
+        #: members beneath each keyed node (subtree occupancy).
+        self.counts: dict[int, int] = {ROOT: 0}
+        self.leaf_of: dict[str, int] = {}
+        self.member_at: dict[int, str] = {}
+        self._free: list[int] = []
+        self._next_slot = 0
+        self.key_version = 1
+        #: bumped on every capacity doubling; grow notices carry it.
+        self.generation = 0
+
+    # -- introspection -------------------------------------------------------------
+
+    @property
+    def root_key(self) -> bytes:
+        return self.keys[ROOT]
+
+    @property
+    def size(self) -> int:
+        return len(self.leaf_of)
+
+    @property
+    def depth(self) -> int:
+        """Levels below the root: log2(capacity)."""
+        return self.capacity.bit_length() - 1
+
+    def path(self, leaf: int) -> list[int]:
+        """Leaf-to-root node ids (leaf first)."""
+        nodes = []
+        node = leaf
+        while node >= ROOT:
+            nodes.append(node)
+            node //= 2
+        return nodes
+
+    def member_keys(self, member_id: str) -> dict[int, bytes]:
+        """The key set a member device holds: its leaf-to-root path."""
+        leaf = self._leaf(member_id)
+        return {node: self.keys[node] for node in self.path(leaf) if node in self.keys}
+
+    # -- joins ----------------------------------------------------------------------
+
+    def join(self, member_id: str) -> tuple[list[KeyUpdate], RekeyCost]:
+        """Add a member: hand it the current path keys (overhead 1).
+
+        Matching the flat strategy, a join does not rotate the root —
+        the newcomer learns the current group key exactly as a flat
+        enrollee does — so existing members receive nothing but an
+        occasional structural grow notice. New nodes created on the way
+        down shelter only the newcomer, so their fresh keys travel with
+        its provisioning, not on the update stream.
+        """
+        if member_id in self.leaf_of:
+            raise LKHError(f"{member_id!r} already in group {self.group_id!r}")
+        updates: list[KeyUpdate] = []
+        leaf = self._allocate_leaf(updates)
+        self.leaf_of[member_id] = leaf
+        self.member_at[leaf] = member_id
+        derived = 0
+        for node in self.path(leaf):
+            if node not in self.keys:
+                self.keys[node] = random_bytes(NODE_KEY_LEN)
+                derived += 1
+            self.counts[node] = self.counts.get(node, 0) + 1
+        cost = RekeyCost(
+            tree_depth=self.depth, keys_derived=derived,
+            messages=1 + len(updates),
+        )
+        return updates, cost
+
+    def build_bulk(self, member_ids: list[str]) -> None:
+        """Seed a large membership in one pass (initial provisioning).
+
+        Semantically a sequence of joins (grow notices included); used by
+        benchmarks and fleet synthesis so a 10^5-member tree costs one
+        linear sweep with no update stream to replay.
+        """
+        for member_id in member_ids:
+            self.join(member_id)
+
+    # -- removals --------------------------------------------------------------------
+
+    def remove(self, member_id: str) -> tuple[list[KeyUpdate], RekeyCost]:
+        """Evict a member: rotate its whole path, publish O(log n) updates.
+
+        Every node key the evictee held is re-derived bottom-up; each
+        fresh key is sealed once per surviving child subtree. The
+        evictee's leaf key is deleted, never rotated — nobody shares a
+        leaf.
+        """
+        leaf = self._leaf(member_id)
+        del self.leaf_of[member_id]
+        del self.member_at[leaf]
+        del self.keys[leaf]
+        del self.counts[leaf]
+        self._free.append(leaf)
+
+        self.key_version += 1
+        updates: list[KeyUpdate] = []
+        derived = 0
+        fresh: dict[int, bytes] = {}
+        node = leaf // 2
+        while node >= ROOT:
+            self.counts[node] -= 1
+            if self.counts[node] <= 0:
+                # Subtree emptied out entirely; drop its key.
+                self.counts.pop(node)
+                self.keys.pop(node, None)
+                node //= 2
+                continue
+            new_key = random_bytes(NODE_KEY_LEN)
+            derived += 1
+            for child in (2 * node, 2 * node + 1):
+                if self.counts.get(child, 0) <= 0:
+                    continue
+                # A child rotated this round is sealed under its *new*
+                # key; an untouched subtree under its current key.
+                under = fresh.get(child, self.keys.get(child))
+                if under is None:
+                    continue
+                updates.append(seal_update(
+                    self.group_id, node, child, under, new_key,
+                    self.key_version, self.generation,
+                ))
+            self.keys[node] = new_key
+            fresh[node] = new_key
+            node //= 2
+        if ROOT not in self.keys:
+            # Last member left: keep an (unshared) root key so the group
+            # object still has *a* key, as the flat strategy does.
+            self.keys[ROOT] = random_bytes(NODE_KEY_LEN)
+            self.counts[ROOT] = 0
+            derived += 1
+        cost = RekeyCost(
+            tree_depth=self.depth, keys_derived=derived, messages=len(updates),
+        )
+        return updates, cost
+
+    # -- persistence -----------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-serializable snapshot (provisioning export)."""
+        return {
+            "group_id": self.group_id,
+            "capacity": self.capacity,
+            "keys": {str(node): key.hex() for node, key in self.keys.items()},
+            "counts": {str(node): count for node, count in self.counts.items()},
+            "leaf_of": dict(self.leaf_of),
+            "free": list(self._free),
+            "next_slot": self._next_slot,
+            "key_version": self.key_version,
+            "generation": self.generation,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "LKHTree":
+        tree = cls(data["group_id"], capacity=data["capacity"])
+        tree.keys = {int(node): bytes.fromhex(h) for node, h in data["keys"].items()}
+        tree.counts = {int(node): count for node, count in data["counts"].items()}
+        tree.leaf_of = dict(data["leaf_of"])
+        tree.member_at = {leaf: m for m, leaf in tree.leaf_of.items()}
+        tree._free = list(data["free"])
+        tree._next_slot = data["next_slot"]
+        tree.key_version = data["key_version"]
+        tree.generation = data["generation"]
+        return tree
+
+    # -- internals -------------------------------------------------------------------
+
+    def _leaf(self, member_id: str) -> int:
+        try:
+            return self.leaf_of[member_id]
+        except KeyError:
+            raise LKHError(
+                f"{member_id!r} is not in group {self.group_id!r}"
+            ) from None
+
+    def _allocate_leaf(self, updates: list[KeyUpdate]) -> int:
+        if self._free:
+            return self._free.pop()
+        if self._next_slot >= self.capacity:
+            self._grow()
+            updates.append(grow_notice(self.group_id, self.key_version, self.generation))
+        slot = self._next_slot
+        self._next_slot += 1
+        return self.capacity + slot
+
+    def _grow(self) -> None:
+        """Double capacity: the old tree becomes the left child of a new
+        root. Pure renumbering (old node ``x`` maps to ``shift(x)``); no
+        key material changes, so the root key value is inherited and
+        members only re-label the keys they already hold."""
+        self.keys = {_shift(old): key for old, key in self.keys.items()}
+        self.counts = {_shift(old): count for old, count in self.counts.items()}
+        # The re-root: node 2 (the old root) keeps its key; the new root
+        # inherits the same key value so the *group key* is unchanged.
+        self.keys[ROOT] = self.keys[2]
+        self.counts[ROOT] = self.counts.get(2, 0)
+        self.leaf_of = {m: _shift(leaf) for m, leaf in self.leaf_of.items()}
+        self.member_at = {leaf: m for m, leaf in self.leaf_of.items()}
+        self._free = [_shift(leaf) for leaf in self._free]
+        self.capacity *= 2
+        self.generation += 1
+
+
+def _shift(node: int) -> int:
+    """Heap id of *node* after the tree gains one level above it."""
+    return node + (1 << (node.bit_length() - 1))
+
+
+@dataclass
+class MemberState:
+    """A member *device's* view: its leaf id and the path keys it holds.
+
+    This is what rides on a device in the field; it advances by applying
+    the published :class:`KeyUpdate` stream. An evicted device still
+    holds its last key set — the security property is that no update
+    published after eviction opens with any of them.
+    """
+
+    group_id: str
+    member_id: str
+    leaf: int
+    keys: dict[int, bytes] = field(default_factory=dict)
+    key_version: int = 1
+    generation: int = 0
+
+    @classmethod
+    def provision(cls, tree: LKHTree, member_id: str) -> "MemberState":
+        """What the backend hands the device at issuance time."""
+        leaf = tree.leaf_of[member_id]
+        return cls(
+            group_id=tree.group_id,
+            member_id=member_id,
+            leaf=leaf,
+            keys=tree.member_keys(member_id),
+            key_version=tree.key_version,
+            generation=tree.generation,
+        )
+
+    def group_key(self) -> bytes | None:
+        """The root key as this member currently knows it."""
+        return self.keys.get(ROOT)
+
+    def on_path(self, node: int) -> bool:
+        leaf = self.leaf
+        while leaf >= ROOT:
+            if leaf == node:
+                return True
+            leaf //= 2
+        return False
+
+    def apply(self, update: KeyUpdate) -> bool:
+        """Apply one published update; True iff it changed our state.
+
+        Only updates for nodes on our path, sealed under a key we hold
+        and stamped with our current tree generation, are applicable —
+        everything else is silently skipped (on the wire every member of
+        the group sees every update)."""
+        if update.group_id != self.group_id:
+            return False
+        if update.is_grow:
+            if update.generation != self.generation + 1:
+                return False
+            self.keys = {_shift(node): key for node, key in self.keys.items()}
+            # Re-root: our old path top (the old root) is now node 2 and
+            # the new root shares its key value.
+            if 2 in self.keys:
+                self.keys[ROOT] = self.keys[2]
+            self.leaf = _shift(self.leaf)
+            self.generation = update.generation
+            return True
+        if update.generation != self.generation or not self.on_path(update.node_id):
+            return False
+        under = self.keys.get(update.enc_under)
+        if under is None:
+            return False
+        try:
+            new_key = self.keys[update.node_id] = update.open(under)
+        except LKHError:
+            return False
+        self.key_version = max(self.key_version, update.key_version)
+        return len(new_key) == NODE_KEY_LEN
+
+    def apply_all(self, updates: list[KeyUpdate]) -> int:
+        """Apply a batch; updates within one rekey are ordered bottom-up
+        by the publisher, so a single pass suffices. Returns how many
+        applied."""
+        return sum(1 for update in updates if self.apply(update))
+
+
+def flat_rekey_messages(gamma: int) -> int:
+    """Flat strategy message count for one removal: gamma - 1."""
+    return max(gamma - 1, 0)
+
+
+def lkh_rekey_messages_bound(capacity: int) -> int:
+    """Worst-case LKH messages for one removal: ≤ 2·ceil(log2 capacity).
+
+    Each of the ≤ ceil(log2 capacity) rotated path nodes is sealed at
+    most once per surviving child (two children in a binary tree; the
+    lowest rotated node has exactly one). Benchmarks gate against this
+    bound with capacity the peak membership rounded up to a power of
+    two.
+    """
+    if capacity <= 1:
+        return 0
+    return 2 * math.ceil(math.log2(capacity))

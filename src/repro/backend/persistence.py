@@ -43,10 +43,24 @@ class PersistenceError(Exception):
 
 def export_backend(backend: Backend) -> dict[str, Any]:
     """Snapshot the entire backend as a JSON-serializable dict."""
+    from repro.backend.sharding import ShardedBackendDatabase
+
+    sharding = None
+    if isinstance(backend.database, ShardedBackendDatabase):
+        sharding = {
+            "shards": len(backend.database.shards),
+            "routing_attribute": backend.database.routing_attribute,
+        }
     return {
         "format": FORMAT_VERSION,
         "strength": backend.strength,
         "serial": backend._serial,
+        "sharding": sharding,
+        "rekey_strategy": backend.groups.strategy,
+        "lkh_trees": {
+            group_id: tree.to_dict()
+            for group_id, tree in backend.groups.trees.items()
+        },
         "root_key_pem": backend.root_key.to_pem().decode(),
         "intermediates": {
             region: {
@@ -166,8 +180,16 @@ def import_backend(snapshot: dict[str, Any]) -> Backend:
 
     from repro.backend.database import BackendDatabase
     from repro.backend.groups import GroupManager
+    from repro.backend.sharding import ShardedBackendDatabase
 
-    backend.database = BackendDatabase()
+    sharding = snapshot.get("sharding")
+    if sharding:
+        backend.database = ShardedBackendDatabase(
+            shards=sharding["shards"],
+            routing_attribute=sharding["routing_attribute"],
+        )
+    else:
+        backend.database = BackendDatabase()
     for entry in snapshot["subjects"]:
         backend.database.add_subject(SubjectRecord(
             subject_id=entry["subject_id"],
@@ -192,8 +214,11 @@ def import_backend(snapshot: dict[str, Any]) -> Backend:
             rights=tuple(entry["rights"]),
         ))
 
-    backend.groups = GroupManager()
+    from repro.backend.lkh import LKHTree
+
+    backend.groups = GroupManager(strategy=snapshot.get("rekey_strategy", "lkh"))
     backend.groups._counter = snapshot["group_counter"]
+    trees = snapshot.get("lkh_trees", {})
     for entry in snapshot["groups"]:
         group = SecretGroup(
             group_id=entry["group_id"],
@@ -204,7 +229,11 @@ def import_backend(snapshot: dict[str, Any]) -> Backend:
             object_members=set(entry["object_members"]),
             key_version=entry["key_version"],
         )
-        backend.groups.groups[group.group_id] = group
+        tree_entry = trees.get(group.group_id)
+        backend.groups.adopt(
+            group,
+            tree=LKHTree.from_dict(tree_entry) if tree_entry is not None else None,
+        )
     backend.groups._coverup_keys = {
         sid: bytes.fromhex(h) for sid, h in snapshot["coverup_keys"].items()
     }

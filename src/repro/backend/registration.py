@@ -109,10 +109,23 @@ class Backend:
         self,
         strength: int = DEFAULT_STRENGTH,
         regions: tuple[str, ...] = ("campus",),
+        shards: int | None = None,
+        rekey_strategy: str = "lkh",
     ) -> None:
+        """*shards* > 0 puts the record tables behind a consistent-hash
+        shard directory (:class:`~repro.backend.sharding.ShardedBackendDatabase`);
+        ``None`` keeps the single-table store. *rekey_strategy* picks how
+        secret groups rekey on churn: ``"lkh"`` (O(log gamma) messages,
+        default) or ``"flat"`` (the paper's literal gamma - 1 fan-out).
+        """
         self.strength = strength
-        self.database = BackendDatabase()
-        self.groups = GroupManager()
+        if shards:
+            from repro.backend.sharding import ShardedBackendDatabase
+
+            self.database = ShardedBackendDatabase(shards=shards)
+        else:
+            self.database = BackendDatabase()
+        self.groups = GroupManager(strategy=rekey_strategy)
         self.root_key = generate_signing_key(strength)
         self._serial = 0
         # Intermediate CAs — one per region of the server hierarchy.
@@ -262,11 +275,10 @@ class Backend:
 
         group_keys: dict[str, bytes] = {}
         for sensitive in sensitive_attributes:
-            for group in self.groups.groups.values():
-                if group.subject_attribute == sensitive:
-                    group_keys[group.group_id] = self.groups.enroll_subject(
-                        group.group_id, subject_id
-                    )
+            for group in self.groups.groups_for_subject_attribute(sensitive):
+                group_keys[group.group_id] = self.groups.enroll_subject(
+                    group.group_id, subject_id
+                )
 
         creds = SubjectCredentials(
             subject_id=subject_id,
@@ -331,18 +343,17 @@ class Backend:
         level3_variants: dict[str, tuple[bytes, Profile]] = {}
         for sensitive, funcs in (covert_functions or {}).items():
             matched = False
-            for group in self.groups.groups.values():
-                if group.object_attribute == sensitive:
-                    key = self.groups.enroll_object(group.group_id, object_id)
-                    prof = sign_profile(
-                        Profile(
-                            object_id, attrs, tuple(funcs),
-                            variant=f"covert-{group.group_id}",
-                        ),
-                        self.root_key,
-                    )
-                    level3_variants[group.group_id] = (key, prof)
-                    matched = True
+            for group in self.groups.groups_for_object_attribute(sensitive):
+                key = self.groups.enroll_object(group.group_id, object_id)
+                prof = sign_profile(
+                    Profile(
+                        object_id, attrs, tuple(funcs),
+                        variant=f"covert-{group.group_id}",
+                    ),
+                    self.root_key,
+                )
+                level3_variants[group.group_id] = (key, prof)
+                matched = True
             if not matched:
                 raise DatabaseError(
                     f"no secret group exists for object attribute {sensitive!r}; "

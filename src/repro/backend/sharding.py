@@ -1,0 +1,281 @@
+"""Sharded policy backend: consistent-hash directory over record shards.
+
+The backend "is not a single server, but a hierarchy of servers run by
+the admin" (§II-A); at enterprise fleet sizes (10^5–10^6 subjects) a
+single record table is the control-plane bottleneck. This module shards
+:class:`~repro.backend.database.BackendDatabase` behind a consistent-hash
+directory keyed by **org-unit** (a routing attribute, ``department`` by
+default, falling back to the entity id), while presenting the exact
+``BackendDatabase`` API — registration, churn, persistence, and the
+analysis layer all run unchanged on top.
+
+Design notes:
+
+* **Directory** — a classic consistent-hash ring (SHA-256 positions,
+  virtual nodes per shard) so adding a shard moves ~1/n of the org-unit
+  keyspace and routing is deterministic across restarts (no reliance on
+  Python's randomized ``hash``).
+* **Org-unit affinity** — records of one department land on one shard,
+  so the common category queries (everyone in department X) are
+  single-shard in a deployment; the in-process implementation still
+  answers cross-shard queries by scatter-gather.
+* **Home maps** — id → shard lookups are O(1); nothing resolves an
+  entity by scanning shards.
+* **Policies** — replicated, not sharded: the policy table is tiny
+  relative to records and every shard needs it to evaluate categories
+  locally. It lives in one :class:`BackendDatabase` reused as a pure
+  policy table (records empty), inheriting its attribute-set memo.
+* **Match memo** — ``objects_matching``/``subjects_matching`` results
+  are memoized per predicate source and invalidated by a mutation epoch,
+  so churn bursts that repeatedly expand the same object category
+  (``objects_accessible_by`` for each removed subject) do one sweep.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterator, Mapping
+
+from repro.crypto.primitives import sha256
+
+from repro.attributes.predicate import Predicate
+from repro.backend.database import (
+    BackendDatabase,
+    DatabaseError,
+    ObjectRecord,
+    Policy,
+    SubjectRecord,
+)
+
+#: Default org-unit attribute records are routed by.
+DEFAULT_ROUTING_ATTRIBUTE = "department"
+
+#: Virtual nodes per shard on the ring.
+DEFAULT_REPLICAS = 32
+
+
+def _ring_position(key: str) -> int:
+    """Stable 64-bit ring position (never Python's randomized hash)."""
+    return int.from_bytes(sha256(key.encode())[:8], "big")
+
+
+class ConsistentHashDirectory:
+    """The shard directory: org-unit key -> shard id, via a hash ring."""
+
+    def __init__(self, shard_ids: list[str], replicas: int = DEFAULT_REPLICAS) -> None:
+        if not shard_ids:
+            raise DatabaseError("directory needs at least one shard")
+        if replicas < 1:
+            raise DatabaseError("replicas must be >= 1")
+        self.replicas = replicas
+        self._ring: list[tuple[int, str]] = []
+        self.shard_ids: list[str] = []
+        for shard_id in shard_ids:
+            self.add_shard(shard_id)
+
+    def add_shard(self, shard_id: str) -> None:
+        if shard_id in self.shard_ids:
+            raise DatabaseError(f"shard {shard_id!r} already in directory")
+        self.shard_ids.append(shard_id)
+        for replica in range(self.replicas):
+            position = _ring_position(f"{shard_id}#{replica}")
+            bisect.insort(self._ring, (position, shard_id))
+
+    def shard_for(self, key: str) -> str:
+        """The shard owning *key*: first ring node at or after its hash."""
+        position = _ring_position(key)
+        index = bisect.bisect_left(self._ring, (position, ""))
+        if index == len(self._ring):
+            index = 0
+        return self._ring[index][1]
+
+
+class _MergedMapping(Mapping[str, object]):
+    """Read-only dict view over all shards' copies of one table.
+
+    Lookups route through the home map (O(1)); iteration walks the home
+    map, never the shards.
+    """
+
+    def __init__(
+        self, home: dict[str, str], shards: dict[str, BackendDatabase], table: str
+    ) -> None:
+        self._home = home
+        self._shards = shards
+        self._table = table
+
+    def __getitem__(self, key: str):
+        shard_id = self._home[key]
+        return getattr(self._shards[shard_id], self._table)[key]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._home)
+
+    def __len__(self) -> int:
+        return len(self._home)
+
+
+class ShardedBackendDatabase:
+    """N record shards behind a directory, speaking the BackendDatabase API."""
+
+    def __init__(
+        self,
+        shards: int = 4,
+        routing_attribute: str = DEFAULT_ROUTING_ATTRIBUTE,
+        replicas: int = DEFAULT_REPLICAS,
+    ) -> None:
+        if shards < 1:
+            raise DatabaseError("need at least one shard")
+        self.routing_attribute = routing_attribute
+        self.directory = ConsistentHashDirectory(
+            [f"shard-{i:02d}" for i in range(shards)], replicas=replicas
+        )
+        self.shards: dict[str, BackendDatabase] = {
+            shard_id: BackendDatabase() for shard_id in self.directory.shard_ids
+        }
+        #: entity id -> shard id (the O(1) resolution path).
+        self._subject_home: dict[str, str] = {}
+        self._object_home: dict[str, str] = {}
+        #: replicated policy table (see module docstring).
+        self._policy_table = BackendDatabase()
+        #: mutation epochs invalidating the predicate-match memos.
+        self._subject_epoch = 0
+        self._object_epoch = 0
+        self._subject_match_memo: dict[str, tuple[int, tuple[str, ...]]] = {}
+        self._object_match_memo: dict[str, tuple[int, tuple[str, ...]]] = {}
+
+    # -- routing ----------------------------------------------------------------
+
+    def _routing_key(self, entity_id: str, attributes) -> str:
+        value = attributes.get(self.routing_attribute)
+        return f"{self.routing_attribute}={value}" if value is not None else entity_id
+
+    def shard_of_subject(self, subject_id: str) -> str:
+        return self._subject_home[subject_id]
+
+    def shard_of_object(self, object_id: str) -> str:
+        return self._object_home[object_id]
+
+    def shard_sizes(self) -> dict[str, int]:
+        return {
+            shard_id: len(db.subjects) + len(db.objects)
+            for shard_id, db in self.shards.items()
+        }
+
+    # -- table views ------------------------------------------------------------
+
+    @property
+    def subjects(self) -> Mapping[str, SubjectRecord]:
+        return _MergedMapping(self._subject_home, self.shards, "subjects")
+
+    @property
+    def objects(self) -> Mapping[str, ObjectRecord]:
+        return _MergedMapping(self._object_home, self.shards, "objects")
+
+    @property
+    def policies(self) -> dict[str, Policy]:
+        return self._policy_table.policies
+
+    # -- mutation ---------------------------------------------------------------
+
+    def add_subject(self, record: SubjectRecord) -> None:
+        if record.subject_id in self._subject_home:
+            raise DatabaseError(f"subject {record.subject_id!r} already registered")
+        shard_id = self.directory.shard_for(
+            self._routing_key(record.subject_id, record.attributes)
+        )
+        self.shards[shard_id].add_subject(record)
+        self._subject_home[record.subject_id] = shard_id
+        self._subject_epoch += 1
+
+    def add_object(self, record: ObjectRecord) -> None:
+        if record.object_id in self._object_home:
+            raise DatabaseError(f"object {record.object_id!r} already registered")
+        shard_id = self.directory.shard_for(
+            self._routing_key(record.object_id, record.attributes)
+        )
+        self.shards[shard_id].add_object(record)
+        self._object_home[record.object_id] = shard_id
+        self._object_epoch += 1
+
+    def add_policy(self, policy: Policy) -> None:
+        self._policy_table.add_policy(policy)
+
+    def remove_subject(self, subject_id: str) -> SubjectRecord:
+        shard_id = self._subject_home.pop(subject_id, None)
+        if shard_id is None:
+            raise DatabaseError(f"unknown subject {subject_id!r}")
+        self._subject_epoch += 1
+        return self.shards[shard_id].remove_subject(subject_id)
+
+    def remove_object(self, object_id: str) -> ObjectRecord:
+        shard_id = self._object_home.pop(object_id, None)
+        if shard_id is None:
+            raise DatabaseError(f"unknown object {object_id!r}")
+        self._object_epoch += 1
+        return self.shards[shard_id].remove_object(object_id)
+
+    def remove_policy(self, policy_id: str) -> Policy:
+        return self._policy_table.remove_policy(policy_id)
+
+    # -- category queries (§II-C's alpha, beta, N) -------------------------------
+
+    def subjects_matching(self, pred: Predicate) -> list[SubjectRecord]:
+        """The subject category of *pred* (alpha) — scatter-gather."""
+        ids = self._match_ids(pred, subjects=True)
+        view = self.subjects
+        return [view[sid] for sid in ids]
+
+    def objects_matching(self, pred: Predicate) -> list[ObjectRecord]:
+        """The object category of *pred* (beta) — scatter-gather."""
+        ids = self._match_ids(pred, subjects=False)
+        view = self.objects
+        return [view[oid] for oid in ids]
+
+    def _match_ids(self, pred: Predicate, subjects: bool) -> tuple[str, ...]:
+        memo = self._subject_match_memo if subjects else self._object_match_memo
+        epoch = self._subject_epoch if subjects else self._object_epoch
+        key = str(pred)
+        cached = memo.get(key)
+        if cached is not None and cached[0] == epoch:
+            return cached[1]
+        ids: list[str] = []
+        for shard_id in self.directory.shard_ids:
+            shard = self.shards[shard_id]
+            if subjects:
+                ids.extend(r.subject_id for r in shard.subjects_matching(pred))
+            else:
+                ids.extend(r.object_id for r in shard.objects_matching(pred))
+        result = tuple(ids)
+        memo[key] = (epoch, result)
+        return result
+
+    def policies_for_subject(self, subject: SubjectRecord) -> list[Policy]:
+        return self._policy_table.policies_for_subject(subject)
+
+    def policies_for_object(self, obj: ObjectRecord) -> list[Policy]:
+        return self._policy_table.policies_for_object(obj)
+
+    def objects_accessible_by(self, subject_id: str) -> list[ObjectRecord]:
+        """All objects the subject may access (N) — §VIII's removal set."""
+        shard_id = self._subject_home.get(subject_id)
+        if shard_id is None:
+            raise DatabaseError(f"unknown subject {subject_id!r}")
+        subject = self.shards[shard_id].subjects[subject_id]
+        accessible: dict[str, ObjectRecord] = {}
+        for policy in self.policies_for_subject(subject):
+            for obj in self.objects_matching(policy.object_pred):
+                accessible[obj.object_id] = obj
+        return list(accessible.values())
+
+    def subjects_with_access_to(self, object_id: str) -> list[SubjectRecord]:
+        """All subjects that may access *object_id*."""
+        shard_id = self._object_home.get(object_id)
+        if shard_id is None:
+            raise DatabaseError(f"unknown object {object_id!r}")
+        obj = self.shards[shard_id].objects[object_id]
+        allowed: dict[str, SubjectRecord] = {}
+        for policy in self.policies_for_object(obj):
+            for subject in self.subjects_matching(policy.subject_pred):
+                allowed[subject.subject_id] = subject
+        return list(allowed.values())

@@ -15,9 +15,14 @@ closed-form comparison is in :mod:`repro.analysis.scalability`.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
+from typing import Iterator
 
+from repro.attributes.model import AttributeSet
+from repro.attributes.predicate import Predicate
 from repro.backend.registration import Backend, ObjectCredentials, SubjectCredentials
+from repro.backend.updatewire import UpdateBatcher, UpdateMessage
 from repro.pki.profile import Profile, sign_profile
 
 
@@ -42,21 +47,62 @@ class UpdateReport:
 
 @dataclass
 class ChurnEngine:
-    """Applies §II-C(4) churn operations to a live backend."""
+    """Applies §II-C(4) churn operations to a live backend.
+
+    When constructed with a ``wire`` batcher, removal operations also
+    stage their wire-protocol pushes (revocations, rekeys, LKH streams)
+    and flush them — one signed message per recipient — after each
+    operation, or once per burst inside :meth:`batch`.
+    """
 
     backend: Backend
+    wire: UpdateBatcher | None = None
     log: list[UpdateReport] = field(default_factory=list)
+    #: The messages produced by the most recent wire flush.
+    last_wire_flush: list[UpdateMessage] = field(default_factory=list)
+    _burst_depth: int = 0
+
+    @contextmanager
+    def batch(self) -> Iterator["ChurnEngine"]:
+        """Coalesce a churn burst into one wire flush per recipient.
+
+        Operations inside the ``with`` block stage wire pushes without
+        flushing; leaving the outermost block flushes once.
+        """
+        self._burst_depth += 1
+        try:
+            yield self
+        finally:
+            self._burst_depth -= 1
+            self._flush_wire()
+
+    def _flush_wire(self) -> None:
+        if self.wire is not None and self._burst_depth == 0:
+            messages = self.wire.flush()
+            if messages:
+                self.last_wire_flush = messages
 
     # -- subjects ---------------------------------------------------------------------
 
-    def add_subject(self, *args, **kwargs) -> tuple[SubjectCredentials, UpdateReport]:
+    def add_subject(
+        self,
+        subject_id: str,
+        attributes: AttributeSet | dict,
+        sensitive_attributes: tuple[str, ...] = (),
+        region: str | None = None,
+    ) -> tuple[SubjectCredentials, UpdateReport]:
         """Register a newcomer.
 
         Argus overhead: the newcomer contacts the backend once for her
         attribute profile; **no object needs updating** (§VIII: overhead
         1, vs N for ID-based ACLs).
         """
-        creds = self.backend.register_subject(*args, **kwargs)
+        creds = self.backend.register_subject(
+            subject_id,
+            attributes,
+            sensitive_attributes=sensitive_attributes,
+            region=region,
+        )
         report = UpdateReport(
             operation="add_subject",
             target=creds.subject_id,
@@ -82,10 +128,13 @@ class ChurnEngine:
             if issued is not None:
                 issued.revoked_subjects.add(subject_id)
                 issued.resumption_epoch += 1
+            if self.wire is not None:
+                self.wire.add_revocation(record.object_id, subject_id)
 
         notified_subjects: set[str] = set()
         for rekey in self.backend.groups.remove_everywhere(subject_id):
             self._distribute_group_key(rekey.group_id)
+            self._stage_rekey_wire(rekey)
             notified_subjects |= set(rekey.notified_subjects)
             notified_objects |= set(rekey.notified_objects)
 
@@ -99,13 +148,33 @@ class ChurnEngine:
             details=f"revocation pushed to {len(notified_objects)} objects",
         )
         self.log.append(report)
+        self._flush_wire()
         return report
 
     # -- objects ----------------------------------------------------------------------
 
-    def add_object(self, *args, **kwargs) -> tuple[ObjectCredentials, UpdateReport]:
+    def add_object(
+        self,
+        object_id: str,
+        attributes: AttributeSet | dict,
+        level: int = 1,
+        functions: tuple[str, ...] = (),
+        variants: list[tuple[Predicate | str, tuple[str, ...]]] | None = None,
+        covert_functions: dict[str, tuple[str, ...]] | None = None,
+        sensitive_attributes: tuple[str, ...] = (),
+        region: str | None = None,
+    ) -> tuple[ObjectCredentials, UpdateReport]:
         """Install a device; only the device itself is provisioned (overhead 1)."""
-        creds = self.backend.register_object(*args, **kwargs)
+        creds = self.backend.register_object(
+            object_id,
+            attributes,
+            level=level,
+            functions=functions,
+            variants=variants,
+            covert_functions=covert_functions,
+            sensitive_attributes=sensitive_attributes,
+            region=region,
+        )
         report = UpdateReport(
             operation="add_object",
             target=creds.object_id,
@@ -121,6 +190,7 @@ class ChurnEngine:
         notified_objects: set[str] = {object_id}
         for rekey in self.backend.groups.remove_everywhere(object_id):
             self._distribute_group_key(rekey.group_id)
+            self._stage_rekey_wire(rekey)
             notified_subjects |= set(rekey.notified_subjects)
             notified_objects |= set(rekey.notified_objects)
         self.backend.database.remove_object(object_id)
@@ -132,6 +202,7 @@ class ChurnEngine:
             notified_objects=frozenset(notified_objects),
         )
         self.log.append(report)
+        self._flush_wire()
         return report
 
     # -- policies ----------------------------------------------------------------------
@@ -202,6 +273,34 @@ class ChurnEngine:
         return report
 
     # -- internals ---------------------------------------------------------------------
+
+    def _stage_rekey_wire(self, rekey) -> None:
+        """Stage one rekey's wire pushes into the batcher, if attached.
+
+        LKH rekeys stage their O(log gamma) update stream for a single
+        group broadcast; flat rekeys fall back to one per-fellow
+        ECIES-wrapped push (coalesced per recipient by the batcher).
+        """
+        if self.wire is None:
+            return
+        if rekey.strategy == "lkh" and rekey.updates:
+            self.wire.add_lkh(rekey.group_id, rekey.updates)
+            return
+        group = self.backend.groups.groups[rekey.group_id]
+        for subject_id in rekey.notified_subjects:
+            creds = self.backend.issued_subjects.get(subject_id)
+            if creds is not None:
+                self.wire.add_rekey(
+                    subject_id, creds.signing_key.public_key,
+                    rekey.group_id, group.key, group.key_version,
+                )
+        for object_id in rekey.notified_objects:
+            creds_o = self.backend.issued_objects.get(object_id)
+            if creds_o is not None:
+                self.wire.add_rekey(
+                    object_id, creds_o.signing_key.public_key,
+                    rekey.group_id, group.key, group.key_version,
+                )
 
     def _distribute_group_key(self, group_id: str) -> None:
         """Push a rekeyed group key to every issued fellow's credentials."""

@@ -22,12 +22,20 @@ from __future__ import annotations
 import struct
 from dataclasses import dataclass, field
 
+from repro.backend.lkh import KeyUpdate, LKHError, MemberState
 from repro.backend.registration import Backend, ObjectCredentials, SubjectCredentials
 from repro.crypto import ecies
 from repro.crypto.ecdsa import SigningKey, VerifyingKey
 
 TYPE_REVOKE = 0x20
 TYPE_REKEY = 0x21
+#: A per-recipient batch: several inner updates, one signature/sequence.
+TYPE_BUNDLE = 0x22
+#: An LKH rekey stream for one group, broadcast to ``grp:<group_id>``.
+TYPE_LKH_REKEY = 0x23
+
+#: Addressee prefix for group-broadcast pushes.
+GROUP_ADDR_PREFIX = "grp:"
 
 
 class UpdateWireError(Exception):
@@ -105,13 +113,159 @@ class UpdatePublisher:
         key_version: int,
     ) -> UpdateMessage:
         """Push a new group key, ECIES-wrapped to the fellow's key pair."""
-        inner = (
-            struct.pack(">H", len(group_id)) + group_id.encode()
-            + struct.pack(">I", key_version)
-            + new_key
-        )
-        payload = ecies.encrypt(addressee_public, inner)
+        payload = _rekey_payload(addressee_public, group_id, new_key, key_version)
         return self._sign(TYPE_REKEY, addressee_id, payload)
+
+    def lkh_rekey(self, group_id: str, updates: list[KeyUpdate]) -> UpdateMessage:
+        """Broadcast one group's LKH update stream in a single push.
+
+        The stream is already subtree-sealed (each blob opens only under
+        a surviving node key), so the outer push needs authenticity, not
+        per-recipient secrecy — one signed message covers the whole
+        group, which is what makes a removal O(log gamma) on the wire.
+        """
+        return self._sign(
+            TYPE_LKH_REKEY,
+            GROUP_ADDR_PREFIX + group_id,
+            _lkh_payload(updates),
+        )
+
+    def bundle(self, addressee: str, items: list[tuple[int, bytes]]) -> UpdateMessage:
+        """One signed push carrying several ``(type, payload)`` updates."""
+        return self._sign(TYPE_BUNDLE, addressee, _bundle_payload(items))
+
+
+def _rekey_payload(
+    addressee_public: VerifyingKey, group_id: str, new_key: bytes, key_version: int
+) -> bytes:
+    inner = (
+        struct.pack(">H", len(group_id)) + group_id.encode()
+        + struct.pack(">I", key_version)
+        + new_key
+    )
+    return ecies.encrypt(addressee_public, inner)
+
+
+def _lkh_payload(updates: list[KeyUpdate]) -> bytes:
+    blobs = [u.to_bytes() for u in updates]
+    return struct.pack(">I", len(blobs)) + b"".join(
+        struct.pack(">I", len(b)) + b for b in blobs
+    )
+
+
+def _parse_lkh_payload(payload: bytes) -> list[KeyUpdate]:
+    try:
+        (count,) = struct.unpack_from(">I", payload, 0)
+        offset = 4
+        updates = []
+        for _ in range(count):
+            (length,) = struct.unpack_from(">I", payload, offset)
+            offset += 4
+            updates.append(KeyUpdate.from_bytes(payload[offset : offset + length]))
+            offset += length
+    except (struct.error, LKHError) as exc:
+        raise UpdateWireError(f"malformed LKH payload: {exc}") from exc
+    return updates
+
+
+def _bundle_payload(items: list[tuple[int, bytes]]) -> bytes:
+    return struct.pack(">I", len(items)) + b"".join(
+        bytes([msg_type]) + struct.pack(">I", len(payload)) + payload
+        for msg_type, payload in items
+    )
+
+
+def _parse_bundle_payload(payload: bytes) -> list[tuple[int, bytes]]:
+    try:
+        (count,) = struct.unpack_from(">I", payload, 0)
+        offset = 4
+        items = []
+        for _ in range(count):
+            msg_type = payload[offset]
+            (length,) = struct.unpack_from(">I", payload, offset + 1)
+            offset += 5
+            items.append((msg_type, payload[offset : offset + length]))
+            offset += length
+    except (struct.error, IndexError) as exc:
+        raise UpdateWireError(f"malformed bundle: {exc}") from exc
+    return items
+
+
+class UpdateBatcher:
+    """Coalesces a churn burst into **one wire flush per recipient**.
+
+    §VIII's pain is not only how many entities an update touches but how
+    many pushes the backend emits: a burst that revokes three subjects
+    used to send every affected object three separate signed messages.
+    The batcher stages everything a burst produces, coalesces per
+    recipient — duplicate revocations collapse, a group key superseded
+    within the burst ships only at its final version — and ``flush()``
+    emits one signed bundle (or single plain push) per recipient plus
+    one broadcast stream per rekeyed group.
+    """
+
+    def __init__(self, publisher: UpdatePublisher) -> None:
+        self.publisher = publisher
+        #: object id -> subject ids revoked this burst (ordered dedup).
+        self._revocations: dict[str, dict[str, None]] = {}
+        #: (recipient, group) -> (public key, latest key, version).
+        self._rekeys: dict[tuple[str, str], tuple[VerifyingKey, bytes, int]] = {}
+        #: group id -> concatenated LKH update stream (order preserved).
+        self._lkh: dict[str, list[KeyUpdate]] = {}
+
+    def add_revocation(self, object_id: str, subject_id: str) -> None:
+        self._revocations.setdefault(object_id, {})[subject_id] = None
+
+    def add_rekey(
+        self,
+        recipient_id: str,
+        recipient_public: VerifyingKey,
+        group_id: str,
+        new_key: bytes,
+        key_version: int,
+    ) -> None:
+        staged = self._rekeys.get((recipient_id, group_id))
+        if staged is None or key_version >= staged[2]:
+            self._rekeys[(recipient_id, group_id)] = (
+                recipient_public, new_key, key_version,
+            )
+
+    def add_lkh(self, group_id: str, updates: tuple[KeyUpdate, ...]) -> None:
+        self._lkh.setdefault(group_id, []).extend(updates)
+
+    def pending_recipients(self) -> set[str]:
+        recipients = set(self._revocations)
+        recipients.update(r for r, _ in self._rekeys)
+        return recipients
+
+    def flush(self) -> list[UpdateMessage]:
+        """Emit and clear the staged burst: one message per recipient,
+        one broadcast per rekeyed group."""
+        staged: dict[str, list[tuple[int, bytes]]] = {}
+        for object_id, subject_ids in self._revocations.items():
+            staged.setdefault(object_id, []).extend(
+                (TYPE_REVOKE, sid.encode()) for sid in subject_ids
+            )
+        for (recipient, group_id), (public, key, version) in sorted(
+            self._rekeys.items()
+        ):
+            staged.setdefault(recipient, []).append(
+                (TYPE_REKEY, _rekey_payload(public, group_id, key, version))
+            )
+        messages = []
+        for recipient in sorted(staged):
+            items = staged[recipient]
+            if len(items) == 1:
+                # No batching win; ship the plain single-update form.
+                messages.append(self.publisher._sign(items[0][0], recipient, items[0][1]))
+            else:
+                messages.append(self.publisher.bundle(recipient, items))
+        for group_id in sorted(self._lkh):
+            messages.append(self.publisher.lkh_rekey(group_id, self._lkh[group_id]))
+        self._revocations.clear()
+        self._rekeys.clear()
+        self._lkh.clear()
+        return messages
 
 
 @dataclass
@@ -123,13 +277,24 @@ class UpdateReceiver:
     #: One of the two, depending on what this device is.
     object_creds: ObjectCredentials | None = None
     subject_creds: SubjectCredentials | None = None
+    #: group id -> this device's LKH leaf/path state (set at enrollment).
+    lkh_members: dict[str, MemberState] = field(default_factory=dict)
     last_sequence: int = 0
     errors: list[Exception] = field(default_factory=list)
+
+    def _addressed_to_me(self, addressee: str) -> bool:
+        if addressee == self.device_id:
+            return True
+        if addressee.startswith(GROUP_ADDR_PREFIX):
+            # Group broadcasts are for anyone holding LKH state for the
+            # group; others simply are not in the audience.
+            return addressee[len(GROUP_ADDR_PREFIX):] in self.lkh_members
+        return False
 
     def apply(self, message: UpdateMessage) -> bool:
         """Validate and apply one push; False (and a recorded error) on
         any rejection. Updates must arrive in increasing sequence order."""
-        if message.addressee != self.device_id:
+        if not self._addressed_to_me(message.addressee):
             self.errors.append(UpdateWireError(
                 f"misaddressed update for {message.addressee!r}"))
             return False
@@ -141,30 +306,52 @@ class UpdateReceiver:
                 f"stale update sequence {message.sequence} <= {self.last_sequence}"))
             return False
         self.last_sequence = message.sequence
+        return self._dispatch(message.msg_type, message.payload)
 
-        if message.msg_type == TYPE_REVOKE:
-            return self._apply_revoke(message)
-        if message.msg_type == TYPE_REKEY:
-            return self._apply_rekey(message)
-        self.errors.append(UpdateWireError(f"unknown update type {message.msg_type}"))
+    def _dispatch(self, msg_type: int, payload: bytes) -> bool:
+        if msg_type == TYPE_REVOKE:
+            return self._apply_revoke(payload)
+        if msg_type == TYPE_REKEY:
+            return self._apply_rekey(payload)
+        if msg_type == TYPE_LKH_REKEY:
+            return self._apply_lkh_rekey(payload)
+        if msg_type == TYPE_BUNDLE:
+            return self._apply_bundle(payload)
+        self.errors.append(UpdateWireError(f"unknown update type {msg_type}"))
         return False
 
-    def _apply_revoke(self, message: UpdateMessage) -> bool:
+    def _apply_bundle(self, payload: bytes) -> bool:
+        """A coalesced burst: apply every inner update; True iff all held."""
+        try:
+            items = _parse_bundle_payload(payload)
+        except UpdateWireError as exc:
+            self.errors.append(exc)
+            return False
+        ok = True
+        for msg_type, inner_payload in items:
+            if msg_type == TYPE_BUNDLE:
+                self.errors.append(UpdateWireError("nested bundle rejected"))
+                ok = False
+                continue
+            ok = self._dispatch(msg_type, inner_payload) and ok
+        return ok
+
+    def _apply_revoke(self, payload: bytes) -> bool:
         if self.object_creds is None:
             self.errors.append(UpdateWireError("revocation sent to a non-object"))
             return False
-        self.object_creds.revoked_subjects.add(message.payload.decode())
+        self.object_creds.revoked_subjects.add(payload.decode())
         self.object_creds.resumption_epoch += 1
         return True
 
-    def _apply_rekey(self, message: UpdateMessage) -> bool:
+    def _apply_rekey(self, payload: bytes) -> bool:
         key_holder = self.object_creds or self.subject_creds
         if key_holder is None:
             self.errors.append(UpdateWireError("rekey sent to keyless receiver"))
             return False
         private = key_holder.signing_key
         try:
-            inner = ecies.decrypt(private, message.payload)
+            inner = ecies.decrypt(private, payload)
             (gid_len,) = struct.unpack_from(">H", inner, 0)
             group_id = inner[2 : 2 + gid_len].decode()
             (version,) = struct.unpack_from(">I", inner, 2 + gid_len)
@@ -175,13 +362,42 @@ class UpdateReceiver:
         if len(new_key) != 32:
             self.errors.append(UpdateWireError("rekey payload has wrong key size"))
             return False
+        self._install_group_key(group_id, new_key)
+        return True
+
+    def _apply_lkh_rekey(self, payload: bytes) -> bool:
+        """Walk an LKH update stream through this device's member state.
+
+        Evicted devices fall through harmlessly: none of the blobs open
+        under keys they hold, so their group key simply never advances.
+        """
+        try:
+            updates = _parse_lkh_payload(payload)
+        except UpdateWireError as exc:
+            self.errors.append(exc)
+            return False
+        if not updates:
+            return True
+        group_id = updates[0].group_id
+        member = self.lkh_members.get(group_id)
+        if member is None:
+            self.errors.append(UpdateWireError(
+                f"LKH rekey for unjoined group {group_id!r}"))
+            return False
+        before = member.group_key()
+        member.apply_all(updates)
+        after = member.group_key()
+        if after != before and after is not None:
+            self._install_group_key(group_id, after)
+        return True
+
+    def _install_group_key(self, group_id: str, new_key: bytes) -> None:
         if self.subject_creds is not None:
             self.subject_creds.group_keys[group_id] = new_key
         if self.object_creds is not None and group_id in self.object_creds.level3_variants:
             _, prof = self.object_creds.level3_variants[group_id]
             self.object_creds.level3_variants[group_id] = (new_key, prof)
             self.object_creds.resumption_epoch += 1
-        return True
 
 
 def push_revocation(backend: Backend, subject_id: str) -> list[UpdateMessage]:
@@ -214,3 +430,18 @@ def push_group_rekey(backend: Backend, group_id: str) -> list[UpdateMessage]:
                 group_id, group.key, group.key_version,
             ))
     return messages
+
+
+def push_group_rekey_lkh(
+    backend: Backend, group_id: str, updates: tuple[KeyUpdate, ...]
+) -> list[UpdateMessage]:
+    """Build the single broadcast push for one LKH removal's stream.
+
+    Contrast with :func:`push_group_rekey`: the flat path signs and
+    ECIES-wraps gamma-1 per-fellow messages, this signs **one** message
+    carrying O(log gamma) subtree-sealed blobs.
+    """
+    publisher = UpdatePublisher(backend.root_key)
+    if not updates:
+        return []
+    return [publisher.lkh_rekey(group_id, list(updates))]

@@ -98,3 +98,56 @@ class TestRekey:
         assert "sam" not in g1.subject_members
         assert "sam" not in g2.subject_members
         assert "pat" in g2.subject_members
+
+
+class _NoScanDict(dict):
+    """A groups table that forbids full-table iteration.
+
+    Keyed access stays legal; anything that would walk every group
+    (the pre-index linear scans) blows up the test.
+    """
+
+    def __iter__(self):
+        raise AssertionError("full scan over groups table")
+
+    def keys(self):
+        raise AssertionError("full scan over groups table")
+
+    def values(self):
+        raise AssertionError("full scan over groups table")
+
+    def items(self):
+        raise AssertionError("full scan over groups table")
+
+
+class TestInvertedIndex:
+    """Regression: membership queries must never iterate all groups."""
+
+    @pytest.fixture
+    def indexed_manager(self):
+        manager = GroupManager()
+        for i in range(8):
+            group = manager.create_group(f"sensitive:a{i}", f"sensitive:sa{i}")
+            manager.enroll_subject(group.group_id, "sam")
+            manager.enroll_subject(group.group_id, f"peer{i}")
+            manager.enroll_object(group.group_id, f"kiosk{i}")
+        manager.groups = _NoScanDict(manager.groups)
+        return manager
+
+    def test_groups_of_subject_uses_index(self, indexed_manager):
+        found = indexed_manager.groups_of_subject("sam")
+        assert len(found) == 8
+
+    def test_groups_of_object_uses_index(self, indexed_manager):
+        assert len(indexed_manager.groups_of_object("kiosk3")) == 1
+
+    def test_remove_everywhere_uses_index(self, indexed_manager):
+        reports = indexed_manager.remove_everywhere("sam")
+        assert len(reports) == 8
+        assert indexed_manager.groups_of_subject("sam") == []
+
+    def test_attribute_lookup_uses_index(self, indexed_manager):
+        group = indexed_manager.group_for_attributes("sensitive:a2", "sensitive:sa2")
+        assert group is not None
+        assert len(indexed_manager.groups_for_subject_attribute("sensitive:a2")) == 1
+        assert len(indexed_manager.groups_for_object_attribute("sensitive:sa2")) == 1

@@ -1,0 +1,180 @@
+"""LKH key tree mechanics: joins, removals, growth, member state."""
+
+import math
+
+import pytest
+
+from repro.backend.lkh import (
+    GROW,
+    NODE_KEY_LEN,
+    ROOT,
+    KeyUpdate,
+    LKHError,
+    LKHTree,
+    MemberState,
+    flat_rekey_messages,
+    lkh_rekey_messages_bound,
+    seal_update,
+)
+
+
+@pytest.fixture
+def tree():
+    return LKHTree("g-test", capacity=4)
+
+
+class TestTree:
+    def test_join_hands_out_path_keys(self, tree):
+        tree.join("alice")
+        keys = tree.member_keys("alice")
+        assert ROOT in keys
+        assert keys[ROOT] == tree.root_key
+        assert all(len(k) == NODE_KEY_LEN for k in keys.values())
+
+    def test_join_does_not_rotate_root(self, tree):
+        before = tree.root_key
+        tree.join("alice")
+        tree.join("bob")
+        assert tree.root_key == before
+
+    def test_duplicate_join_rejected(self, tree):
+        tree.join("alice")
+        with pytest.raises(LKHError):
+            tree.join("alice")
+
+    def test_remove_unknown_rejected(self, tree):
+        with pytest.raises(LKHError):
+            tree.remove("ghost")
+
+    def test_remove_rotates_root(self, tree):
+        for name in ("a", "b", "c"):
+            tree.join(name)
+        before = tree.root_key
+        updates, cost = tree.remove("a")
+        assert tree.root_key != before
+        assert updates
+        assert cost.keys_derived >= 1
+
+    def test_remove_message_count_is_logarithmic(self):
+        tree = LKHTree("g-big", capacity=2)
+        members = [f"m{i}" for i in range(64)]
+        tree.build_bulk(members)
+        updates, cost = tree.remove("m17")
+        assert len(updates) <= lkh_rekey_messages_bound(tree.capacity)
+        assert len(updates) < flat_rekey_messages(64)
+        assert cost.messages == len(updates)
+
+    def test_capacity_grows_with_notice(self):
+        tree = LKHTree("g-grow", capacity=2)
+        tree.join("a")
+        tree.join("b")
+        updates, _ = tree.join("c")
+        assert tree.capacity == 4
+        assert tree.generation == 1
+        assert any(u.is_grow for u in updates)
+
+    def test_grow_preserves_group_key(self):
+        tree = LKHTree("g-grow", capacity=2)
+        tree.join("a")
+        tree.join("b")
+        before = tree.root_key
+        tree.join("c")
+        assert tree.root_key == before
+
+    def test_leaf_slot_reused_after_removal(self, tree):
+        tree.join("a")
+        leaf = tree.leaf_of["a"]
+        tree.remove("a")
+        tree.join("b")
+        assert tree.leaf_of["b"] == leaf
+
+    def test_persistence_roundtrip(self, tree):
+        for name in ("a", "b", "c"):
+            tree.join(name)
+        tree.remove("b")
+        restored = LKHTree.from_dict(tree.to_dict())
+        assert restored.root_key == tree.root_key
+        assert restored.leaf_of == tree.leaf_of
+        assert restored.keys == tree.keys
+        assert restored.key_version == tree.key_version
+
+    def test_last_member_leaving_keeps_a_root_key(self, tree):
+        tree.join("solo")
+        tree.remove("solo")
+        assert len(tree.root_key) == NODE_KEY_LEN
+        assert tree.size == 0
+
+
+class TestKeyUpdateWire:
+    def test_roundtrip(self):
+        update = seal_update("g", 3, 6, b"k" * 32, b"n" * 32, 2, 0)
+        restored = KeyUpdate.from_bytes(update.to_bytes())
+        assert restored == update
+
+    def test_open_requires_right_key(self):
+        update = seal_update("g", 3, 6, b"k" * 32, b"n" * 32, 2, 0)
+        assert update.open(b"k" * 32) == b"n" * 32
+        with pytest.raises(LKHError):
+            update.open(b"x" * 32)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(LKHError):
+            KeyUpdate.from_bytes(b"\x00")
+
+
+class TestMemberState:
+    def test_provision_matches_tree(self, tree):
+        tree.join("alice")
+        state = MemberState.provision(tree, "alice")
+        assert state.group_key() == tree.root_key
+
+    def test_survivor_follows_removal(self, tree):
+        for name in ("a", "b", "c", "d"):
+            tree.join(name)
+        survivor = MemberState.provision(tree, "b")
+        updates, _ = tree.remove("a")
+        assert survivor.apply_all(updates) >= 1
+        assert survivor.group_key() == tree.root_key
+
+    def test_evictee_cannot_follow(self, tree):
+        for name in ("a", "b", "c"):
+            tree.join(name)
+        evictee = MemberState.provision(tree, "a")
+        updates, _ = tree.remove("a")
+        assert evictee.apply_all(updates) == 0
+        assert evictee.group_key() != tree.root_key
+
+    def test_member_survives_grow(self):
+        tree = LKHTree("g", capacity=2)
+        tree.join("a")
+        tree.join("b")
+        state = MemberState.provision(tree, "a")
+        updates, _ = tree.join("c")
+        state.apply_all(updates)
+        assert state.generation == tree.generation
+        assert state.leaf == tree.leaf_of["a"]
+        assert state.group_key() == tree.root_key
+        # And it can still follow a post-grow removal.
+        updates, _ = tree.remove("b")
+        state.apply_all(updates)
+        assert state.group_key() == tree.root_key
+
+    def test_stale_generation_update_skipped(self, tree):
+        tree.join("a")
+        tree.join("b")
+        state = MemberState.provision(tree, "a")
+        stale = seal_update(
+            tree.group_id, ROOT, tree.leaf_of["a"],
+            state.keys[state.leaf], b"z" * 32, 9, state.generation + 5,
+        )
+        assert not state.apply(stale)
+
+
+class TestBounds:
+    def test_flat_message_count(self):
+        assert flat_rekey_messages(100) == 99
+        assert flat_rekey_messages(0) == 0
+
+    def test_lkh_bound_shape(self):
+        assert lkh_rekey_messages_bound(1024) == 2 * math.ceil(math.log2(1024))
+        assert lkh_rekey_messages_bound(1) == 0

@@ -1,0 +1,235 @@
+"""Sharded backend: directory routing, API parity, cross-shard churn."""
+
+import pytest
+
+from repro.attributes.model import AttributeSet
+from repro.attributes.predicate import parse_predicate
+from repro.backend import Backend
+from repro.backend.database import (
+    BackendDatabase,
+    DatabaseError,
+    ObjectRecord,
+    Policy,
+    SubjectRecord,
+)
+from repro.backend.sharding import ConsistentHashDirectory, ShardedBackendDatabase
+from repro.backend.updates import ChurnEngine
+from repro.protocol.discovery import run_round, run_warm_round
+from repro.protocol.object import ObjectEngine
+from repro.protocol.subject import SubjectEngine
+
+DEPARTMENTS = ["eng", "sales", "support", "facilities", "security", "legal"]
+
+
+def subject(i: int) -> SubjectRecord:
+    return SubjectRecord(
+        subject_id=f"s{i:03d}",
+        attributes=AttributeSet({
+            "position": "staff" if i % 2 else "student",
+            "department": DEPARTMENTS[i % len(DEPARTMENTS)],
+        }),
+    )
+
+
+def obj(i: int) -> ObjectRecord:
+    return ObjectRecord(
+        object_id=f"o{i:03d}",
+        attributes=AttributeSet({
+            "type": "multimedia" if i % 2 else "printer",
+            "department": DEPARTMENTS[i % len(DEPARTMENTS)],
+        }),
+        level=2,
+        functions=("f",),
+    )
+
+
+class TestDirectory:
+    def test_deterministic_routing(self):
+        a = ConsistentHashDirectory(["shard-00", "shard-01", "shard-02"])
+        b = ConsistentHashDirectory(["shard-00", "shard-01", "shard-02"])
+        keys = [f"department={d}" for d in DEPARTMENTS] + [f"id{i}" for i in range(50)]
+        assert [a.shard_for(k) for k in keys] == [b.shard_for(k) for k in keys]
+
+    def test_all_shards_reachable(self):
+        directory = ConsistentHashDirectory([f"shard-{i:02d}" for i in range(4)])
+        hit = {directory.shard_for(f"key-{i}") for i in range(500)}
+        assert hit == set(directory.shard_ids)
+
+    def test_adding_a_shard_moves_a_minority_of_keys(self):
+        before = ConsistentHashDirectory([f"shard-{i:02d}" for i in range(4)])
+        after = ConsistentHashDirectory([f"shard-{i:02d}" for i in range(4)])
+        after.add_shard("shard-04")
+        keys = [f"key-{i}" for i in range(1000)]
+        moved = sum(1 for k in keys if before.shard_for(k) != after.shard_for(k))
+        # Consistent hashing: ~1/5 of keys move, never a wholesale reshuffle.
+        assert 0 < moved < 500
+
+    def test_duplicate_shard_rejected(self):
+        directory = ConsistentHashDirectory(["shard-00"])
+        with pytest.raises(DatabaseError):
+            directory.add_shard("shard-00")
+
+    def test_needs_a_shard(self):
+        with pytest.raises(DatabaseError):
+            ConsistentHashDirectory([])
+
+
+@pytest.fixture
+def pair():
+    """The same fleet loaded into a flat and a sharded database."""
+    flat = BackendDatabase()
+    sharded = ShardedBackendDatabase(shards=4)
+    policies = [
+        Policy("p-media", parse_predicate("position=='staff'"),
+               parse_predicate("type=='multimedia'"), ("play",)),
+        Policy("p-print", parse_predicate("department=='eng'"),
+               parse_predicate("type=='printer'"), ("print",)),
+    ]
+    for db in (flat, sharded):
+        for i in range(30):
+            db.add_subject(subject(i))
+            db.add_object(obj(i))
+        for policy in policies:
+            db.add_policy(policy)
+    return flat, sharded
+
+
+class TestApiParity:
+    """The sharded database answers exactly like the flat one."""
+
+    def test_tables_match(self, pair):
+        flat, sharded = pair
+        assert set(sharded.subjects) == set(flat.subjects)
+        assert set(sharded.objects) == set(flat.objects)
+        assert set(sharded.policies) == set(flat.policies)
+        assert sharded.subjects["s003"].attributes == flat.subjects["s003"].attributes
+
+    def test_category_queries_match(self, pair):
+        flat, sharded = pair
+        pred = parse_predicate("position=='staff'")
+        assert (
+            {r.subject_id for r in sharded.subjects_matching(pred)}
+            == {r.subject_id for r in flat.subjects_matching(pred)}
+        )
+        pred_o = parse_predicate("type=='printer'")
+        assert (
+            {r.object_id for r in sharded.objects_matching(pred_o)}
+            == {r.object_id for r in flat.objects_matching(pred_o)}
+        )
+
+    def test_accessibility_queries_match(self, pair):
+        flat, sharded = pair
+        assert (
+            {r.object_id for r in sharded.objects_accessible_by("s001")}
+            == {r.object_id for r in flat.objects_accessible_by("s001")}
+        )
+        assert (
+            {r.subject_id for r in sharded.subjects_with_access_to("o001")}
+            == {r.subject_id for r in flat.subjects_with_access_to("o001")}
+        )
+
+    def test_removal_matches(self, pair):
+        flat, sharded = pair
+        for db in pair:
+            db.remove_subject("s004")
+            db.remove_object("o005")
+        assert set(sharded.subjects) == set(flat.subjects)
+        assert set(sharded.objects) == set(flat.objects)
+        with pytest.raises(DatabaseError):
+            sharded.remove_subject("s004")
+        with pytest.raises(DatabaseError):
+            sharded.remove_object("ghost")
+
+    def test_duplicate_registration_rejected(self, pair):
+        _, sharded = pair
+        with pytest.raises(DatabaseError):
+            sharded.add_subject(subject(3))
+
+
+class TestPlacement:
+    def test_org_unit_affinity(self, pair):
+        """Records of one department land on one shard."""
+        _, sharded = pair
+        for d in DEPARTMENTS:
+            homes = {
+                sharded.shard_of_subject(r.subject_id)
+                for r in sharded.subjects.values()
+                if r.attributes.get("department") == d
+            }
+            assert len(homes) == 1
+
+    def test_shard_sizes_cover_fleet(self, pair):
+        _, sharded = pair
+        assert sum(sharded.shard_sizes().values()) == 60
+
+    def test_match_memo_invalidated_by_churn(self, pair):
+        _, sharded = pair
+        pred = parse_predicate("position=='staff'")
+        before = {r.subject_id for r in sharded.subjects_matching(pred)}
+        victim = sorted(before)[0]
+        sharded.remove_subject(victim)
+        after = {r.subject_id for r in sharded.subjects_matching(pred)}
+        assert after == before - {victim}
+
+
+class TestShardedBackend:
+    """A full Backend running on the sharded database."""
+
+    def small_enterprise(self):
+        backend = Backend(shards=4)
+        backend.add_sensitive_policy("sensitive:s", "sensitive:serves-s")
+        backend.add_policy(
+            "staff-media", "position=='staff'", "type=='multimedia'", ("play",)
+        )
+        staff = backend.register_subject(
+            "staff-alice", {"position": "staff", "department": "eng"}
+        )
+        media = backend.register_object(
+            "media-1", {"type": "multimedia", "department": "sales"},
+            level=2, functions=("play",),
+            variants=[("position=='staff'", ("play",))],
+        )
+        return backend, staff, media
+
+    def test_discovery_runs_on_sharded_backend(self):
+        _, staff, media = self.small_enterprise()
+        subject_engine = SubjectEngine(staff)
+        objects = {media.object_id: ObjectEngine(media)}
+        result = run_round(subject_engine, objects)
+        assert result.service_ids() == {media.object_id}
+
+    def test_cross_shard_churn_invalidates_tickets(self):
+        """The subject and object live on *different* shards; a churn
+        push must still bump the object's resumption epoch so its old
+        tickets die (§VIII propagation across the shard directory)."""
+        backend, staff, media = self.small_enterprise()
+        assert (
+            backend.database.shard_of_subject("staff-alice")
+            != backend.database.shard_of_object("media-1")
+        )
+        subject_engine = SubjectEngine(staff)
+        objects = {media.object_id: ObjectEngine(media, issue_tickets=True)}
+        run_round(subject_engine, objects)
+        epoch_before = media.resumption_epoch
+
+        churn = ChurnEngine(backend)
+        churn.add_policy_with_variant(
+            "managers-too", "position=='manager'", "type=='multimedia'", ("play",)
+        )
+        assert media.resumption_epoch > epoch_before
+
+        result = run_warm_round(subject_engine, objects)
+        assert result.service_ids() == {media.object_id}
+        assert result.object_ops[media.object_id].total("resumption_reject") == 1
+
+    def test_remove_subject_spans_shards(self):
+        backend, staff, media = self.small_enterprise()
+        other = backend.register_subject(
+            "staff-bob", {"position": "staff", "department": "legal"}
+        )
+        churn = ChurnEngine(backend)
+        report = churn.remove_subject("staff-alice")
+        assert "media-1" in report.notified_objects
+        assert "staff-alice" not in backend.database.subjects
+        assert "staff-bob" in backend.database.subjects
+        assert "staff-alice" in media.revoked_subjects

@@ -3,12 +3,19 @@
 import pytest
 
 from repro.backend import Backend
+from repro.backend.updates import ChurnEngine
 from repro.backend.updatewire import (
+    GROUP_ADDR_PREFIX,
+    TYPE_BUNDLE,
+    TYPE_REKEY,
+    TYPE_REVOKE,
+    UpdateBatcher,
     UpdateMessage,
     UpdatePublisher,
     UpdateReceiver,
     UpdateWireError,
     push_group_rekey,
+    push_group_rekey_lkh,
     push_revocation,
 )
 from repro.crypto.ecdsa import generate_signing_key
@@ -146,3 +153,154 @@ class TestRekeyPush:
         backend.groups.groups[group_id].subject_members.add("ghost-member")
         messages = push_group_rekey(backend, group_id)
         assert all(m.addressee != "ghost-member" for m in messages)
+
+
+class TestBundles:
+    def test_burst_coalesces_to_one_message_per_recipient(self, world):
+        backend, alice, sam, media, kiosk = world
+        publisher = UpdatePublisher(backend.root_key)
+        batcher = UpdateBatcher(publisher)
+        batcher.add_revocation("media", "alice")
+        batcher.add_revocation("media", "alice")  # duplicate collapses
+        batcher.add_revocation("media", "sam")
+        batcher.add_revocation("kiosk", "alice")
+        messages = batcher.flush()
+        assert len(messages) == 2
+        by_addr = {m.addressee: m for m in messages}
+        assert by_addr["media"].msg_type == TYPE_BUNDLE
+        # A single staged update ships in the plain (unbundled) form.
+        assert by_addr["kiosk"].msg_type == TYPE_REVOKE
+
+    def test_bundle_applies_all_inner_updates(self, world):
+        backend, alice, sam, media, kiosk = world
+        publisher = UpdatePublisher(backend.root_key)
+        batcher = UpdateBatcher(publisher)
+        batcher.add_revocation("media", "alice")
+        batcher.add_revocation("media", "sam")
+        (message,) = batcher.flush()
+        receiver = UpdateReceiver("media", backend.admin_public, object_creds=media)
+        epoch_before = media.resumption_epoch
+        assert receiver.apply(message)
+        assert {"alice", "sam"} <= media.revoked_subjects
+        assert media.resumption_epoch > epoch_before
+
+    def test_superseded_rekey_ships_final_version_only(self, world):
+        backend, alice, sam, media, kiosk = world
+        publisher = UpdatePublisher(backend.root_key)
+        batcher = UpdateBatcher(publisher)
+        group_id = next(iter(sam.group_keys))
+        public = sam.signing_key.public_key
+        batcher.add_rekey("sam", public, group_id, b"a" * 32, 2)
+        batcher.add_rekey("sam", public, group_id, b"b" * 32, 3)
+        (message,) = batcher.flush()
+        assert message.msg_type == TYPE_REKEY
+        receiver = UpdateReceiver(
+            "sam", backend.admin_public, subject_creds=sam
+        )
+        assert receiver.apply(message)
+        assert sam.group_keys[group_id] == b"b" * 32
+
+    def test_flush_clears_state(self, world):
+        backend, *_ = world
+        batcher = UpdateBatcher(UpdatePublisher(backend.root_key))
+        batcher.add_revocation("media", "alice")
+        batcher.flush()
+        assert batcher.flush() == []
+        assert batcher.pending_recipients() == set()
+
+    def test_nested_bundle_rejected(self, world):
+        backend, alice, sam, media, kiosk = world
+        publisher = UpdatePublisher(backend.root_key)
+        inner = publisher.bundle("media", [(TYPE_REVOKE, b"alice")])
+        outer = publisher.bundle("media", [(TYPE_BUNDLE, inner.payload)])
+        receiver = UpdateReceiver("media", backend.admin_public, object_creds=media)
+        assert not receiver.apply(outer)
+
+
+class TestLkhBroadcast:
+    def _group_world(self, world):
+        backend, alice, sam, media, kiosk = world
+        group = backend.groups.groups_of_subject("sam")[0]
+        return backend, sam, kiosk, group
+
+    def test_broadcast_reaches_members_only(self, world):
+        backend, sam, kiosk, group = self._group_world(world)
+        state = backend.groups.member_state(group.group_id, "sam")
+        # Enroll a second subject so removal leaves someone to notify.
+        backend.register_subject(
+            "tam", {"position": "student"}, ("sensitive:s",)
+        )
+        report = backend.groups.remove_member(group.group_id, "kiosk")
+        messages = push_group_rekey_lkh(backend, group.group_id, report.updates)
+        assert len(messages) == 1
+        message = messages[0]
+        assert message.addressee == GROUP_ADDR_PREFIX + group.group_id
+
+        member = UpdateReceiver(
+            "sam", backend.admin_public, subject_creds=sam,
+            lkh_members={group.group_id: state},
+        )
+        assert member.apply(message)
+        assert sam.group_keys[group.group_id] == group.key
+
+        outsider = UpdateReceiver("staff-alice", backend.admin_public)
+        assert not outsider.apply(message)
+
+    def test_evicted_member_cannot_advance(self, world):
+        backend, sam, kiosk, group = self._group_world(world)
+        evicted_state = backend.groups.member_state(group.group_id, "sam")
+        old_key = dict(sam.group_keys)[group.group_id]
+        report = backend.groups.remove_member(group.group_id, "sam")
+        messages = push_group_rekey_lkh(backend, group.group_id, report.updates)
+        evictee = UpdateReceiver(
+            "sam", backend.admin_public, subject_creds=sam,
+            lkh_members={group.group_id: evicted_state},
+        )
+        for message in messages:
+            evictee.apply(message)
+        # The stream passed the wire checks but none of its blobs opened:
+        # the evictee's key view is frozen at the pre-eviction key.
+        assert sam.group_keys[group.group_id] == old_key
+        assert sam.group_keys[group.group_id] != group.key
+
+    def test_object_side_epoch_bumps_on_lkh_rekey(self, world):
+        backend, sam, kiosk, group = self._group_world(world)
+        state = backend.groups.member_state(group.group_id, "kiosk")
+        epoch_before = kiosk.resumption_epoch
+        report = backend.groups.remove_member(group.group_id, "sam")
+        (message,) = push_group_rekey_lkh(backend, group.group_id, report.updates)
+        receiver = UpdateReceiver(
+            "kiosk", backend.admin_public, object_creds=kiosk,
+            lkh_members={group.group_id: state},
+        )
+        assert receiver.apply(message)
+        assert kiosk.level3_variants[group.group_id][0] == group.key
+        assert kiosk.resumption_epoch > epoch_before
+
+
+class TestChurnEngineWire:
+    def test_burst_is_one_flush_per_recipient(self, world):
+        backend, alice, sam, media, kiosk = world
+        extra = backend.register_subject("staff-bob", {"position": "staff"})
+        wire = UpdateBatcher(UpdatePublisher(backend.root_key))
+        churn = ChurnEngine(backend, wire=wire)
+        with churn.batch():
+            churn.remove_subject("alice")
+            churn.remove_subject("staff-bob")
+        addressees = [m.addressee for m in churn.last_wire_flush]
+        # One message per recipient across the whole burst, no repeats.
+        assert len(addressees) == len(set(addressees))
+        assert "media" in addressees
+
+    def test_unbatched_removal_flushes_immediately(self, world):
+        backend, alice, sam, media, kiosk = world
+        wire = UpdateBatcher(UpdatePublisher(backend.root_key))
+        churn = ChurnEngine(backend, wire=wire)
+        churn.remove_subject("sam")
+        assert churn.last_wire_flush
+        assert wire.pending_recipients() == set()
+        lkh_streams = [
+            m for m in churn.last_wire_flush
+            if m.addressee.startswith(GROUP_ADDR_PREFIX)
+        ]
+        assert len(lkh_streams) == 1
