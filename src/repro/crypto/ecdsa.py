@@ -16,6 +16,8 @@ signature is exactly 64 bytes, matching §IX-A ("KEXM_X and SIG_X are
 from __future__ import annotations
 
 from dataclasses import dataclass
+from types import MappingProxyType
+from typing import Mapping
 
 from cryptography.exceptions import InvalidSignature
 from cryptography.hazmat.primitives import hashes, serialization
@@ -27,13 +29,15 @@ from cryptography.hazmat.primitives.asymmetric.utils import (
 
 from repro.crypto import meter
 
-#: Paper security strength (bits) -> NIST curve.
-STRENGTH_TO_CURVE: dict[int, ec.EllipticCurve] = {
+#: Paper security strength (bits) -> NIST curve.  Read-only: the table
+#: is consulted from crypto-pool workers, so it must stay immutable
+#: across fork (POOL-SAFETY).
+STRENGTH_TO_CURVE: Mapping[int, ec.EllipticCurve] = MappingProxyType({
     112: ec.SECP224R1(),
     128: ec.SECP256R1(),
     192: ec.SECP384R1(),
     256: ec.SECP521R1(),
-}
+})
 
 #: The strength the paper uses for everything but Fig. 6(a).
 DEFAULT_STRENGTH = 128

@@ -142,7 +142,7 @@ def _raw_sign(private, strength: int, message: bytes) -> bytes:
 #: (sec1 point, strength).  A warm pool sees the same admin / leaf keys
 #: batch after batch; private keys are one-shot ephemerals and are only
 #: deduplicated within a chunk (via its key table), never cached here.
-_PUBLIC_KEY_CACHE: dict[tuple[bytes, int], Any] = {}
+_PUBLIC_KEY_CACHE: dict[tuple[bytes, int], Any] = {}  # argus-lint: pool-safe
 _PUBLIC_KEY_CACHE_MAX = 512
 
 

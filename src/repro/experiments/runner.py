@@ -21,6 +21,7 @@ import os
 import sys
 import time
 from concurrent.futures import ProcessPoolExecutor
+from types import MappingProxyType
 
 from repro.experiments import (
     capacity,
@@ -48,7 +49,9 @@ from repro.experiments import (
     table1,
 )
 
-ALL = {
+# Read-only registry: ``_run_one`` dereferences it inside pool workers,
+# so it must stay immutable across fork (POOL-SAFETY).
+ALL = MappingProxyType({
     "table1": lambda: table1.run(),
     "fig6a": lambda: fig6a.run().render(),
     "fig6b": lambda: fig6b.run().render(),
@@ -84,7 +87,7 @@ ALL = {
     "security_report": lambda: security_report.run().render(),
     # extension: aggregate handshakes/sec, sequential vs batched worker pool
     "throughput": lambda: throughput.run(smoke=True).render(),
-}
+})
 
 
 def _run_one(name: str) -> tuple[str, float]:

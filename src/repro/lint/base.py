@@ -141,6 +141,33 @@ class Rule:
         )
 
 
+class ProgramRule(Rule):
+    """A rule that sees the whole program, not one module.
+
+    Subclasses implement :meth:`check_program` against a
+    :class:`repro.lint.program.Program`.  The engine runs program rules
+    once per lint invocation over the facts of every checked file; the
+    inherited :meth:`check` fallback wraps a single module in a
+    one-module program so ``lint_source`` keeps working transparently
+    for fixtures and ad-hoc snippets.
+    """
+
+    def check_program(self, program) -> Iterable[Finding]:  # pragma: no cover
+        raise NotImplementedError
+
+    def check(self, context: ModuleContext) -> Iterable[Finding]:
+        from repro.lint.program import Program
+
+        return self.check_program(Program.from_contexts([context]))
+
+    def program_finding(
+        self, path: str, line: int, col: int, message: str
+    ) -> Finding:
+        return Finding(
+            path=path, line=line, col=col, rule_id=self.RULE_ID, message=message
+        )
+
+
 # -- shared AST vocabulary ---------------------------------------------------------
 
 

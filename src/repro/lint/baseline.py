@@ -73,14 +73,32 @@ class Baseline:
                 new.append(finding)
         return new, old
 
+    def stale_fingerprints(self, findings: list[Finding]) -> list[tuple[str, str, str]]:
+        """Baseline entries that no longer match any current finding.
+
+        Multiset-aware: two baseline copies of a fingerprint with only
+        one surviving finding report one stale entry.
+        """
+        current = Counter(f.fingerprint for f in findings)
+        stale = self.entries - current
+        return sorted(stale.elements())
+
     @staticmethod
     def write(path: str | Path, findings: list[Finding]) -> None:
-        """Write a baseline grandfathering exactly *findings*."""
+        """Write a baseline grandfathering exactly *findings*.
+
+        Deterministic byte-for-byte: fingerprints sorted by
+        (rule, path, message), stable JSON key order, trailing newline —
+        so two runs over the same tree produce identical files and the
+        checked-in baseline never churns in diffs.
+        """
         payload = {
             "version": _VERSION,
             "findings": [
-                {"rule": f.rule_id, "path": f.path, "message": f.message}
-                for f in sorted(findings)
+                {"rule": rule, "path": fpath, "message": message}
+                for rule, fpath, message in sorted(
+                    f.fingerprint for f in findings
+                )
             ],
         }
         Path(path).write_text(json.dumps(payload, indent=2) + "\n")

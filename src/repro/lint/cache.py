@@ -1,0 +1,193 @@
+"""Per-file incremental cache for the lint engine.
+
+Caches, per source file: the module-rule findings, the suppression map,
+and the extracted whole-program facts — everything the engine needs so
+an unchanged file is never re-read in full, re-parsed, or re-linted.
+Program-rule results are cached separately under a key derived from the
+content hashes of *every* checked file plus the ruleset signature,
+because a one-line edit anywhere can change a whole-program verdict.
+
+Invalidation rules:
+
+* A file entry is valid when its ``(mtime_ns, size)`` pair matches the
+  stat (fast path, no read), or — when the stat differs, e.g. after a
+  ``git checkout`` that rewrites timestamps — when its SHA-256 still
+  matches the content (one read, no parse).
+* The whole cache is discarded when the ruleset signature changes: rule
+  ids, the facts schema version, or the cache format version.
+
+The cache file is plain JSON, safe to delete at any time, and never
+checked in (see ``.gitignore``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Sequence
+
+from repro.lint.facts import FACTS_VERSION
+from repro.lint.findings import Finding
+
+_CACHE_VERSION = 1
+
+
+def ruleset_signature(rule_ids: Sequence[str]) -> str:
+    """Stable digest of the active rule set + analyzer schema versions."""
+    basis = json.dumps(
+        {
+            "cache": _CACHE_VERSION,
+            "facts": FACTS_VERSION,
+            "rules": sorted(rule_ids),
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(basis.encode()).hexdigest()
+
+
+def file_sha256(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def _finding_from_dict(item: dict) -> Finding:
+    return Finding(
+        path=item["path"],
+        line=item["line"],
+        col=item["col"],
+        rule_id=item["rule"],
+        message=item["message"],
+    )
+
+
+class LintCache:
+    """JSON-backed cache; one instance per lint invocation."""
+
+    def __init__(self, path: str | Path, signature: str) -> None:
+        self.path = Path(path)
+        self.signature = signature
+        self._files: dict[str, dict] = {}
+        self._program: dict[str, dict] = {}
+        self._dirty = False
+        self.hits = 0
+        self.misses = 0
+        self._load()
+
+    def _load(self) -> None:
+        try:
+            data = json.loads(self.path.read_text())
+        except (OSError, json.JSONDecodeError, ValueError):
+            return
+        if not isinstance(data, dict) or data.get("signature") != self.signature:
+            return
+        files = data.get("files")
+        program = data.get("program")
+        if isinstance(files, dict):
+            self._files = files
+        if isinstance(program, dict):
+            self._program = program
+
+    # -- per-file entries -----------------------------------------------------
+
+    def lookup(self, file: Path, display: str) -> dict | None:
+        """A valid cached entry for *file*, or None.
+
+        Validity: stat fast path first; on mismatch, re-hash the content
+        and accept (updating the stat) when the hash still matches.
+        """
+        entry = self._files.get(display)
+        if entry is None:
+            self.misses += 1
+            return None
+        try:
+            stat = os.stat(file)
+        except OSError:
+            self.misses += 1
+            return None
+        if entry["mtime_ns"] == stat.st_mtime_ns and entry["size"] == stat.st_size:
+            self.hits += 1
+            return entry
+        try:
+            data = file.read_bytes()
+        except OSError:
+            self.misses += 1
+            return None
+        if file_sha256(data) == entry["sha256"]:
+            entry["mtime_ns"] = stat.st_mtime_ns
+            entry["size"] = stat.st_size
+            self._dirty = True
+            self.hits += 1
+            return entry
+        self.misses += 1
+        return None
+
+    def store(
+        self,
+        file: Path,
+        display: str,
+        sha256: str,
+        findings: list[Finding],
+        suppressed: int,
+        suppress_lines: dict[int, list[str]],
+        facts: dict | None,
+        error: str | None = None,
+    ) -> None:
+        try:
+            stat = os.stat(file)
+            mtime_ns, size = stat.st_mtime_ns, stat.st_size
+        except OSError:
+            mtime_ns, size = 0, -1
+        self._files[display] = {
+            "mtime_ns": mtime_ns,
+            "size": size,
+            "sha256": sha256,
+            "findings": [f.to_dict() for f in findings],
+            "suppressed": suppressed,
+            "suppress_lines": {str(k): sorted(v) for k, v in suppress_lines.items()},
+            "facts": facts,
+            "error": error,
+        }
+        self._dirty = True
+
+    @staticmethod
+    def entry_findings(entry: dict) -> list[Finding]:
+        return [_finding_from_dict(item) for item in entry["findings"]]
+
+    # -- program-level entries ------------------------------------------------
+
+    @staticmethod
+    def program_key(signature: str, file_hashes: Sequence[tuple[str, str]]) -> str:
+        basis = json.dumps([signature, sorted(file_hashes)])
+        return hashlib.sha256(basis.encode()).hexdigest()
+
+    def lookup_program(self, key: str) -> dict | None:
+        return self._program.get(key)
+
+    def store_program(
+        self, key: str, findings: list[Finding], suppressed: int
+    ) -> None:
+        # Keep only the latest program verdict; stale keys are useless.
+        self._program = {
+            key: {
+                "findings": [f.to_dict() for f in findings],
+                "suppressed": suppressed,
+            }
+        }
+        self._dirty = True
+
+    # -- persistence ----------------------------------------------------------
+
+    def save(self) -> None:
+        if not self._dirty:
+            return
+        payload = {
+            "signature": self.signature,
+            "files": self._files,
+            "program": self._program,
+        }
+        try:
+            self.path.write_text(json.dumps(payload) + "\n")
+        except OSError:
+            pass  # a read-only tree just runs cold every time
+        self._dirty = False

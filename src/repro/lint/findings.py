@@ -25,6 +25,17 @@ class Finding:
         """Line-independent identity used for baseline matching."""
         return (self.rule_id, self.path, self.message)
 
+    @property
+    def sort_key(self) -> tuple[str, int, str, int, str]:
+        """Total report order: (path, line, rule id, col, message).
+
+        The dataclass ``order=True`` compares locations only, which
+        leaves same-line findings from different rules in registration
+        order; reporters and the baseline writer sort by this key so
+        output is byte-stable regardless of rule registration order.
+        """
+        return (self.path, self.line, self.rule_id, self.col, self.message)
+
     def render(self) -> str:
         return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
 

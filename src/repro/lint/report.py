@@ -1,4 +1,9 @@
-"""Reporters: render lint results for humans (text) and tooling (JSON)."""
+"""Reporters: render lint results for humans (text) and tooling (JSON/SARIF).
+
+Every reporter sorts findings by :attr:`Finding.sort_key`
+(path, line, rule id, col, message), so output — and therefore CI
+diffs — is byte-stable regardless of rule registration order.
+"""
 
 from __future__ import annotations
 
@@ -6,6 +11,11 @@ import json
 from dataclasses import dataclass, field
 
 from repro.lint.findings import Finding
+from repro.lint.sarif import render_sarif
+
+
+def _ordered(findings: list[Finding]) -> list[Finding]:
+    return sorted(findings, key=lambda f: f.sort_key)
 
 
 @dataclass
@@ -16,6 +26,8 @@ class LintResult:
     baselined: list[Finding] = field(default_factory=list)
     suppressed: int = 0
     checked_files: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     @property
     def failed(self) -> bool:
@@ -27,20 +39,22 @@ class LintResult:
 
 
 def render_text(result: LintResult) -> str:
-    lines = [finding.render() for finding in sorted(result.new)]
+    lines = [finding.render() for finding in _ordered(result.new)]
     summary = (
         f"argus-lint: {len(result.new)} new finding(s), "
         f"{len(result.baselined)} baselined, {result.suppressed} suppressed "
         f"across {result.checked_files} file(s)"
     )
+    if result.cache_hits or result.cache_misses:
+        summary += f" [cache: {result.cache_hits} hit, {result.cache_misses} miss]"
     lines.append(summary)
     return "\n".join(lines)
 
 
 def render_json(result: LintResult) -> str:
     payload = {
-        "new": [finding.to_dict() for finding in sorted(result.new)],
-        "baselined": [finding.to_dict() for finding in sorted(result.baselined)],
+        "new": [finding.to_dict() for finding in _ordered(result.new)],
+        "baselined": [finding.to_dict() for finding in _ordered(result.baselined)],
         "suppressed": result.suppressed,
         "checked_files": result.checked_files,
         "failed": result.failed,
@@ -48,4 +62,4 @@ def render_json(result: LintResult) -> str:
     return json.dumps(payload, indent=2)
 
 
-RENDERERS = {"text": render_text, "json": render_json}
+RENDERERS = {"text": render_text, "json": render_json, "sarif": render_sarif}

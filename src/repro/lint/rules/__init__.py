@@ -3,6 +3,11 @@
 Each module holds one rule class; adding a rule means adding a module
 and listing the class here.  Rule ids are SCREAMING-KEBAB and stable:
 suppression comments and baseline entries reference them.
+
+Rules come in two kinds: plain :class:`~repro.lint.base.Rule`
+subclasses see one module at a time; :class:`~repro.lint.base.ProgramRule`
+subclasses (SECRET-FLOW, PROTO-STATE, POOL-SAFETY) see the whole
+program and run once per lint invocation.
 """
 
 from __future__ import annotations
@@ -12,6 +17,9 @@ from repro.lint.rules.crypto_rand import CryptoRandRule
 from repro.lint.rules.indist_return import IndistReturnRule
 from repro.lint.rules.meter_accounting import MeterAccountingRule
 from repro.lint.rules.nonce_reuse import NonceReuseRule
+from repro.lint.rules.pool_safety import PoolSafetyRule
+from repro.lint.rules.proto_state import ProtoStateRule
+from repro.lint.rules.secret_flow import SecretFlowRule
 from repro.lint.rules.secret_leak import SecretLeakRule
 
 #: Every registered rule, in report order.
@@ -22,6 +30,9 @@ ALL_RULES = (
     MeterAccountingRule,
     IndistReturnRule,
     NonceReuseRule,
+    SecretFlowRule,
+    ProtoStateRule,
+    PoolSafetyRule,
 )
 
 #: id -> rule class, for ``--list-rules`` and fixture tests.

@@ -23,6 +23,11 @@ from repro.lint.findings import Finding
 #: The one package allowed to touch raw primitives (it owns the meter).
 CRYPTO_PACKAGE = "repro.crypto"
 
+#: Dev tooling outside the measured system: the linter hashes file
+#: contents for its incremental cache, and routing that through the
+#: metered wrappers would *pollute* §IX-B op counts, not protect them.
+EXEMPT_PACKAGES = ("repro.lint",)
+
 #: Top-level modules whose direct use bypasses the §IX-B op accounting.
 RAW_MODULES = ("cryptography", "hashlib", "hmac")
 
@@ -48,7 +53,9 @@ class MeterAccountingRule(Rule):
     )
 
     def check(self, context: ModuleContext) -> Iterable[Finding]:
-        if not context.module.startswith("repro.") or context.in_package(CRYPTO_PACKAGE):
+        if not context.module.startswith("repro.") or context.in_package(
+            CRYPTO_PACKAGE, *EXEMPT_PACKAGES
+        ):
             return
         for node in ast.walk(context.tree):
             if isinstance(node, ast.Import):

@@ -1,0 +1,117 @@
+"""SECRET-FLOW: interprocedural key-material leak detection.
+
+SECRET-LEAK (PR 3) catches a secret-named variable sitting directly in
+a log call; it cannot see a session key that travels through two
+helpers and a module boundary before reaching ``logger.info`` — which
+is exactly how leaks survive review.  SECRET-FLOW runs the
+summary-based taint engine (:mod:`repro.lint.dataflow`) over the whole
+program:
+
+* **Sources** — key material: ``kdf`` session/resumption derivations,
+  ``EphemeralECDH.derive_premaster``/``private_der``, LKH node/group
+  keys (``root_key``/``group_key``/``member_keys``).
+* **Sinks** — logging, ``print``, exception text, ``__repr__``/``__str__``
+  returns, and unsealed wire emission (the seven protocol message
+  constructors plus ``updatewire.UpdateMessage``).
+* **Sanitizers** — AEAD/ECIES seal, keyed hashing (the finished-MAC
+  family), the blessed constant-time compare, and ticket sealing: once
+  a secret passes through one of these, the result is safe to emit.
+
+Findings land on the call line in the function where the tainted value
+crosses into the sink (or into the callee whose summary reaches one),
+so normal per-line suppressions apply.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.lint.base import ProgramRule
+from repro.lint.dataflow import TaintAnalysis, TaintSpec
+from repro.lint.findings import Finding
+from repro.lint.protocol_spec import QUALIFIED_MESSAGES
+
+#: Packages in which SECRET-FLOW findings are reported.  Analysis is
+#: still whole-program; experiments/attacks/analysis intentionally
+#: print what they observe and are excluded from reporting.
+SCOPED_PACKAGES = (
+    "repro.crypto",
+    "repro.protocol",
+    "repro.pki",
+    "repro.access",
+    "repro.backend",
+)
+
+ARGUS_TAINT_SPEC = TaintSpec(
+    source_calls=frozenset({
+        "repro.crypto.kdf.premaster_to_session",
+        "repro.crypto.kdf.derive_k2",
+        "repro.crypto.kdf.derive_k3",
+        "repro.crypto.kdf.resumption_master",
+        "repro.crypto.kdf.derive_resumed_key",
+    }),
+    source_methods=frozenset({
+        "derive_premaster",
+        "private_der",
+        "member_keys",
+        "root_key",
+        "group_key",
+    }),
+    sanitizer_calls=frozenset({
+        "repro.crypto.aead.encrypt",
+        "repro.crypto.aead.decrypt",
+        "repro.crypto.ecies.encrypt",
+        "repro.crypto.ecies.decrypt",
+        "repro.crypto.primitives.sha256",
+        "repro.crypto.primitives.hmac_sha256",
+        "repro.crypto.primitives.constant_time_equal",
+        "repro.crypto.kdf.finished_mac",
+        "repro.crypto.kdf.subject_finished",
+        "repro.crypto.kdf.object_finished",
+        "repro.crypto.kdf.rque_binder",
+        "repro.backend.lkh.seal_update",
+    }),
+    sanitizer_methods=frozenset({
+        "sha256",
+        "hmac_sha256",
+        "constant_time_equal",
+        "seal",
+        "seal_update",
+        "subject_mac",
+        "object_mac",
+        "verify_subject_mac3",
+        "finished_mac",
+        "subject_finished",
+        "object_finished",
+        "rque_binder",
+        "len",
+        "bool",
+        "type",
+        "id",
+    }),
+    wire_sinks=frozenset(QUALIFIED_MESSAGES)
+    | frozenset({
+        "repro.backend.updatewire.UpdateMessage",
+    }),
+    log_methods=frozenset({
+        "debug", "info", "warning", "error", "exception", "critical", "log",
+    }),
+    log_objects=frozenset({"log", "logger", "logging"}),
+    report_packages=SCOPED_PACKAGES,
+)
+
+
+class SecretFlowRule(ProgramRule):
+    RULE_ID = "SECRET-FLOW"
+    SUMMARY = (
+        "key material must not reach logs, exception text, repr, or "
+        "unsealed wire emission — across function and module boundaries"
+    )
+
+    def check_program(self, program) -> Iterable[Finding]:
+        analysis = TaintAnalysis(program, ARGUS_TAINT_SPEC)
+        analysis.run()
+        for flow in analysis.findings():
+            yield self.program_finding(
+                flow.path, flow.line, flow.col, flow.message
+            )

@@ -1,0 +1,76 @@
+"""SARIF 2.1.0 output so argus-lint findings land in code-scanning UIs.
+
+Minimal but valid: one run, one driver, one rule descriptor per
+registered rule, one result per finding (new findings at ``error``
+level, baselined ones at ``note`` so they surface without failing).
+Results are sorted by :attr:`Finding.sort_key`, matching the JSON
+reporter's determinism guarantee.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint.findings import Finding
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+
+
+def _result(finding: Finding, level: str) -> dict:
+    return {
+        "ruleId": finding.rule_id,
+        "level": level,
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {"uri": finding.path.replace("\\", "/")},
+                    "region": {
+                        "startLine": finding.line,
+                        "startColumn": finding.col,
+                    },
+                }
+            }
+        ],
+        "fingerprints": {
+            "argusLint/v1": "|".join(finding.fingerprint),
+        },
+    }
+
+
+def render_sarif(result) -> str:
+    """Render a :class:`~repro.lint.report.LintResult` as a SARIF log."""
+    from repro.lint.rules import ALL_RULES
+
+    rules = [
+        {
+            "id": rule.RULE_ID,
+            "shortDescription": {"text": rule.SUMMARY},
+        }
+        for rule in sorted(ALL_RULES, key=lambda r: r.RULE_ID)
+    ]
+    results = [
+        _result(f, "error")
+        for f in sorted(result.new, key=lambda f: f.sort_key)
+    ] + [
+        _result(f, "note")
+        for f in sorted(result.baselined, key=lambda f: f.sort_key)
+    ]
+    log = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "argus-lint",
+                        "informationUri": "https://example.invalid/argus-lint",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(log, indent=2, sort_keys=True)

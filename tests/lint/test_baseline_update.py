@@ -1,0 +1,164 @@
+"""Baseline-update UX and reporter determinism (PR 8 satellites).
+
+Covers: byte-stable ``--update-baseline`` output, stale-fingerprint
+warnings, the suppression/baseline interaction contract, and the JSON
+reporter's ordering guarantee.
+"""
+
+import json
+from pathlib import Path
+
+from repro.cli import main as cli_main
+from repro.lint.baseline import Baseline
+from repro.lint.findings import Finding
+from repro.lint.report import LintResult, render_json
+
+BAD_PRINT = (
+    "def show(session_key):\n"
+    "    print(session_key)\n"
+)
+
+
+def crypto_file(tmp_path: Path, name: str, source: str) -> Path:
+    pkg = tmp_path / "src" / "repro" / "crypto"
+    pkg.mkdir(parents=True, exist_ok=True)
+    file = pkg / name
+    file.write_text(source)
+    return file
+
+
+class TestUpdateBaseline:
+    def test_byte_stable_across_two_runs(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        crypto_file(tmp_path, "b_leak.py", BAD_PRINT)
+        crypto_file(tmp_path, "a_leak.py", BAD_PRINT)
+        baseline = tmp_path / "baseline.json"
+        argv = ["lint", "src", "--baseline", str(baseline), "--update-baseline"]
+        assert cli_main(argv) == 0
+        first = baseline.read_bytes()
+        assert cli_main(argv) == 0
+        assert baseline.read_bytes() == first
+        assert first.endswith(b"\n")
+
+    def test_fingerprints_are_sorted(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        crypto_file(tmp_path, "b_leak.py", BAD_PRINT)
+        crypto_file(tmp_path, "a_leak.py", BAD_PRINT)
+        baseline = tmp_path / "baseline.json"
+        cli_main(["lint", "src", "--baseline", str(baseline), "--update-baseline"])
+        entries = json.loads(baseline.read_text())["findings"]
+        keys = [(e["rule"], e["path"], e["message"]) for e in entries]
+        assert keys == sorted(keys)
+        assert len(keys) >= 2
+
+    def test_stale_entry_warned_and_dropped(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        file = crypto_file(tmp_path, "leak.py", BAD_PRINT)
+        baseline = tmp_path / "baseline.json"
+        cli_main(["lint", "src", "--baseline", str(baseline), "--update-baseline"])
+        assert json.loads(baseline.read_text())["findings"]
+
+        # Remove the offending code: the entry is now stale.
+        file.write_text("def show(session_key):\n    return None\n")
+        capsys.readouterr()
+        cli_main(["lint", "src", "--baseline", str(baseline), "--update-baseline"])
+        err = capsys.readouterr().err
+        assert "stale baseline entry dropped" in err
+        assert json.loads(baseline.read_text())["findings"] == []
+
+    def test_update_exits_zero_even_with_findings(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        crypto_file(tmp_path, "leak.py", BAD_PRINT)
+        baseline = tmp_path / "baseline.json"
+        assert (
+            cli_main(["lint", "src", "--baseline", str(baseline), "--update-baseline"])
+            == 0
+        )
+        # The refreshed baseline then makes a plain run pass.
+        assert cli_main(["lint", "src", "--baseline", str(baseline)]) == 0
+
+
+class TestSuppressionBaselineInteraction:
+    def test_suppressed_and_baselined_counts_once(self, tmp_path, monkeypatch, capsys):
+        # A finding that is both suppressed in-source and listed in the
+        # baseline is counted exactly once — as suppressed; the baseline
+        # entry goes stale rather than double-absorbing.
+        monkeypatch.chdir(tmp_path)
+        crypto_file(
+            tmp_path,
+            "leak.py",
+            "def show(session_key):\n"
+            "    print(session_key)  # argus-lint: disable=SECRET-LEAK\n",
+        )
+        baseline = tmp_path / "baseline.json"
+        finding = Finding(
+            path="src/repro/crypto/leak.py",
+            line=2,
+            col=5,
+            rule_id="SECRET-LEAK",
+            message="secret-named value 'session_key' passed to print()",
+        )
+        Baseline.write(baseline, [finding])
+        rc = cli_main(
+            ["lint", "src", "--baseline", str(baseline), "--format", "json"]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert rc == 0
+        assert payload["new"] == []
+        assert payload["baselined"] == []  # absorbed by suppression, not baseline
+        assert payload["suppressed"] == 1
+
+    def test_removing_code_removes_stale_entry_on_update(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.chdir(tmp_path)
+        file = crypto_file(tmp_path, "leak.py", BAD_PRINT)
+        baseline = tmp_path / "baseline.json"
+        cli_main(["lint", "src", "--baseline", str(baseline), "--update-baseline"])
+        before = json.loads(baseline.read_text())["findings"]
+        assert before
+        file.unlink()
+        cli_main(["lint", "src", "--baseline", str(baseline), "--update-baseline"])
+        assert json.loads(baseline.read_text())["findings"] == []
+
+
+class TestReporterDeterminism:
+    def _findings_out_of_registration_order(self):
+        # Same path+line, rule ids deliberately fed in reverse-sorted
+        # order to prove the reporter re-sorts.
+        return [
+            Finding("src/b.py", 3, 1, "SECRET-LEAK", "zzz"),
+            Finding("src/b.py", 3, 1, "CT-COMPARE", "aaa"),
+            Finding("src/a.py", 9, 1, "NONCE-REUSE", "mmm"),
+            Finding("src/a.py", 2, 1, "SECRET-FLOW", "nnn"),
+        ]
+
+    def test_json_reporter_sorts_by_path_line_rule(self):
+        result = LintResult(new=self._findings_out_of_registration_order())
+        payload = json.loads(render_json(result))
+        keys = [(f["path"], f["line"], f["rule"]) for f in payload["new"]]
+        assert keys == [
+            ("src/a.py", 2, "SECRET-FLOW"),
+            ("src/a.py", 9, "NONCE-REUSE"),
+            ("src/b.py", 3, "CT-COMPARE"),
+            ("src/b.py", 3, "SECRET-LEAK"),
+        ]
+
+    def test_json_output_identical_for_shuffled_input(self):
+        findings = self._findings_out_of_registration_order()
+        a = render_json(LintResult(new=list(findings)))
+        b = render_json(LintResult(new=list(reversed(findings))))
+        assert a == b
+
+    def test_sarif_output_is_deterministic_too(self):
+        from repro.lint.report import RENDERERS
+
+        findings = self._findings_out_of_registration_order()
+        a = RENDERERS["sarif"](LintResult(new=list(findings)))
+        b = RENDERERS["sarif"](LintResult(new=list(reversed(findings))))
+        assert a == b
+        log = json.loads(a)
+        assert log["version"] == "2.1.0"
+        rules = {r["id"] for r in log["runs"][0]["tool"]["driver"]["rules"]}
+        assert {"SECRET-FLOW", "PROTO-STATE", "POOL-SAFETY"} <= rules
+        assert len(log["runs"][0]["results"]) == 4

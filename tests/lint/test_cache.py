@@ -1,0 +1,155 @@
+"""Incremental-cache behavior: correctness of invalidation, and speed.
+
+The acceptance gate: a warm run over the unchanged real ``src`` tree
+must finish in < 25% of the cold-run wall time, because it stats files
+and replays cached verdicts instead of parsing and re-analyzing.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.lint.cache import LintCache, ruleset_signature
+from repro.lint.engine import lint_paths, run
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+BAD_PRINT = (
+    "def show(session_key):\n"
+    "    print(session_key)\n"
+)
+
+
+def write_crypto_module(tmp_path: Path, name: str, source: str) -> Path:
+    pkg = tmp_path / "src" / "repro" / "crypto"
+    pkg.mkdir(parents=True, exist_ok=True)
+    file = pkg / name
+    file.write_text(source)
+    return file
+
+
+class TestCacheCorrectness:
+    def test_warm_run_reports_identical_findings(self, tmp_path):
+        write_crypto_module(tmp_path, "leaky.py", BAD_PRINT)
+        cache = tmp_path / "cache.json"
+        cold = lint_paths([tmp_path / "src"], relative_to=tmp_path, cache_path=cache)
+        warm = lint_paths([tmp_path / "src"], relative_to=tmp_path, cache_path=cache)
+        assert cold == warm
+        assert cold[0], "fixture should produce findings"
+
+    def test_edit_invalidates_only_that_file(self, tmp_path):
+        file = write_crypto_module(tmp_path, "leaky.py", BAD_PRINT)
+        write_crypto_module(tmp_path, "clean.py", "X = 1\n")
+        cache = tmp_path / "cache.json"
+        lint_paths([tmp_path / "src"], relative_to=tmp_path, cache_path=cache)
+        file.write_text("def show(session_key):\n    return None\n")
+        findings, _, _ = lint_paths(
+            [tmp_path / "src"], relative_to=tmp_path, cache_path=cache
+        )
+        assert not [f for f in findings if f.rule_id == "SECRET-LEAK"]
+
+    def test_touch_without_content_change_revalidates_by_hash(self, tmp_path):
+        file = write_crypto_module(tmp_path, "leaky.py", BAD_PRINT)
+        cache_path = tmp_path / "cache.json"
+        lint_paths([tmp_path / "src"], relative_to=tmp_path, cache_path=cache_path)
+        os.utime(file, ns=(1, 1))  # rewrite timestamps, keep bytes
+        sig = ruleset_signature([])
+        cold_findings, _, _ = lint_paths(
+            [tmp_path / "src"], relative_to=tmp_path, cache_path=cache_path
+        )
+        assert any(f.rule_id == "SECRET-LEAK" for f in cold_findings)
+        # And the entry was revalidated (hash match), not recomputed cold.
+        data = json.loads(cache_path.read_text())
+        entry = data["files"]["src/repro/crypto/leaky.py"]
+        assert entry["mtime_ns"] == os.stat(file).st_mtime_ns
+        assert sig  # signature helper stays callable with an empty rule set
+
+    def test_ruleset_signature_change_discards_cache(self, tmp_path):
+        write_crypto_module(tmp_path, "leaky.py", BAD_PRINT)
+        cache_path = tmp_path / "cache.json"
+        lint_paths([tmp_path / "src"], relative_to=tmp_path, cache_path=cache_path)
+        data = json.loads(cache_path.read_text())
+        data["signature"] = "stale"
+        cache_path.write_text(json.dumps(data))
+        cache = LintCache(cache_path, ruleset_signature(["SECRET-LEAK"]))
+        assert cache.lookup(
+            tmp_path / "src" / "repro" / "crypto" / "leaky.py",
+            "src/repro/crypto/leaky.py",
+        ) is None
+
+    def test_corrupt_cache_file_runs_cold(self, tmp_path):
+        write_crypto_module(tmp_path, "leaky.py", BAD_PRINT)
+        cache = tmp_path / "cache.json"
+        cache.write_text("{ not json")
+        findings, _, _ = lint_paths(
+            [tmp_path / "src"], relative_to=tmp_path, cache_path=cache
+        )
+        assert any(f.rule_id == "SECRET-LEAK" for f in findings)
+
+    def test_program_findings_replay_from_cache(self, tmp_path):
+        write_crypto_module(
+            tmp_path,
+            "flows.py",
+            "from repro.crypto import kdf\n"
+            "\n"
+            "def leak(pre, binder):\n"
+            "    print(kdf.derive_k2(pre, binder))\n",
+        )
+        cache = tmp_path / "cache.json"
+        cold, _, _ = lint_paths(
+            [tmp_path / "src"], relative_to=tmp_path, cache_path=cache
+        )
+        warm, _, _ = lint_paths(
+            [tmp_path / "src"], relative_to=tmp_path, cache_path=cache
+        )
+        assert [f for f in cold if f.rule_id == "SECRET-FLOW"]
+        assert cold == warm
+
+    def test_suppressed_program_finding_stays_suppressed_warm(self, tmp_path):
+        write_crypto_module(
+            tmp_path,
+            "flows.py",
+            "from repro.crypto import kdf\n"
+            "\n"
+            "def leak(pre, binder):\n"
+            "    print(kdf.derive_k2(pre, binder))  # argus-lint: disable=SECRET-FLOW\n",
+        )
+        cache = tmp_path / "cache.json"
+        cold, cold_sup, _ = lint_paths(
+            [tmp_path / "src"], relative_to=tmp_path, cache_path=cache
+        )
+        warm, warm_sup, _ = lint_paths(
+            [tmp_path / "src"], relative_to=tmp_path, cache_path=cache
+        )
+        assert not [f for f in cold if f.rule_id == "SECRET-FLOW"]
+        assert cold_sup == warm_sup == 1
+
+
+class TestCacheSpeed:
+    def test_warm_run_under_quarter_of_cold(self, tmp_path):
+        """Acceptance gate: warm incremental < 25% of cold wall time."""
+        src = REPO_ROOT / "src"
+        baseline = REPO_ROOT / "lint-baseline.json"
+        cache = tmp_path / "cache.json"
+
+        t0 = time.perf_counter()
+        cold = run([src], baseline, relative_to=REPO_ROOT, cache_path=cache)
+        cold_s = time.perf_counter() - t0
+        assert cold.cache_misses > 0 and cold.cache_hits == 0
+
+        t1 = time.perf_counter()
+        warm = run([src], baseline, relative_to=REPO_ROOT, cache_path=cache)
+        warm_s = time.perf_counter() - t1
+        assert warm.cache_hits == cold.cache_misses
+        assert warm.cache_misses == 0
+        assert [f.fingerprint for f in warm.new] == [f.fingerprint for f in cold.new]
+
+        if cold_s < 0.2:  # pragma: no cover - absurdly fast host
+            pytest.skip("cold run too fast to measure a stable ratio")
+        assert warm_s < 0.25 * cold_s, (
+            f"warm {warm_s:.3f}s vs cold {cold_s:.3f}s "
+            f"({warm_s / cold_s:.1%}, gate < 25%)"
+        )

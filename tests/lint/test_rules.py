@@ -272,7 +272,7 @@ class TestNonceReuse:
 
 
 class TestRuleCatalogue:
-    def test_six_argus_rules_registered(self):
+    def test_nine_argus_rules_registered(self):
         ids = {rule.RULE_ID for rule in ALL_RULES}
         assert ids == {
             "CT-COMPARE",
@@ -281,6 +281,9 @@ class TestRuleCatalogue:
             "METER-ACCOUNTING",
             "INDIST-RETURN",
             "NONCE-REUSE",
+            "SECRET-FLOW",
+            "PROTO-STATE",
+            "POOL-SAFETY",
         }
 
     @pytest.mark.parametrize("rule", ALL_RULES, ids=lambda r: r.RULE_ID)

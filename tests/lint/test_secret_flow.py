@@ -1,0 +1,185 @@
+"""SECRET-FLOW fixtures: interprocedural taint, bad/good pairs.
+
+Mirrors the PR 3 fixture convention (dedented inline sources through
+the engine, filtered to one rule) and adds the multi-module entry point
+``lint_sources`` for the genuinely cross-module cases the rule exists
+for.
+"""
+
+import textwrap
+
+from repro.lint.engine import lint_source, lint_sources
+from repro.lint.rules import RULES_BY_ID
+
+RULE = [RULES_BY_ID["SECRET-FLOW"]]
+
+
+def flow_findings(sources: dict[str, str]) -> list:
+    dedented = {path: textwrap.dedent(src) for path, src in sources.items()}
+    return [
+        f for f in lint_sources(dedented, rules=RULE) if f.rule_id == "SECRET-FLOW"
+    ]
+
+
+def single(source: str, path: str = "src/repro/protocol/x.py") -> list:
+    return [
+        f
+        for f in lint_source(textwrap.dedent(source), path, rules=RULE)
+        if f.rule_id == "SECRET-FLOW"
+    ]
+
+
+HELPER_MODULE = """
+    from repro.crypto import kdf
+
+    def make_session_key(premaster, binder):
+        return kdf.derive_k2(premaster, binder)
+
+    def describe(material):
+        return stringify(material)
+
+    def stringify(material):
+        return "key=%s" % material.hex()
+"""
+
+
+class TestInterproceduralTaint:
+    def test_two_module_two_hop_leak_is_caught(self):
+        # Source in module A (kdf.derive_k2 behind make_session_key),
+        # sink in module B, with the tainted value passing through two
+        # helper hops (describe -> stringify) before hitting the log.
+        consumer = """
+            import logging
+            from repro.protocol.helper import make_session_key, describe
+
+            logger = logging.getLogger(__name__)
+
+            def announce(premaster, binder):
+                key = make_session_key(premaster, binder)
+                logger.info(describe(key))
+        """
+        findings = flow_findings({
+            "src/repro/protocol/helper.py": HELPER_MODULE,
+            "src/repro/protocol/consumer.py": consumer,
+        })
+        assert findings, "cross-module 2-hop leak must be caught"
+        assert all(f.path == "src/repro/protocol/consumer.py" for f in findings)
+        assert "derive_k2" in findings[0].message
+
+    def test_sanitized_twin_passes(self):
+        # Identical shape, but the key is hashed before leaving the
+        # sealed path — the sanitizer must stop propagation.
+        consumer = """
+            import logging
+            from repro.protocol.helper import make_session_key, describe
+            from repro.crypto.primitives import sha256
+
+            logger = logging.getLogger(__name__)
+
+            def announce(premaster, binder):
+                key = make_session_key(premaster, binder)
+                logger.info(describe(sha256(key)))
+        """
+        assert not flow_findings({
+            "src/repro/protocol/helper.py": HELPER_MODULE,
+            "src/repro/protocol/consumer.py": consumer,
+        })
+
+    def test_taint_through_callee_summary_to_sink_in_callee(self):
+        # The sink lives inside the helper module; the caller only
+        # passes the secret in.  The param-to-sink summary must carry
+        # the witness back to the call site.
+        sink_helper = """
+            import logging
+
+            logger = logging.getLogger(__name__)
+
+            def audit(value):
+                logger.warning("saw %r", value)
+        """
+        caller = """
+            from repro.crypto import kdf
+            from repro.protocol.sink_helper import audit
+
+            def leak(premaster, binder):
+                audit(kdf.derive_k3(premaster, binder))
+        """
+        findings = flow_findings({
+            "src/repro/protocol/sink_helper.py": sink_helper,
+            "src/repro/protocol/caller.py": caller,
+        })
+        assert findings
+        assert findings[0].path == "src/repro/protocol/caller.py"
+        assert "derive_k3" in findings[0].message
+        assert "audit" in findings[0].message
+
+
+class TestLocalFlows:
+    def test_bad_key_in_exception_text(self):
+        src = """
+            from repro.crypto import kdf
+
+            def check(premaster, binder):
+                key = kdf.derive_k2(premaster, binder)
+                raise ValueError(f"bad key {key!r}")
+        """
+        assert single(src)
+
+    def test_bad_key_reaches_wire_constructor_unsealed(self):
+        src = """
+            from repro.crypto import kdf
+            from repro.protocol.messages import Res2
+
+            def respond(premaster, binder, mac):
+                key = kdf.derive_k2(premaster, binder)
+                return Res2(r_o=b"r", ciphertext=key, mac_o=mac)
+        """
+        assert single(src)
+
+    def test_good_key_sealed_before_wire(self):
+        src = """
+            from repro.crypto import aead, kdf
+            from repro.protocol.messages import Res2
+
+            def respond(premaster, binder, payload, mac):
+                key = kdf.derive_k2(premaster, binder)
+                return Res2(r_o=b"r", ciphertext=aead.encrypt(key, payload), mac_o=mac)
+        """
+        assert not single(src)
+
+    def test_bad_private_der_printed(self):
+        src = """
+            def debug(session):
+                print(session.ecdh.private_der())
+        """
+        assert single(src)
+
+    def test_good_length_of_secret_is_not_a_leak(self):
+        src = """
+            from repro.crypto import kdf
+
+            def check(premaster, binder):
+                key = kdf.derive_k2(premaster, binder)
+                print(len(key))
+        """
+        assert not single(src)
+
+    def test_suppression_comment_silences_the_flow(self):
+        src = """
+            from repro.crypto import kdf
+
+            def check(premaster, binder):
+                key = kdf.derive_k2(premaster, binder)
+                print(key.hex())  # argus-lint: disable=SECRET-FLOW
+        """
+        assert not single(src)
+
+    def test_out_of_scope_module_not_reported(self):
+        src = """
+            from repro.crypto import kdf
+
+            def check(premaster, binder):
+                key = kdf.derive_k2(premaster, binder)
+                print(key.hex())
+        """
+        assert not single(src, path="src/repro/experiments/x.py")
