@@ -12,6 +12,10 @@ Commands:
 * ``table1`` — the updating-overhead comparison at chosen (N, alpha).
 * ``lint`` — protocol-invariant static analysis over the tree
   (docs/static-analysis.md); non-zero exit on new findings.
+* ``serve`` — run one object's live service daemon (UDP+TCP) from a
+  provisioning snapshot (docs/service.md).
+* ``discover`` — run a subject's live discovery against daemon
+  endpoints from the same snapshot.
 """
 
 from __future__ import annotations
@@ -152,6 +156,95 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return run_lint(args)
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.backend.persistence import load_backend
+    from repro.backend.updatewire import UpdateReceiver
+    from repro.service.daemon import ObjectServiceDaemon
+
+    backend = load_backend(args.snapshot)
+    creds = backend.issued_objects.get(args.object)
+    if creds is None:
+        print(f"no object {args.object!r} in snapshot "
+              f"(have: {', '.join(sorted(backend.issued_objects)) or 'none'})",
+              file=sys.stderr)
+        return 2
+    receiver = UpdateReceiver(
+        creds.object_id, backend.root_key.public_key, object_creds=creds
+    )
+
+    async def run() -> None:
+        daemon = ObjectServiceDaemon(
+            creds, args.host, args.port, update_receiver=receiver
+        )
+        await daemon.start()
+        host, port = daemon.address
+        print(f"serving {creds.object_id} (level {creds.level}) on "
+              f"{host}:{port} (udp+tcp)", flush=True)
+        try:
+            await asyncio.Event().wait()  # until interrupted
+        finally:
+            await daemon.close()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _cmd_discover(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.backend.persistence import load_backend
+    from repro.net.run import RetryPolicy
+    from repro.service.client import SubjectServiceClient
+
+    backend = load_backend(args.snapshot)
+    creds = backend.issued_subjects.get(args.subject)
+    if creds is None:
+        print(f"no subject {args.subject!r} in snapshot "
+              f"(have: {', '.join(sorted(backend.issued_subjects)) or 'none'})",
+              file=sys.stderr)
+        return 2
+    endpoints = []
+    for spec in args.endpoints:
+        host, _, port = spec.rpartition(":")
+        try:
+            endpoints.append((host or "127.0.0.1", int(port)))
+        except ValueError:
+            print(f"bad endpoint {spec!r} (want host:port)", file=sys.stderr)
+            return 2
+
+    async def run() -> int:
+        client = SubjectServiceClient(
+            creds,
+            retry=RetryPolicy(give_up_s=args.give_up),
+            seed=args.seed,
+        )
+        await client.start()
+        try:
+            found = await client.discover(
+                endpoints, group_id=args.group, rounds=args.rounds
+            )
+        finally:
+            await client.close()
+        for addr, service in sorted(found.items()):
+            print(f"  {addr[0]}:{addr[1]}  {service.object_id:12s} "
+                  f"L{service.level_seen} {', '.join(service.functions)}")
+        missing = len(endpoints) - len(found)
+        print(f"discovered {len(found)}/{len(endpoints)} endpoints"
+              + (f" ({missing} silent)" if missing else ""))
+        stats = client.stats
+        print(f"rounds={stats.rounds} retx={stats.retransmissions} "
+              f"gave_up={stats.exchanges_given_up} "
+              f"resumed={stats.resumptions} tcp={stats.tcp_fallbacks}")
+        return 0 if not missing else 1
+
+    return asyncio.run(run())
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Argus reproduction CLI"
@@ -195,6 +288,31 @@ def build_parser() -> argparse.ArgumentParser:
 
     _add_lint_arguments(p_lint)
 
+    p_serve = sub.add_parser(
+        "serve", help="run one object's live service daemon (docs/service.md)"
+    )
+    p_serve.add_argument("--snapshot", required=True,
+                         help="provisioning snapshot (backend persistence JSON)")
+    p_serve.add_argument("--object", required=True, help="object id to serve")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=0,
+                         help="UDP+TCP port (default: ephemeral, printed)")
+
+    p_disc = sub.add_parser(
+        "discover", help="live discovery against daemon endpoints"
+    )
+    p_disc.add_argument("--snapshot", required=True,
+                        help="provisioning snapshot (backend persistence JSON)")
+    p_disc.add_argument("--subject", required=True, help="subject id to run as")
+    p_disc.add_argument("endpoints", nargs="+", metavar="HOST:PORT",
+                        help="daemon endpoints to query")
+    p_disc.add_argument("--group", default=None, help="group key to use")
+    p_disc.add_argument("--rounds", type=int, default=8)
+    p_disc.add_argument("--give-up", type=float, default=10.0,
+                        help="per-exchange give-up deadline (s)")
+    p_disc.add_argument("--seed", type=int, default=0,
+                        help="retry-jitter RNG seed (reproducible runs)")
+
     p_t1 = sub.add_parser("table1", help="updating-overhead comparison")
     p_t1.add_argument("--n", type=int, default=1000)
     p_t1.add_argument("--alpha", type=int, default=9000)
@@ -212,6 +330,8 @@ _HANDLERS = {
     "audit": _cmd_audit,
     "table1": _cmd_table1,
     "lint": _cmd_lint,
+    "serve": _cmd_serve,
+    "discover": _cmd_discover,
 }
 
 

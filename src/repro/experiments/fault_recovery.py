@@ -126,7 +126,7 @@ def recovery_gate() -> dict:
     subject_creds, object_creds, _ = make_level_fleet(GATE_FLEET, level=2)
     out: dict[str, dict] = {}
     for mode, knobs in GATE_MODES.items():
-        completed = total = retransmissions = 0
+        completed = total = retransmissions = given_up = 0
         makespans: list[float] = []
         for seed in GATE_SEEDS:
             timeline = simulate_discovery(
@@ -137,11 +137,15 @@ def recovery_gate() -> dict:
             completed += len(timeline.completion)
             total += len(object_creds)
             retransmissions += timeline.retransmissions
+            given_up += timeline.exchanges_given_up
             makespans.append(timeline.total_time)
         out[mode] = {
             "completion_ratio": round(completed / total, 4),
             "mean_makespan_s": round(sum(makespans) / len(makespans), 3),
             "retransmissions": retransmissions,
+            # Whole exchanges abandoned to the outer round loop — at
+            # most one per (object, round), never one per backoff timer.
+            "exchanges_given_up": given_up,
         }
     return out
 

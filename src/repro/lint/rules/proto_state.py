@@ -1,7 +1,9 @@
 """PROTO-STATE: protocol state-machine conformance against the spec.
 
-Checks every module under ``repro.protocol`` against the checked-in
-state machine in :mod:`repro.lint.protocol_spec`:
+Checks every module in the spec's ``CHECKED_PACKAGES`` — the sans-IO
+engines (``repro.protocol``) and the live transport that dispatches to
+them (``repro.service``) — against the checked-in state machine in
+:mod:`repro.lint.protocol_spec`:
 
 1. **Handler existence** — every wire message type constructed anywhere
    in the protocol package has its spec'd ``handle_*`` consumer defined
@@ -35,8 +37,10 @@ from repro.lint.program import Program, ProgramFunction
 
 
 def _in_protocol(module: str) -> bool:
-    pkg = spec.PROTOCOL_PACKAGE
-    return module == pkg or module.startswith(pkg + ".")
+    return any(
+        module == pkg or module.startswith(pkg + ".")
+        for pkg in spec.CHECKED_PACKAGES
+    )
 
 
 class ProtoStateRule(ProgramRule):
@@ -74,7 +78,7 @@ class ProtoStateRule(ProgramRule):
                     path, line, col,
                     f"message type {message} is constructed but its handler "
                     f"{handler} is not defined anywhere in "
-                    f"{spec.PROTOCOL_PACKAGE}",
+                    f"{' or '.join(spec.CHECKED_PACKAGES)}",
                 )
 
     # -- response ordering ----------------------------------------------------

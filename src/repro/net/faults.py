@@ -336,18 +336,60 @@ class UpdateOutageBuffer:
     discipline) and flush when the plane heals.  The receiver's own
     checks still run on every flushed message, so an outage can delay
     but never forge or reorder an update.
+
+    ``node`` (optional) names the receiving device, extending the
+    reachability check to *overlapping* windows: a push is held back not
+    only while the backend is down but while the node itself is crashed
+    or partitioned away — flushing into a dead link would count the push
+    as delivered while the device never saw it.  Re-delivery of a push
+    already queued (a publisher retrying into the outage) is suppressed
+    by sequence number, so however the windows overlap, a node crashed
+    through an outage drains each buffered push **exactly once** on cold
+    rejoin.
     """
 
     receiver: object  # repro.backend.updatewire.UpdateReceiver
     schedule: FaultSchedule
+    #: Receiving device's node name; None skips node-window checks.
+    node: str | None = None
     queued: list = field(default_factory=list)
     delivered: int = 0
     deferred: int = 0
+    #: Duplicate submissions of an already-queued sequence, dropped.
+    duplicates_suppressed: int = 0
+
+    def _reachable(self, now: float) -> bool:
+        """Both ends up and the path between them unbroken."""
+        if not self.schedule.backend_up(now):
+            return False
+        if self.node is None:
+            return True
+        if any(
+            self.node in entry.nodes
+            for entry in self.schedule.active(FaultKind.CRASH, now)
+        ):
+            return False
+        return not any(
+            self.node in entry.nodes
+            for entry in self.schedule.active(FaultKind.PARTITION, now)
+        )
+
+    def _is_queued(self, message) -> bool:
+        sequence = getattr(message, "sequence", None)
+        if sequence is None:
+            return message in self.queued
+        return any(
+            getattr(queued, "sequence", None) == sequence
+            for queued in self.queued
+        )
 
     def deliver(self, message, now: float) -> bool:
-        """Apply *message* now, or queue it if the plane is down."""
-        if not self.schedule.backend_up(now):
-            self.queued.append(message)
+        """Apply *message* now, or queue it while the path is broken."""
+        if not self._reachable(now):
+            if self._is_queued(message):
+                self.duplicates_suppressed += 1
+            else:
+                self.queued.append(message)
             self.deferred += 1
             return False
         self.flush(now)
@@ -356,7 +398,7 @@ class UpdateOutageBuffer:
 
     def flush(self, now: float) -> int:
         """Apply everything queued, oldest first; returns the count."""
-        if not self.schedule.backend_up(now):
+        if not self._reachable(now):
             return 0
         flushed = 0
         while self.queued:

@@ -85,6 +85,10 @@ class DiscoveryTimeline:
     services: list = field(default_factory=list)
     #: QUE2/RQUE frames the retry layer re-sent.
     retransmissions: int = 0
+    #: Exchanges (not attempts) whose retry budget or ``give_up_s``
+    #: deadline ran out — each abandoned exchange counts exactly once,
+    #: however many backoff timers fired on the way there.
+    exchanges_given_up: int = 0
     #: Frames the link model or fault layer dropped.
     messages_lost: int = 0
 
@@ -215,6 +219,12 @@ def simulate_discovery(
                     state["attempt"] >= retry.max_retries
                     or sim.now - state["first_sent"] >= retry.give_up_s
                 ):
+                    # Count the *exchange*, once — duplicated frames can
+                    # arm several timers for one state, and each would
+                    # otherwise land here and inflate the stat.
+                    if not state.get("gave_up"):
+                        state["gave_up"] = True
+                        timeline.exchanges_given_up += 1
                     del pending_retry[dst]  # give up; outer round takes over
                     return
                 state["attempt"] += 1

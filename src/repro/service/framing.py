@@ -1,0 +1,144 @@
+"""Transport framing for the live service path.
+
+Every Argus wire message already starts with a self-describing type tag
+(:mod:`repro.protocol.messages`: 0x01–0x07; :mod:`repro.backend.updatewire`:
+0x20–0x23), so a UDP datagram carries exactly one raw frame with no
+extra header — the bytes on the socket are byte-identical to the bytes
+the simulator accounts, which is what makes the §IX-A parity check in
+``benchmarks/bench_service.py`` exact rather than approximate.
+
+Frames that exceed the datagram budget (``max_datagram``) fall back to
+TCP, where the stream is chopped into ``u32 length || frame`` records —
+:func:`read_stream_frame` / :func:`write_stream_frame`.  The budget is a
+deployment knob, not a protocol constant: loopback happily carries
+64 KB datagrams, constrained radio links do not, and the tests shrink it
+to force the fallback path.
+
+One extra frame type lives here: the update-plane ACK
+(:data:`TYPE_UPDATE_ACK`), the tiny ``tag || u64 sequence`` receipt a
+daemon returns for an applied (or already-applied) backend push so the
+stop-and-wait pusher (:mod:`repro.service.update_stream`) can advance.
+It is not a protocol message — it never enters the engines — so the
+PROTO-STATE spec does not know it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import enum
+import struct
+
+from repro.backend.updatewire import (
+    TYPE_BUNDLE,
+    TYPE_LKH_REKEY,
+    TYPE_REKEY,
+    TYPE_REVOKE,
+)
+from repro.protocol.messages import (
+    TYPE_QUE1,
+    TYPE_QUE2,
+    TYPE_RES1,
+    TYPE_RES1_L1,
+    TYPE_RES2,
+    TYPE_RQUE,
+    TYPE_RRES,
+)
+
+#: Default datagram budget: loopback/LAN-safe, far above every nominal
+#: Argus frame (the largest, QUE2, is ~2 KB serialized).
+MAX_DATAGRAM = 60_000
+
+#: Hard cap a stream reader will accept for one record — bounds memory
+#: against a hostile or corrupted length prefix.
+MAX_STREAM_FRAME = 1 << 20
+
+#: Update-plane delivery receipt: ``0x2F || u64 sequence``.
+TYPE_UPDATE_ACK = 0x2F
+
+_PROTOCOL_TAGS = frozenset({
+    TYPE_QUE1, TYPE_RES1_L1, TYPE_RES1, TYPE_QUE2, TYPE_RES2,
+    TYPE_RQUE, TYPE_RRES,
+})
+_UPDATE_TAGS = frozenset({TYPE_REVOKE, TYPE_REKEY, TYPE_BUNDLE, TYPE_LKH_REKEY})
+
+_LEN = struct.Struct(">I")
+_ACK = struct.Struct(">BQ")
+
+
+class FramingError(Exception):
+    """A stream record violated the framing contract."""
+
+
+class OversizedFrame(Exception):
+    """A frame too large for the datagram budget; use the TCP fallback."""
+
+    def __init__(self, size: int, budget: int) -> None:
+        super().__init__(f"frame of {size} B exceeds datagram budget {budget} B")
+        self.size = size
+        self.budget = budget
+
+
+class FrameKind(enum.Enum):
+    """Coarse dispatch class of one received frame."""
+
+    PROTOCOL = "protocol"
+    UPDATE = "update"
+    UPDATE_ACK = "update_ack"
+    UNKNOWN = "unknown"
+
+
+def classify_frame(data: bytes) -> FrameKind:
+    """Route a raw frame by its leading type tag (empty = UNKNOWN)."""
+    if not data:
+        return FrameKind.UNKNOWN
+    tag = data[0]
+    if tag in _PROTOCOL_TAGS:
+        return FrameKind.PROTOCOL
+    if tag in _UPDATE_TAGS:
+        return FrameKind.UPDATE
+    if tag == TYPE_UPDATE_ACK:
+        return FrameKind.UPDATE_ACK
+    return FrameKind.UNKNOWN
+
+
+def check_datagram(data: bytes, max_datagram: int = MAX_DATAGRAM) -> bytes:
+    """Pass *data* through, or raise :class:`OversizedFrame`."""
+    if len(data) > max_datagram:
+        raise OversizedFrame(len(data), max_datagram)
+    return data
+
+
+def ack_frame(sequence: int) -> bytes:
+    """The receipt for one applied update push."""
+    return _ACK.pack(TYPE_UPDATE_ACK, sequence)
+
+
+def parse_ack(data: bytes) -> int:
+    """Sequence number out of an ACK frame."""
+    if len(data) != _ACK.size or data[0] != TYPE_UPDATE_ACK:
+        raise FramingError("not an update ACK")
+    return _ACK.unpack(data)[1]
+
+
+def write_stream_frame(writer: asyncio.StreamWriter, frame: bytes) -> None:
+    """Append one length-prefixed record to a TCP stream."""
+    if len(frame) > MAX_STREAM_FRAME:
+        raise FramingError(f"stream frame of {len(frame)} B exceeds cap")
+    writer.write(_LEN.pack(len(frame)) + frame)
+
+
+async def read_stream_frame(reader: asyncio.StreamReader) -> bytes | None:
+    """Read one record; None on clean EOF at a record boundary."""
+    try:
+        header = await reader.readexactly(_LEN.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise FramingError("truncated stream frame header") from exc
+    (length,) = _LEN.unpack(header)
+    if length > MAX_STREAM_FRAME:
+        raise FramingError(f"stream frame of {length} B exceeds cap")
+    try:
+        return await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise FramingError("truncated stream frame body") from exc

@@ -234,6 +234,66 @@ class TestBackendOutage:
         assert buffer.flush(now=2.0) == 0
         assert buffer.flush(now=6.0) == 1
 
+    class SeqMsg:
+        """A stand-in push with the wire messages' sequence attribute."""
+
+        def __init__(self, sequence):
+            self.sequence = sequence
+
+        def __repr__(self):
+            return f"SeqMsg({self.sequence})"
+
+    def test_overlapping_outage_and_crash_drains_exactly_once(self):
+        """A node crashed *through* an outage rejoins to each push once.
+
+        Regression: the outage window heals at t=10 while the crash
+        window runs to t=15 — flushing at the first heal would deliver
+        into a dead device; retry-duplicates queued during the outage
+        used to be buffered again and drain twice.
+        """
+        schedule = FaultSchedule((
+            Fault(FaultKind.BACKEND_OUTAGE, start_s=0.0, stop_s=10.0),
+            Fault(FaultKind.CRASH, start_s=5.0, stop_s=15.0, nodes=("dev",)),
+        ))
+        receiver = self.FakeReceiver()
+        buffer = UpdateOutageBuffer(receiver, schedule, node="dev")
+        m1, m2 = self.SeqMsg(1), self.SeqMsg(2)
+        assert not buffer.deliver(m1, now=2.0)   # outage: queued
+        assert not buffer.deliver(m1, now=3.0)   # publisher retry: dropped
+        assert buffer.duplicates_suppressed == 1
+        assert not buffer.deliver(m2, now=6.0)   # outage AND crash
+        # Backend healed, node still down: nothing may flush yet.
+        assert buffer.flush(now=12.0) == 0
+        assert receiver.applied == []
+        # Cold rejoin: everything drains, in publish order, exactly once.
+        assert buffer.flush(now=15.0) == 2
+        assert receiver.applied == [m1, m2]
+        assert buffer.delivered == 2
+
+    def test_partition_window_also_blocks_delivery(self):
+        """Reachability is the conjunction: backend up AND node linked."""
+        schedule = FaultSchedule(
+            (Fault(FaultKind.PARTITION, start_s=0.0, stop_s=4.0,
+                   nodes=("dev",)),)
+        )
+        receiver = self.FakeReceiver()
+        buffer = UpdateOutageBuffer(receiver, schedule, node="dev")
+        m1 = self.SeqMsg(1)
+        assert not buffer.deliver(m1, now=1.0)  # backend fine, path cut
+        assert receiver.applied == []
+        assert buffer.deliver(self.SeqMsg(2), now=5.0)
+        assert [m.sequence for m in receiver.applied] == [1, 2]
+
+    def test_node_none_skips_node_windows(self):
+        schedule = FaultSchedule(
+            (Fault(FaultKind.CRASH, start_s=0.0, stop_s=9.0,
+                   nodes=("dev",)),)
+        )
+        receiver = self.FakeReceiver()
+        buffer = UpdateOutageBuffer(receiver, schedule)  # node unknown
+        assert buffer.deliver(self.SeqMsg(1), now=1.0)
+        assert len(receiver.applied) == 1
+
 
 class TestSatelliteFixes:
     def test_lossy_link_without_rng_raises(self):

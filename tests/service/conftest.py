@@ -1,0 +1,39 @@
+"""Shared fixtures for the live service-path suite.
+
+No pytest-asyncio here: every async test is a plain function wrapping
+its coroutine in ``asyncio.run`` — each test gets a fresh event loop,
+which doubles as isolation between daemons (nothing leaks a transport
+across tests).
+
+Key generation dominates setup cost, so fleets are session-scoped; the
+engines and daemons built from them hold all the mutable state and are
+created fresh inside each test's event loop.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import make_level_fleet
+from repro.net.run import RetryPolicy
+
+#: Retry knobs tuned for loopback RTTs: aggressive timers so a chaos
+#: run with 12 rounds stays in CI budget, same semantics as the
+#: simulator's policy.
+FAST_RETRY = RetryPolicy(base_timeout_s=0.06, give_up_s=1.5)
+FAST_PHASE1_S = 0.3
+
+
+@pytest.fixture(scope="session")
+def level1_fleet():
+    return make_level_fleet(2, level=1)
+
+
+@pytest.fixture(scope="session")
+def level2_fleet():
+    return make_level_fleet(3, level=2)
+
+
+@pytest.fixture(scope="session")
+def level3_fleet():
+    return make_level_fleet(3, level=3)

@@ -1,0 +1,275 @@
+"""ObjectServiceDaemon dispatch: graceful degradation, update plane.
+
+Most tests drive :meth:`ObjectServiceDaemon.dispatch` directly with a
+manual clock — the dispatch contract (one frame in, at most one frame
+out, silence for every failure) is transport-independent, so no sockets
+are needed to pin it down.  The socket-only behaviors (oversized-reply
+suppression, the TCP stream loop) get real loopback endpoints.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.backend.updatewire import UpdatePublisher, UpdateReceiver
+from repro.experiments.common import make_level_fleet
+from repro.protocol.messages import Rres, parse_message
+from repro.protocol.subject import SubjectEngine
+from repro.protocol.versions import Version
+from repro.service.daemon import ObjectServiceDaemon
+from repro.service.framing import (
+    ack_frame,
+    read_stream_frame,
+    write_stream_frame,
+)
+
+
+class ManualClock:
+    def __init__(self, t: float = 0.0) -> None:
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+
+def make_daemon(creds, **kwargs):
+    kwargs.setdefault("clock", ManualClock())
+    return ObjectServiceDaemon(creds, **kwargs)
+
+
+def run_handshake(daemon, subject_creds, peer="10.0.0.1:5000", subject_peer="o"):
+    """Full QUE1→RES2 through dispatch; returns (service, que2_raw)."""
+    engine = SubjectEngine(subject_creds, Version.V3_0)
+    res1_raw = daemon.dispatch(engine.start_round().to_bytes(), peer)
+    assert res1_raw is not None
+    que2 = engine.handle_res1(parse_message(res1_raw), subject_peer)
+    que2_raw = que2.to_bytes()
+    res2_raw = daemon.dispatch(que2_raw, peer)
+    assert res2_raw is not None
+    service = engine.handle_res2(parse_message(res2_raw), subject_peer)
+    return engine, service, que2_raw, res2_raw
+
+
+class TestDispatchDegradation:
+    def test_garbage_is_recorded_silence(self, level2_fleet):
+        _, objects, _ = level2_fleet
+        daemon = make_daemon(objects[0])
+        before = len(daemon.engine.errors)
+        assert daemon.dispatch(b"\xffnot-a-frame", "p") is None
+        assert daemon.dispatch(b"", "p") is None
+        assert len(daemon.engine.errors) == before + 2
+        assert daemon.stats["wire_errors"] == 2
+
+    def test_subject_bound_flight_silenced(self, level2_fleet):
+        subject, objects, _ = level2_fleet
+        daemon = make_daemon(objects[0])
+        engine = SubjectEngine(subject, Version.V3_0)
+        res1_raw = daemon.dispatch(engine.start_round().to_bytes(), "p")
+        # Reflect the object's own RES1 back at it: a subject-bound
+        # flight must be an error record, never an answer.
+        before = len(daemon.engine.errors)
+        assert daemon.dispatch(res1_raw, "p") is None
+        assert len(daemon.engine.errors) == before + 1
+
+    def test_full_handshake_and_cached_res2(self, level2_fleet):
+        subject, objects, _ = level2_fleet
+        daemon = make_daemon(objects[0])
+        _, service, que2_raw, res2_raw = run_handshake(daemon, subject)
+        assert service is not None
+        assert service.object_id == objects[0].object_id
+        # A byte-identical duplicate QUE2 (a retransmission) gets the
+        # byte-identical cached RES2 back — the idempotent resend path.
+        assert daemon.dispatch(que2_raw, "10.0.0.1:5000") == res2_raw
+
+    def test_replayed_rque_gets_constant_length_decoy(self, level2_fleet):
+        subject, objects, _ = level2_fleet
+        daemon = make_daemon(objects[0])
+        engine, service, _, _ = run_handshake(daemon, subject)
+        rque = engine.start_resumption(service.object_id)
+        assert rque is not None
+        raw = rque.to_bytes()
+        rres_real = daemon.dispatch(raw, "10.0.0.1:5000")
+        rres_decoy = daemon.dispatch(raw, "6.6.6.6:666")  # replayed ticket
+        assert rres_real is not None and rres_decoy is not None
+        assert isinstance(parse_message(rres_decoy), Rres)
+        # Indistinguishable on the wire: same length, different bytes.
+        assert len(rres_decoy) == len(rres_real)
+        assert rres_decoy != rres_real
+
+    def test_load_shedding_is_silent_and_per_peer(self, level2_fleet):
+        subject, objects, _ = level2_fleet
+        daemon = make_daemon(
+            objects[0], peer_burst_limit=2, peer_refill_per_s=0.0
+        )
+        engine = SubjectEngine(subject, Version.V3_0)
+        assert daemon.dispatch(engine.start_round().to_bytes(), "flood") is not None
+        assert daemon.dispatch(engine.start_round().to_bytes(), "flood") is not None
+        # Third frame from the same peer: over budget — silence, even
+        # though the frame itself is perfectly valid.
+        shed_frame = engine.start_round().to_bytes()
+        assert daemon.dispatch(shed_frame, "flood") is None
+        assert daemon.stats["frames_shed"] == 1
+        # A different peer is unaffected (the bucket is per-peer).
+        assert daemon.dispatch(engine.start_round().to_bytes(), "calm") is not None
+
+    def test_pending_table_ttl_eviction(self, level2_fleet):
+        subject, objects, _ = level2_fleet
+        clock = ManualClock()
+        daemon = make_daemon(objects[0], clock=clock)
+        engine = SubjectEngine(subject, Version.V3_0)
+        assert daemon.dispatch(engine.start_round().to_bytes(), "stale-peer")
+        assert "stale-peer" in daemon.engine._sessions
+        clock.t = daemon.engine.pending_ttl_s + 1.0
+        # Any dispatch ticks the engine clock; the half-open handshake
+        # from before the TTL is evicted.
+        daemon.dispatch(engine.start_round().to_bytes(), "fresh-peer")
+        assert "stale-peer" not in daemon.engine._sessions
+
+    def test_crash_goes_dark_and_restart_rejoins_cold(self, level2_fleet):
+        subject, objects, _ = level2_fleet
+        daemon = make_daemon(objects[0])
+        run_handshake(daemon, subject)
+        assert daemon.engine.established
+        daemon.crash()
+        assert daemon.is_down
+        engine = SubjectEngine(subject, Version.V3_0)
+        assert daemon.dispatch(engine.start_round().to_bytes(), "p") is None
+        assert daemon.stats["frames_dropped_down"] == 1
+        assert not daemon.engine.established  # volatile state gone
+        daemon.restart()
+        _, service, _, _ = run_handshake(daemon, subject, peer="10.0.0.2:6000")
+        assert service is not None
+        assert daemon.stats["crashes"] == 1
+        assert daemon.stats["restarts"] == 1
+
+
+class TestUpdateDispatch:
+    """Applying a revocation mutates the object credentials (that is the
+    point), so these tests build a private fleet instead of sharing the
+    session-scoped one."""
+
+    @pytest.fixture(scope="class")
+    def update_fleet(self):
+        return make_level_fleet(1, level=2)
+
+    def _revocation(self, fleet):
+        subject, objects, backend = fleet
+        receiver = UpdateReceiver(
+            objects[0].object_id, backend.admin_public, object_creds=objects[0]
+        )
+        publisher = UpdatePublisher(backend.root_key)
+        message = publisher.revoke_subject(
+            objects[0].object_id, subject.subject_id
+        )
+        return objects[0], receiver, message
+
+    def test_apply_then_reack_without_reapply(self, update_fleet):
+        creds, receiver, message = self._revocation(update_fleet)
+        daemon = make_daemon(creds, update_receiver=receiver)
+        raw = message.to_bytes()
+        assert daemon.dispatch(raw, "backend") == ack_frame(message.sequence)
+        assert daemon.stats["updates_applied"] == 1
+        errors_after_apply = len(receiver.errors)
+        # The duplicate (a lost-ACK retransmission) is re-ACKed but not
+        # re-applied — the receiver never even sees it.
+        assert daemon.dispatch(raw, "backend") == ack_frame(message.sequence)
+        assert daemon.stats["updates_reacked"] == 1
+        assert daemon.stats["updates_applied"] == 1
+        assert len(receiver.errors) == errors_after_apply
+
+    def test_no_receiver_means_silence(self, update_fleet):
+        _, objects, _ = update_fleet
+        _, _, message = self._revocation(update_fleet)
+        daemon = make_daemon(objects[0])  # update_receiver=None
+        assert daemon.dispatch(message.to_bytes(), "backend") is None
+        assert daemon.stats["updates_rejected"] == 1
+
+    def test_mangled_update_is_recorded_silence(self, update_fleet):
+        creds, receiver, message = self._revocation(update_fleet)
+        daemon = make_daemon(creds, update_receiver=receiver)
+        raw = message.to_bytes()
+        assert daemon.dispatch(raw[:6], "backend") is None  # truncated
+        assert daemon.stats["wire_errors"] == 1
+        # A bit-flip that survives parsing dies on the admin signature.
+        flipped = raw[:-1] + bytes([raw[-1] ^ 0x01])
+        assert daemon.dispatch(flipped, "backend") is None
+        assert daemon.stats["updates_applied"] == 0
+        assert receiver.last_sequence == 0
+
+
+class _CollectingClient(asyncio.DatagramProtocol):
+    def __init__(self):
+        self.received: list[bytes] = []
+
+    def datagram_received(self, data: bytes, addr) -> None:
+        self.received.append(data)
+
+
+class TestSocketPaths:
+    def test_oversized_reply_is_suppressed(self, level2_fleet):
+        subject, objects, _ = level2_fleet
+
+        async def scenario():
+            # A RES1 is far larger than 64 B: the daemon must not try to
+            # squeeze it out (or worse, announce the problem) — silence.
+            async with ObjectServiceDaemon(objects[0], max_datagram=64) as daemon:
+                loop = asyncio.get_running_loop()
+                transport, protocol = await loop.create_datagram_endpoint(
+                    _CollectingClient, local_addr=("127.0.0.1", 0)
+                )
+                try:
+                    engine = SubjectEngine(subject, Version.V3_0)
+                    transport.sendto(engine.start_round().to_bytes(), daemon.address)
+                    await asyncio.sleep(0.2)
+                    assert protocol.received == []
+                    assert daemon.stats["replies_oversized"] == 1
+                finally:
+                    transport.close()
+
+        asyncio.run(scenario())
+
+    def test_stream_handshake_end_to_end(self, level2_fleet):
+        subject, objects, _ = level2_fleet
+
+        async def scenario():
+            async with ObjectServiceDaemon(objects[0]) as daemon:
+                reader, writer = await asyncio.open_connection(*daemon.address)
+                try:
+                    engine = SubjectEngine(subject, Version.V3_0)
+                    write_stream_frame(writer, engine.start_round().to_bytes())
+                    await writer.drain()
+                    res1 = parse_message(
+                        await asyncio.wait_for(read_stream_frame(reader), 5.0)
+                    )
+                    que2 = engine.handle_res1(res1, "o")
+                    write_stream_frame(writer, que2.to_bytes())
+                    await writer.drain()
+                    res2 = parse_message(
+                        await asyncio.wait_for(read_stream_frame(reader), 5.0)
+                    )
+                    service = engine.handle_res2(res2, "o")
+                    assert service is not None
+                    assert service.object_id == objects[0].object_id
+                finally:
+                    writer.close()
+                    await writer.wait_closed()
+
+        asyncio.run(scenario())
+
+    def test_hostile_stream_length_closes_connection(self, level2_fleet):
+        _, objects, _ = level2_fleet
+
+        async def scenario():
+            async with ObjectServiceDaemon(objects[0]) as daemon:
+                reader, writer = await asyncio.open_connection(*daemon.address)
+                try:
+                    writer.write((1 << 31).to_bytes(4, "big"))
+                    await writer.drain()
+                    # Daemon hangs up without a byte of explanation.
+                    assert await asyncio.wait_for(reader.read(), 5.0) == b""
+                    assert daemon.stats["wire_errors"] == 1
+                finally:
+                    writer.close()
+                    await writer.wait_closed()
+
+        asyncio.run(scenario())
